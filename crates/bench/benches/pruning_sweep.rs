@@ -1,0 +1,48 @@
+//! Criterion bench: the design-time pipeline behind Fig. 1(a) — the
+//! dataflow-aware pruning sweep and accuracy scoring.
+
+use adaflow_model::{topology, QuantSpec};
+use adaflow_nn::{AccuracyModel, DatasetKind};
+use adaflow_pruning::{DataflowAwarePruner, FinnConfig};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_pruning(c: &mut Criterion) {
+    let graph = topology::cnv_w2a2_cifar10().expect("builds");
+    let folding = FinnConfig::cnv_reference(&graph).expect("valid");
+    let pruner = DataflowAwarePruner::new(folding);
+
+    c.bench_function("prune_cnv_25pct", |b| {
+        b.iter(|| {
+            pruner
+                .prune(black_box(&graph), black_box(0.25))
+                .expect("prunes")
+        })
+    });
+
+    c.bench_function("prune_cnv_sweep_18_rates", |b| {
+        let rates: Vec<f64> = (0..18).map(|s| s as f64 * 0.05).collect();
+        b.iter(|| {
+            pruner
+                .prune_sweep(black_box(&graph), black_box(&rates))
+                .expect("sweeps")
+        })
+    });
+
+    c.bench_function("accuracy_model_eval", |b| {
+        let curve = AccuracyModel::calibrated(DatasetKind::Cifar10, QuantSpec::w2a2());
+        b.iter(|| {
+            let mut acc = 0.0;
+            for step in 0..18 {
+                acc += curve.accuracy_at(black_box(step as f64 * 0.05));
+            }
+            acc
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_pruning
+}
+criterion_main!(benches);

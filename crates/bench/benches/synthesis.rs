@@ -1,0 +1,50 @@
+//! Criterion bench: the dataflow compilation + synthesis path behind
+//! Fig. 5(a) (per-accelerator resource/timing/power estimation), plus the
+//! streaming pipeline simulation standing in for Verilator runs.
+
+use adaflow_dataflow::{AcceleratorKind, DataflowAccelerator, StreamSimulator};
+use adaflow_hls::{synthesize, FpgaDevice};
+use adaflow_model::topology;
+use adaflow_pruning::FinnConfig;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_synthesis(c: &mut Criterion) {
+    let graph = topology::cnv_w2a2_cifar10().expect("builds");
+    let folding = FinnConfig::cnv_reference(&graph).expect("valid");
+    let device = FpgaDevice::zcu104();
+
+    c.bench_function("compile_finn_cnv", |b| {
+        b.iter(|| {
+            DataflowAccelerator::compile(
+                black_box(&graph),
+                black_box(&folding),
+                AcceleratorKind::Finn,
+            )
+            .expect("compiles")
+        })
+    });
+
+    let accel =
+        DataflowAccelerator::compile(&graph, &folding, AcceleratorKind::Finn).expect("compiles");
+    c.bench_function("synthesize_cnv_zcu104", |b| {
+        b.iter(|| synthesize(black_box(&accel), black_box(&device)).expect("synthesizes"))
+    });
+
+    let flexible = DataflowAccelerator::compile(&graph, &folding, AcceleratorKind::FlexiblePruning)
+        .expect("compiles");
+    c.bench_function("synthesize_flexible_cnv_zcu104", |b| {
+        b.iter(|| synthesize(black_box(&flexible), black_box(&device)).expect("synthesizes"))
+    });
+
+    c.bench_function("stream_simulate_64_frames", |b| {
+        let sim = StreamSimulator::new(&accel, 2);
+        b.iter(|| sim.run(black_box(64)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_synthesis
+}
+criterion_main!(benches);

@@ -1,0 +1,337 @@
+//! `adaflow_cli` — command-line front end to the framework.
+//!
+//! ```text
+//! adaflow_cli summary  --model cnv-w2a2                     # per-layer model card
+//! adaflow_cli generate --model cnv-w2a2 --dataset cifar10 \
+//!                      --out library.json                   # design-time library
+//! adaflow_cli inspect  --library library.json               # print the library table
+//! adaflow_cli simulate --library library.json --scenario 2 \
+//!                      --policy adaflow --runs 100          # serving experiment
+//! adaflow_cli explore  --model cnv-w2a2 --target-fps 600    # folding search
+//! ```
+//!
+//! Run any subcommand with wrong/missing flags to get its usage line.
+
+use adaflow::prelude::*;
+use adaflow_edge::prelude::*;
+use adaflow_hls::FpgaDevice;
+use adaflow_model::prelude::*;
+use adaflow_model::GraphSummary;
+use adaflow_nn::DatasetKind;
+use std::collections::HashMap;
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some((command, rest)) = args.split_first() else {
+        return Err(usage());
+    };
+    let flags = parse_flags(rest)?;
+    match command.as_str() {
+        "summary" => cmd_summary(&flags),
+        "generate" => cmd_generate(&flags),
+        "inspect" => cmd_inspect(&flags),
+        "simulate" => cmd_simulate(&flags),
+        "explore" => cmd_explore(&flags),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}
+
+fn usage() -> String {
+    "usage: adaflow_cli <command> [flags]\n\
+     commands:\n\
+     \x20 summary  --model <name>                  print the per-layer model card\n\
+     \x20 generate --model <name> --dataset <d> [--rates a,b,..] [--out file]\n\
+     \x20 inspect  --library <file>                print a generated library table\n\
+     \x20 simulate --library <file> [--scenario 1|2|1+2] [--policy adaflow|finn|reconf:<ms>] [--runs N]\n\
+     \x20 explore  --model <name> [--target-fps F] [--cap 0.7]\n\
+     models: cnv-w2a2, cnv-w1a2, lenet-w2a2, lenet-w1a2, tiny-w2a2; datasets: cifar10, gtsrb"
+        .to_string()
+}
+
+/// Parses `--key value` pairs.
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(key) = it.next() {
+        let Some(name) = key.strip_prefix("--") else {
+            return Err(format!("expected a --flag, found `{key}`"));
+        };
+        let value = it
+            .next()
+            .ok_or_else(|| format!("flag --{name} needs a value"))?;
+        flags.insert(name.to_string(), value.clone());
+    }
+    Ok(flags)
+}
+
+fn required<'f>(flags: &'f HashMap<String, String>, name: &str) -> Result<&'f str, String> {
+    flags
+        .get(name)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing --{name}\n{}", usage()))
+}
+
+fn build_model(name: &str, dataset: Option<DatasetKind>) -> Result<CnnGraph, String> {
+    let classes = dataset.map_or(10, |d| d.classes());
+    let graph = match name {
+        "cnv-w2a2" => topology::cnv(QuantSpec::w2a2(), classes).build(),
+        "cnv-w1a2" => topology::cnv(QuantSpec::w1a2(), classes).build(),
+        "lenet-w2a2" => topology::lenet(QuantSpec::w2a2(), classes),
+        "lenet-w1a2" => topology::lenet(QuantSpec::w1a2(), classes),
+        "tiny-w2a2" => topology::tiny(QuantSpec::w2a2(), classes.min(10)),
+        other => return Err(format!("unknown model `{other}`")),
+    };
+    graph.map_err(|e| e.to_string())
+}
+
+fn parse_dataset(name: &str) -> Result<DatasetKind, String> {
+    match name {
+        "cifar10" => Ok(DatasetKind::Cifar10),
+        "gtsrb" => Ok(DatasetKind::Gtsrb),
+        other => Err(format!("unknown dataset `{other}` (cifar10 | gtsrb)")),
+    }
+}
+
+fn parse_scenario(name: &str) -> Result<Scenario, String> {
+    match name {
+        "1" => Ok(Scenario::Stable),
+        "2" => Ok(Scenario::Unpredictable),
+        "1+2" => Ok(Scenario::Shifting),
+        other => Err(format!("unknown scenario `{other}` (1 | 2 | 1+2)")),
+    }
+}
+
+fn cmd_summary(flags: &HashMap<String, String>) -> Result<(), String> {
+    let graph = build_model(required(flags, "model")?, None)?;
+    print!("{}", GraphSummary::of(&graph));
+    Ok(())
+}
+
+fn cmd_generate(flags: &HashMap<String, String>) -> Result<(), String> {
+    let dataset = parse_dataset(required(flags, "dataset")?)?;
+    let graph = build_model(required(flags, "model")?, Some(dataset))?;
+    let mut generator = LibraryGenerator::default_edge_setup();
+    if let Some(rates) = flags.get("rates") {
+        generator.pruning_rates = rates
+            .split(',')
+            .map(|r| {
+                r.trim()
+                    .parse::<f64>()
+                    .map_err(|e| format!("bad rate `{r}`: {e}"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+    }
+    let library = generator
+        .generate(graph, dataset)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "generated {} models for {} on {} (baseline {:.0} FPS)",
+        library.entries().len(),
+        library.initial_model,
+        library.device,
+        library.baseline.throughput_fps
+    );
+    if let Some(path) = flags.get("out") {
+        let json = library.to_json().map_err(|e| e.to_string())?;
+        std::fs::write(path, &json).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("library table written to {path} ({} bytes)", json.len());
+    }
+    Ok(())
+}
+
+fn load_library(flags: &HashMap<String, String>) -> Result<Library, String> {
+    let path = required(flags, "library")?;
+    let json = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    Library::from_json(&json).map_err(|e| e.to_string())
+}
+
+fn cmd_inspect(flags: &HashMap<String, String>) -> Result<(), String> {
+    let library = load_library(flags)?;
+    println!(
+        "{} on {} — {} models, flexible fabric {} LUT / {} BRAM36",
+        library.initial_model,
+        library.device,
+        library.entries().len(),
+        library.flexible.resources.lut,
+        library.flexible.resources.bram36
+    );
+    println!(
+        "{:>6} {:>9} {:>9} {:>9} {:>10} {:>8}",
+        "rate%", "achieved%", "accuracy", "FPS", "LUT", "BRAM"
+    );
+    for e in library.entries() {
+        println!(
+            "{:>6.0} {:>9.1} {:>9.2} {:>9.0} {:>10} {:>8}",
+            e.requested_rate * 100.0,
+            e.achieved_rate * 100.0,
+            e.accuracy,
+            e.fixed.throughput_fps,
+            e.fixed.resources.lut,
+            e.fixed.resources.bram36
+        );
+    }
+    Ok(())
+}
+
+fn cmd_simulate(flags: &HashMap<String, String>) -> Result<(), String> {
+    let library = load_library(flags)?;
+    let scenario = parse_scenario(flags.get("scenario").map_or("2", String::as_str))?;
+    let runs: usize = flags.get("runs").map_or(Ok(100), |r| {
+        r.parse().map_err(|e| format!("bad --runs: {e}"))
+    })?;
+    let policy = flags.get("policy").map_or("adaflow", String::as_str);
+    let experiment = Experiment::new(&library, WorkloadSpec::paper_edge(scenario)).runs(runs);
+    let metrics = match policy {
+        "adaflow" => experiment.run_adaflow(RuntimeConfig::default()),
+        "finn" => experiment.run_original_finn(),
+        other => match other.strip_prefix("reconf:") {
+            Some(ms) => {
+                let ms: u64 = ms.parse().map_err(|e| format!("bad reconf time: {e}"))?;
+                experiment.run_pruning_reconf(Duration::from_millis(ms))
+            }
+            None => return Err(format!("unknown policy `{other}`")),
+        },
+    };
+    println!(
+        "{policy} under {} ({runs} runs): loss {:.2}%  QoE {:.2}  power {:.2} W  \
+         {:.0} inf/J  switches {:.1} (reconf {:.1}, flexible {:.1})  latency {:.1} ms",
+        scenario.name(),
+        metrics.frame_loss_pct,
+        metrics.qoe_pct,
+        metrics.avg_power_w,
+        metrics.inferences_per_joule,
+        metrics.model_switches,
+        metrics.reconfigurations,
+        metrics.flexible_switches,
+        metrics.mean_latency_ms
+    );
+    Ok(())
+}
+
+fn cmd_explore(flags: &HashMap<String, String>) -> Result<(), String> {
+    let graph = build_model(required(flags, "model")?, None)?;
+    let target_fps: f64 = flags.get("target-fps").map_or(Ok(600.0), |v| {
+        v.parse().map_err(|e| format!("bad --target-fps: {e}"))
+    })?;
+    let cap: f64 = flags.get("cap").map_or(Ok(0.7), |v| {
+        v.parse().map_err(|e| format!("bad --cap: {e}"))
+    })?;
+    let goal = ExplorationGoal {
+        target_fps,
+        device: FpgaDevice::zcu104(),
+        utilization_cap: cap,
+    };
+    let result = FoldingExplorer::new(goal)
+        .explore(&graph)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "explored folding in {} moves: {:.0} FPS (target {}) — {} LUT, {} BRAM36",
+        result.moves,
+        result.throughput_fps,
+        if result.target_met { "met" } else { "NOT met" },
+        result.resources.lut,
+        result.resources.bram36
+    );
+    for (id, f) in result.folding.entries() {
+        println!(
+            "  {}: PE {}, SIMD {}",
+            graph.nodes()[id.0].name,
+            f.pe,
+            f.simd
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags(pairs: &[(&str, &str)]) -> HashMap<String, String> {
+        pairs
+            .iter()
+            .map(|&(k, v)| (k.to_string(), v.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn flag_parsing() {
+        let args: Vec<String> = ["--model", "cnv-w2a2", "--runs", "5"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let parsed = parse_flags(&args).expect("parses");
+        assert_eq!(parsed.get("model").map(String::as_str), Some("cnv-w2a2"));
+        assert_eq!(parsed.get("runs").map(String::as_str), Some("5"));
+        assert!(parse_flags(&["oops".to_string()]).is_err());
+        assert!(parse_flags(&["--dangling".to_string()]).is_err());
+    }
+
+    #[test]
+    fn model_and_dataset_lookup() {
+        assert!(build_model("cnv-w2a2", Some(DatasetKind::Gtsrb)).is_ok());
+        assert!(build_model("lenet-w1a2", None).is_ok());
+        assert!(build_model("resnet", None).is_err());
+        assert!(parse_dataset("cifar10").is_ok());
+        assert!(parse_dataset("imagenet").is_err());
+        assert!(parse_scenario("1+2").is_ok());
+        assert!(parse_scenario("3").is_err());
+    }
+
+    #[test]
+    fn summary_command_runs() {
+        assert!(cmd_summary(&flags(&[("model", "tiny-w2a2")])).is_ok());
+        assert!(cmd_summary(&flags(&[])).is_err());
+    }
+
+    #[test]
+    fn generate_inspect_simulate_round_trip() {
+        let out = std::env::temp_dir().join("adaflow_cli_test_library.json");
+        let out_str = out.to_string_lossy().to_string();
+        cmd_generate(&flags(&[
+            ("model", "cnv-w2a2"),
+            ("dataset", "cifar10"),
+            ("rates", "0,0.25"),
+            ("out", &out_str),
+        ]))
+        .expect("generate");
+        cmd_inspect(&flags(&[("library", &out_str)])).expect("inspect");
+        cmd_simulate(&flags(&[
+            ("library", &out_str),
+            ("scenario", "1"),
+            ("policy", "adaflow"),
+            ("runs", "2"),
+        ]))
+        .expect("simulate");
+        cmd_simulate(&flags(&[
+            ("library", &out_str),
+            ("policy", "reconf:145"),
+            ("runs", "2"),
+        ]))
+        .expect("simulate reconf");
+        let _ = std::fs::remove_file(out);
+    }
+
+    #[test]
+    fn unknown_command_reports_usage() {
+        let err = run(&["frobnicate".to_string()]).unwrap_err();
+        assert!(err.contains("unknown command"));
+        assert!(err.contains("usage:"));
+    }
+}

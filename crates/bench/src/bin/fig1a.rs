@@ -1,0 +1,59 @@
+//! Fig. 1(a): accuracy and throughput (FPS) versus pruning rate for
+//! CNVW2A2 on CIFAR-10 over FINN-style fixed accelerators.
+//!
+//! The paper's figure shows accuracy falling and FPS rising as the pruning
+//! rate sweeps 0–85 %. Run with:
+//!
+//! ```text
+//! cargo run --release -p adaflow-bench --bin fig1a
+//! ```
+
+use adaflow_bench::{header, row, Combo};
+use adaflow_model::QuantSpec;
+use adaflow_nn::DatasetKind;
+
+fn main() {
+    let combo = Combo {
+        dataset: DatasetKind::Cifar10,
+        quant: QuantSpec::w2a2(),
+    };
+    println!(
+        "Figure 1(a) — Accuracy and FPS vs. pruning rate ({})",
+        combo.label()
+    );
+    println!();
+    let library = combo.build_library();
+    println!(
+        "{}",
+        header(&[
+            "pruning rate (%)",
+            "achieved (%)",
+            "accuracy (%)",
+            "FPS (fixed)",
+            "MACs (M)"
+        ])
+    );
+    for entry in library.entries() {
+        println!(
+            "{}",
+            row(&[
+                format!("{:.0}", entry.requested_rate * 100.0),
+                format!("{:.1}", entry.achieved_rate * 100.0),
+                format!("{:.2}", entry.accuracy),
+                format!("{:.0}", entry.fixed.throughput_fps),
+                format!("{:.1}", entry.macs as f64 / 1e6),
+            ])
+        );
+    }
+    let first = library.unpruned();
+    let last = library.entries().last().expect("nonempty library");
+    println!();
+    println!(
+        "Shape check: accuracy {:.1}% -> {:.1}% while FPS {:.0} -> {:.0} ({}x)",
+        first.accuracy,
+        last.accuracy,
+        first.fixed.throughput_fps,
+        last.fixed.throughput_fps,
+        (last.fixed.throughput_fps / first.fixed.throughput_fps).round()
+    );
+}

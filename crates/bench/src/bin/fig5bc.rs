@@ -1,0 +1,92 @@
+//! Fig. 5(b,c): accuracy versus energy per inference for CNVW2A2 on
+//! CIFAR-10 (b) and GTSRB (c), for Fixed- and Flexible-Pruning accelerators
+//! across the pruning sweep.
+//!
+//! The paper highlights the 25 % operating point: 1.38× lower energy on the
+//! flexible accelerator (1.64× on fixed) at a 9.9 % accuracy loss versus
+//! original FINN.
+//!
+//! ```text
+//! cargo run --release -p adaflow-bench --bin fig5bc
+//! ```
+
+use adaflow_bench::{header, row, Combo};
+use adaflow_model::QuantSpec;
+use adaflow_nn::DatasetKind;
+
+fn main() {
+    for (figure, dataset) in [("5(b)", DatasetKind::Cifar10), ("5(c)", DatasetKind::Gtsrb)] {
+        let combo = Combo {
+            dataset,
+            quant: QuantSpec::w2a2(),
+        };
+        println!(
+            "Figure {figure} — accuracy vs energy/inference ({})",
+            combo.label()
+        );
+        println!();
+        let library = combo.build_library();
+        let baseline = &library.baseline;
+        let base_energy_mj = baseline
+            .power
+            .energy_per_inference_j(baseline.throughput_fps, 1.0)
+            * 1e3;
+
+        println!(
+            "{}",
+            header(&[
+                "pruning (%)",
+                "accuracy (%)",
+                "fixed E/inf (mJ)",
+                "fixed vs FINN",
+                "flex E/inf (mJ)",
+                "flex vs FINN",
+            ])
+        );
+        for entry in library.entries() {
+            let fixed_mj = entry
+                .fixed
+                .power
+                .energy_per_inference_j(entry.fixed.throughput_fps, 1.0)
+                * 1e3;
+            let flex_mj = library
+                .flexible
+                .power
+                .energy_per_inference_j(entry.flexible_fps, entry.flexible_activity)
+                * 1e3;
+            println!(
+                "{}",
+                row(&[
+                    format!("{:.0}", entry.requested_rate * 100.0),
+                    format!("{:.2}", entry.accuracy),
+                    format!("{fixed_mj:.3}"),
+                    format!("{:.2}x", base_energy_mj / fixed_mj),
+                    format!("{flex_mj:.3}"),
+                    format!("{:.2}x", base_energy_mj / flex_mj),
+                ])
+            );
+        }
+
+        let p25 = &library.entries()[5];
+        let fixed_mj = p25
+            .fixed
+            .power
+            .energy_per_inference_j(p25.fixed.throughput_fps, 1.0)
+            * 1e3;
+        let flex_mj = library
+            .flexible
+            .power
+            .energy_per_inference_j(p25.flexible_fps, p25.flexible_activity)
+            * 1e3;
+        println!();
+        println!(
+            "Shape check @25%: accuracy loss {:.1} pts (paper 9.9); fixed energy {:.2}x \
+             lower (paper 1.64x); flexible {:.2}x lower (paper 1.38x); FINN = {:.3} mJ",
+            library.base_accuracy() - p25.accuracy,
+            base_energy_mj / fixed_mj,
+            base_energy_mj / flex_mj,
+            base_energy_mj
+        );
+        println!();
+    }
+}

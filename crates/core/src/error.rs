@@ -1,0 +1,54 @@
+//! Framework-level errors.
+
+use thiserror::Error;
+
+/// Errors surfaced by library generation or runtime management.
+#[derive(Debug, Clone, PartialEq, Error)]
+#[non_exhaustive]
+pub enum AdaFlowError {
+    /// Graph-level failure.
+    #[error(transparent)]
+    Model(#[from] adaflow_model::ModelError),
+
+    /// Inference/training failure.
+    #[error(transparent)]
+    Nn(#[from] adaflow_nn::NnError),
+
+    /// Pruning failure.
+    #[error(transparent)]
+    Prune(#[from] adaflow_pruning::PruneError),
+
+    /// Dataflow compilation failure.
+    #[error(transparent)]
+    Dataflow(#[from] adaflow_dataflow::DataflowError),
+
+    /// Synthesis failure.
+    #[error(transparent)]
+    Hls(#[from] adaflow_hls::HlsError),
+
+    /// The library cannot serve the request (e.g. empty library, no model
+    /// above the accuracy floor).
+    #[error("library error: {0}")]
+    Library(String),
+
+    /// Serialization failure when exporting the library table.
+    #[error("export error: {0}")]
+    Export(String),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AdaFlowError>();
+    }
+
+    #[test]
+    fn wraps_model_errors() {
+        let err: AdaFlowError = adaflow_model::ModelError::UnknownLayer(1).into();
+        assert_eq!(err.to_string(), "unknown layer id 1");
+    }
+}

@@ -1,0 +1,63 @@
+//! # adaflow — adaptive dataflow CNN acceleration framework
+//!
+//! The primary contribution of the reproduced paper: a hybrid, two-step
+//! framework for adaptive CNN inference on FPGA dataflow accelerators.
+//!
+//! 1. **Design time** — the [`library::LibraryGenerator`] sweeps the
+//!    dataflow-aware pruner over rates 0–85 % (5 % steps, 18 models per
+//!    initial CNN), retrains/scores every pruned model, synthesizes one
+//!    Fixed-Pruning accelerator per model plus one Flexible-Pruning
+//!    accelerator per initial CNN, and assembles the result into a
+//!    [`library::Library`] table of (model, accuracy, throughput, resources,
+//!    power) rows.
+//! 2. **Run time** — the [`runtime::RuntimeManager`] reacts to workload and
+//!    threshold changes: among the models above the accuracy floor it picks
+//!    the one matching the incoming FPS at the best accuracy (or the fastest
+//!    when none match), and selects Fixed- vs Flexible-Pruning accelerators
+//!    by the switch-interval criterion (Fixed only when switches are rarer
+//!    than the configured interval, defaulting to 10× the reconfiguration
+//!    time).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use adaflow::prelude::*;
+//! use adaflow_model::prelude::*;
+//! use adaflow_nn::DatasetKind;
+//!
+//! // Design time: build the library for CNVW2A2 on CIFAR-10.
+//! let library = LibraryGenerator::default_edge_setup()
+//!     .generate(topology::cnv_w2a2_cifar10()?, DatasetKind::Cifar10)?;
+//! assert_eq!(library.entries().len(), 18);
+//!
+//! // Run time: manage inference serving against a workload level.
+//! let mut manager = RuntimeManager::new(&library, RuntimeConfig::default());
+//! let decision = manager.decide(0.0, 600.0);
+//! assert!(decision.throughput_fps >= 0.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod explore;
+pub mod library;
+pub mod runtime;
+pub mod suite;
+
+pub use error::AdaFlowError;
+pub use explore::{ExplorationGoal, ExplorationResult, FoldingExplorer};
+pub use library::{Library, LibraryGenerator, ModelEntry};
+pub use runtime::{Decision, RuntimeConfig, RuntimeManager, SwitchKind};
+pub use suite::LibrarySuite;
+
+/// Convenience re-exports for downstream crates and examples.
+pub mod prelude {
+    pub use crate::error::AdaFlowError;
+    pub use crate::explore::{ExplorationGoal, ExplorationResult, FoldingExplorer};
+    pub use crate::library::{Library, LibraryGenerator, ModelEntry};
+    pub use crate::runtime::{Decision, RuntimeConfig, RuntimeManager, SwitchKind};
+    pub use crate::suite::LibrarySuite;
+    pub use adaflow_dataflow::AcceleratorKind;
+}

@@ -1,0 +1,379 @@
+//! The AdaFlow Library and its generator (design-time step).
+
+use crate::error::AdaFlowError;
+use adaflow_dataflow::{AcceleratorKind, DataflowAccelerator};
+use adaflow_hls::{synthesize, FpgaDevice, SynthesizedAccelerator};
+use adaflow_model::{CnnGraph, QuantSpec};
+use adaflow_nn::{AccuracyModel, DatasetKind};
+use adaflow_pruning::{retrain, DataflowAwarePruner, FinnConfig, RetrainPolicy};
+use serde::{Deserialize, Serialize};
+
+/// One row of the Library table: a pruned CNN model with its accuracy and
+/// throughput profile and its Fixed-Pruning accelerator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelEntry {
+    /// Model name (`cnv-w2a2-cifar10-p25`).
+    pub name: String,
+    /// Requested pruning rate.
+    pub requested_rate: f64,
+    /// Achieved pruning rate after the divisibility constraints.
+    pub achieved_rate: f64,
+    /// TOP-1 accuracy in percent after retraining.
+    pub accuracy: f64,
+    /// Per-conv-layer channel counts — the runtime-controllable parameter
+    /// vector shipped to the flexible accelerator on a model switch.
+    pub conv_channels: Vec<usize>,
+    /// MACs per inference.
+    pub macs: u64,
+    /// Total stored weight bits (drives the flexible model-switch time:
+    /// new weights are streamed to the fabric over the weight bus).
+    pub weight_bits: u64,
+    /// The model's Fixed-Pruning accelerator (synthesized).
+    pub fixed: SynthesizedAccelerator,
+    /// Throughput when this model is loaded on the shared Flexible-Pruning
+    /// accelerator.
+    pub flexible_fps: f64,
+    /// Activity factor of the flexible fabric under this model (for the
+    /// power model).
+    pub flexible_activity: f64,
+}
+
+/// The library generated at design time for one initial CNN / dataset pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Library {
+    /// Name of the initial (unpruned) CNN.
+    pub initial_model: String,
+    /// Dataset the models were adapted to.
+    pub dataset: DatasetKind,
+    /// Quantization of the model family.
+    pub quant: QuantSpec,
+    /// Target device name.
+    pub device: String,
+    /// Entries sorted by requested pruning rate (first entry = unpruned).
+    entries: Vec<ModelEntry>,
+    /// The shared Flexible-Pruning accelerator (synthesized for the worst
+    /// case, i.e. the unpruned model).
+    pub flexible: SynthesizedAccelerator,
+    /// The original FINN accelerator (baseline; identical model to entry 0
+    /// but without any AdaFlow machinery).
+    pub baseline: SynthesizedAccelerator,
+}
+
+impl Library {
+    /// All entries, sorted by requested pruning rate.
+    #[must_use]
+    pub fn entries(&self) -> &[ModelEntry] {
+        &self.entries
+    }
+
+    /// The unpruned entry.
+    ///
+    /// # Panics
+    ///
+    /// Never panics: generated libraries always contain the 0 % entry.
+    #[must_use]
+    pub fn unpruned(&self) -> &ModelEntry {
+        &self.entries[0]
+    }
+
+    /// Baseline (unpruned) accuracy in percent.
+    #[must_use]
+    pub fn base_accuracy(&self) -> f64 {
+        self.unpruned().accuracy
+    }
+
+    /// Entries whose accuracy stays within `threshold_points` of the
+    /// unpruned accuracy — the candidate set of the Runtime Manager.
+    #[must_use]
+    pub fn within_threshold(&self, threshold_points: f64) -> Vec<&ModelEntry> {
+        let floor = self.base_accuracy() - threshold_points;
+        self.entries
+            .iter()
+            .filter(|e| e.accuracy >= floor)
+            .collect()
+    }
+
+    /// Serializes the library table to JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdaFlowError::Export`] on serialization failure.
+    pub fn to_json(&self) -> Result<String, AdaFlowError> {
+        serde_json::to_string_pretty(self).map_err(|e| AdaFlowError::Export(e.to_string()))
+    }
+
+    /// Deserializes a library table from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdaFlowError::Export`] on malformed input.
+    pub fn from_json(json: &str) -> Result<Self, AdaFlowError> {
+        serde_json::from_str(json).map_err(|e| AdaFlowError::Export(e.to_string()))
+    }
+}
+
+/// The design-time generator: prune sweep → retrain/score → synthesize.
+#[derive(Debug, Clone)]
+pub struct LibraryGenerator {
+    /// Pruning rates to sweep.
+    pub pruning_rates: Vec<f64>,
+    /// Target device.
+    pub device: FpgaDevice,
+    /// Folding configuration; `None` derives the CNV reference / auto
+    /// folding per graph.
+    pub folding: Option<FinnConfig>,
+}
+
+impl LibraryGenerator {
+    /// The paper's evaluation setup: rates 0–85 % in 5 % steps (18 models)
+    /// on a ZCU104.
+    #[must_use]
+    pub fn default_edge_setup() -> Self {
+        Self {
+            pruning_rates: (0..18).map(|s| s as f64 * 0.05).collect(),
+            device: FpgaDevice::zcu104(),
+            folding: None,
+        }
+    }
+
+    /// Generates the library for one initial CNN / dataset pair, scoring
+    /// accuracy with the calibrated analytical model (see `adaflow-nn`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates pruning, compilation and synthesis failures; returns
+    /// [`AdaFlowError::Library`] if no pruning rates are configured.
+    pub fn generate(
+        &self,
+        initial: CnnGraph,
+        dataset: DatasetKind,
+    ) -> Result<Library, AdaFlowError> {
+        let quant = initial
+            .quant()
+            .ok_or_else(|| AdaFlowError::Library("initial model has no MVTU layers".into()))?;
+        let curve = AccuracyModel::calibrated(dataset, quant);
+        self.generate_with_policy(initial, dataset, &RetrainPolicy::Analytical(curve))
+    }
+
+    /// Generates the library with an explicit retrain policy (real SGD
+    /// retraining for laptop-scale models, analytical otherwise).
+    ///
+    /// # Errors
+    ///
+    /// See [`LibraryGenerator::generate`].
+    pub fn generate_with_policy(
+        &self,
+        initial: CnnGraph,
+        dataset: DatasetKind,
+        policy: &RetrainPolicy,
+    ) -> Result<Library, AdaFlowError> {
+        if self.pruning_rates.is_empty() {
+            return Err(AdaFlowError::Library("no pruning rates configured".into()));
+        }
+        let quant = initial
+            .quant()
+            .ok_or_else(|| AdaFlowError::Library("initial model has no MVTU layers".into()))?;
+        let folding = match &self.folding {
+            Some(f) => f.clone(),
+            None => FinnConfig::cnv_reference(&initial)?,
+        };
+        let pruner = DataflowAwarePruner::new(folding.clone());
+
+        // The shared flexible fabric: synthesized for the worst case.
+        let flexible_accel =
+            DataflowAccelerator::compile(&initial, &folding, AcceleratorKind::FlexiblePruning)?;
+        let flexible = synthesize(&flexible_accel, &self.device)?;
+
+        // The original FINN baseline.
+        let baseline_accel =
+            DataflowAccelerator::compile(&initial, &folding, AcceleratorKind::Finn)?;
+        let baseline = synthesize(&baseline_accel, &self.device)?;
+
+        let worst_macs = initial.total_macs();
+        let mut entries = Vec::with_capacity(self.pruning_rates.len());
+        let mut rates = self.pruning_rates.clone();
+        rates.sort_by(|a, b| a.partial_cmp(b).expect("rates are finite"));
+        for &rate in &rates {
+            let pruned = pruner.prune(&initial, rate)?;
+            let achieved = pruned.achieved_rate();
+            let outcome = retrain(pruned, policy)?;
+            let model = outcome.model;
+
+            let fixed_accel = DataflowAccelerator::compile(
+                &model.graph,
+                &folding,
+                AcceleratorKind::FixedPruning,
+            )?;
+            let fixed = synthesize(&fixed_accel, &self.device)?;
+            let flex_perf = flexible_accel.performance_for(&model.graph, &folding)?;
+            let macs = model.graph.total_macs();
+
+            entries.push(ModelEntry {
+                name: model.graph.name().to_string(),
+                requested_rate: rate,
+                achieved_rate: achieved,
+                accuracy: outcome.accuracy,
+                conv_channels: model.conv_channels(),
+                macs,
+                weight_bits: model.graph.total_weight_bits(),
+                fixed,
+                flexible_fps: flex_perf.throughput_fps,
+                flexible_activity: adaflow_hls::power::flexible_activity(worst_macs, macs),
+            });
+        }
+
+        Ok(Library {
+            initial_model: initial.name().to_string(),
+            dataset,
+            quant,
+            device: self.device.name.clone(),
+            entries,
+            flexible,
+            baseline,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaflow_model::prelude::*;
+
+    fn cifar_library() -> Library {
+        LibraryGenerator::default_edge_setup()
+            .generate(
+                topology::cnv_w2a2_cifar10().expect("builds"),
+                DatasetKind::Cifar10,
+            )
+            .expect("generates")
+    }
+
+    #[test]
+    fn paper_setup_generates_18_models() {
+        let lib = cifar_library();
+        assert_eq!(lib.entries().len(), 18);
+        assert_eq!(lib.unpruned().requested_rate, 0.0);
+        assert_eq!(lib.quant, QuantSpec::w2a2());
+    }
+
+    #[test]
+    fn accuracy_decreases_and_fps_increases_along_the_sweep() {
+        let lib = cifar_library();
+        let entries = lib.entries();
+        for pair in entries.windows(2) {
+            assert!(pair[1].accuracy <= pair[0].accuracy + 1e-9);
+            assert!(pair[1].fixed.throughput_fps >= pair[0].fixed.throughput_fps - 1e-9);
+        }
+        // The ends of Fig. 1(a)'s trade-off.
+        let first = &entries[0];
+        let last = entries.last().expect("nonempty");
+        assert!(last.fixed.throughput_fps > first.fixed.throughput_fps * 3.0);
+        assert!(last.accuracy < first.accuracy - 20.0);
+    }
+
+    #[test]
+    fn ten_point_threshold_selects_low_rates_only() {
+        let lib = cifar_library();
+        let candidates = lib.within_threshold(10.0);
+        assert!(!candidates.is_empty());
+        assert!(candidates
+            .iter()
+            .all(|e| e.accuracy >= lib.base_accuracy() - 10.0));
+        // 25% pruning loses ~9.9 points, 30% more: the cut sits near there.
+        let max_rate = candidates
+            .iter()
+            .map(|e| e.requested_rate)
+            .fold(0.0f64, f64::max);
+        assert!(
+            (0.2..=0.3).contains(&max_rate),
+            "threshold cut at {max_rate}"
+        );
+    }
+
+    #[test]
+    fn flexible_is_slightly_slower_than_fixed() {
+        let lib = cifar_library();
+        for e in lib.entries() {
+            assert!(e.flexible_fps <= e.fixed.throughput_fps);
+            let gap = 1.0 - e.flexible_fps / e.fixed.throughput_fps;
+            assert!(gap <= 0.037 + 1e-9, "flexible gap {gap} at {}", e.name);
+        }
+    }
+
+    #[test]
+    fn flexible_fabric_bigger_baseline_smaller() {
+        let lib = cifar_library();
+        assert!(lib.flexible.resources.lut > lib.baseline.resources.lut);
+        for e in lib.entries() {
+            assert!(e.fixed.resources.lut <= lib.baseline.resources.lut);
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let lib = cifar_library();
+        let json = lib.to_json().expect("export");
+        let back = Library::from_json(&json).expect("import");
+        assert_eq!(lib, back);
+    }
+
+    #[test]
+    fn gtsrb_library_generates() {
+        let lib = LibraryGenerator::default_edge_setup()
+            .generate(
+                topology::cnv_w2a2_gtsrb().expect("builds"),
+                DatasetKind::Gtsrb,
+            )
+            .expect("generates");
+        assert_eq!(lib.dataset, DatasetKind::Gtsrb);
+        assert!(lib.base_accuracy() > 90.0);
+    }
+
+    #[test]
+    fn empty_rates_rejected() {
+        let mut generator = LibraryGenerator::default_edge_setup();
+        generator.pruning_rates.clear();
+        let err = generator
+            .generate(
+                topology::cnv_w2a2_cifar10().expect("builds"),
+                DatasetKind::Cifar10,
+            )
+            .unwrap_err();
+        assert!(matches!(err, AdaFlowError::Library(_)));
+    }
+
+    #[test]
+    fn threshold_edge_values() {
+        let lib = cifar_library();
+        // Zero budget admits exactly the unpruned entry (and any exact ties).
+        let none = lib.within_threshold(0.0);
+        assert!(none.iter().all(|e| e.accuracy >= lib.base_accuracy()));
+        assert!(!none.is_empty());
+        // An unbounded budget admits everything.
+        assert_eq!(lib.within_threshold(1000.0).len(), lib.entries().len());
+        // Negative budgets admit nothing below base accuracy.
+        assert!(lib
+            .within_threshold(-5.0)
+            .iter()
+            .all(|e| e.accuracy >= lib.base_accuracy() + 5.0));
+    }
+
+    #[test]
+    fn entries_are_sorted_by_requested_rate() {
+        let lib = cifar_library();
+        assert!(lib
+            .entries()
+            .windows(2)
+            .all(|pair| pair[0].requested_rate <= pair[1].requested_rate));
+    }
+
+    #[test]
+    fn flexible_activity_tracks_pruning() {
+        let lib = cifar_library();
+        let entries = lib.entries();
+        assert!((entries[0].flexible_activity - 1.0).abs() < 1e-9);
+        for pair in entries.windows(2) {
+            assert!(pair[1].flexible_activity <= pair[0].flexible_activity + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,466 @@
+//! The Runtime Manager (run-time step, paper §IV-B2).
+//!
+//! On every workload or threshold change the manager selects
+//!
+//! 1. **a CNN model**: among library entries whose accuracy stays within the
+//!    user threshold of the unpruned accuracy, the entry matching the
+//!    incoming FPS at the best accuracy — or, when none matches, the entry
+//!    with the highest throughput;
+//! 2. **an accelerator type**: Fixed-Pruning only when model switches are
+//!    infrequent (time since the last switch at least the switch-interval
+//!    criterion, 10× the reconfiguration time in the paper's evaluation);
+//!    Flexible-Pruning otherwise.
+//!
+//! Applying a decision may stall the accelerator: switching fixed
+//! accelerators costs a full FPGA reconfiguration; switching models on the
+//! flexible fabric only costs streaming the new weights in.
+
+use crate::library::Library;
+use adaflow_dataflow::AcceleratorKind;
+use adaflow_hls::ReconfigurationModel;
+use serde::{Deserialize, Serialize};
+
+/// Default weight-bus bandwidth for flexible model switches (DMA over the
+/// PS-PL AXI HP port), bytes per second.
+pub const WEIGHT_BUS_BYTES_PER_SECOND: f64 = 1.2e9;
+
+/// Runtime Manager configuration (the paper's user inputs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuntimeConfig {
+    /// Maximum tolerated accuracy loss versus the unpruned model, in
+    /// percentage points (the paper evaluates with 10).
+    pub accuracy_threshold_points: f64,
+    /// Fixed-Pruning is only selected when the time since the last model
+    /// switch is at least this multiple of the reconfiguration time (the
+    /// paper sets 10×).
+    pub switch_interval_multiple: f64,
+    /// FPGA reconfiguration timing model.
+    pub reconfig: ReconfigurationModel,
+    /// Weight-bus bandwidth used for flexible model switches.
+    pub weight_bus_bytes_per_second: f64,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        Self {
+            accuracy_threshold_points: 10.0,
+            switch_interval_multiple: 10.0,
+            reconfig: ReconfigurationModel::default(),
+            weight_bus_bytes_per_second: WEIGHT_BUS_BYTES_PER_SECOND,
+        }
+    }
+}
+
+/// What a decision physically did to the FPGA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SwitchKind {
+    /// Nothing changed.
+    None,
+    /// New weights streamed into the flexible fabric (fast model switch).
+    FlexibleModelSwitch,
+    /// A full FPGA reconfiguration (fixed-accelerator switch or fabric
+    /// change).
+    Reconfiguration,
+}
+
+/// The outcome of one Runtime Manager invocation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Decision {
+    /// Index of the selected library entry.
+    pub entry_index: usize,
+    /// Name of the selected model.
+    pub model_name: String,
+    /// Accelerator type now loaded.
+    pub accelerator: AcceleratorKind,
+    /// What changed on the fabric.
+    pub switch: SwitchKind,
+    /// Seconds the accelerator is unavailable while applying the decision.
+    pub stall_s: f64,
+    /// Serving throughput after the decision.
+    pub throughput_fps: f64,
+    /// Accuracy of the model now serving, in percent.
+    pub accuracy: f64,
+}
+
+/// The Runtime Manager state machine.
+#[derive(Debug, Clone)]
+pub struct RuntimeManager<'l> {
+    library: &'l Library,
+    config: RuntimeConfig,
+    current: Option<(usize, AcceleratorKind)>,
+    last_model_switch: Option<f64>,
+    /// Exponentially-weighted estimate of the inter-switch interval — the
+    /// "intervals at which models need to be switched" of §IV-B2.
+    switch_interval_ewma: Option<f64>,
+}
+
+impl<'l> RuntimeManager<'l> {
+    /// Creates a manager over a generated library.
+    #[must_use]
+    pub fn new(library: &'l Library, config: RuntimeConfig) -> Self {
+        Self {
+            library,
+            config,
+            current: None,
+            last_model_switch: None,
+            switch_interval_ewma: None,
+        }
+    }
+
+    /// The library being managed.
+    #[must_use]
+    pub fn library(&self) -> &Library {
+        self.library
+    }
+
+    /// Currently loaded `(entry index, accelerator kind)`, if any.
+    #[must_use]
+    pub fn current(&self) -> Option<(usize, AcceleratorKind)> {
+        self.current
+    }
+
+    /// Updates the accuracy threshold (a user-driven event in the paper;
+    /// call [`RuntimeManager::decide`] afterwards to re-select).
+    pub fn set_accuracy_threshold(&mut self, points: f64) {
+        self.config.accuracy_threshold_points = points;
+    }
+
+    /// The switch-interval criterion in seconds: `multiple ×` the
+    /// reconfiguration time of the baseline bitstream.
+    #[must_use]
+    pub fn switch_criterion_s(&self) -> f64 {
+        self.config.switch_interval_multiple
+            * self
+                .config
+                .reconfig
+                .reconfiguration_time(&self.library.baseline.bitstream)
+                .as_secs_f64()
+    }
+
+    /// Pure model selection (paper §IV-B2): among entries within the
+    /// accuracy threshold, those whose throughput on `kind` meets
+    /// `incoming_fps`; of these the most accurate. When none can match the
+    /// workload, the fastest in-threshold entry.
+    #[must_use]
+    pub fn select_model(&self, incoming_fps: f64, kind: AcceleratorKind) -> usize {
+        let threshold = self.config.accuracy_threshold_points;
+        let floor = self.library.base_accuracy() - threshold;
+        let candidates: Vec<(usize, &crate::library::ModelEntry)> = self
+            .library
+            .entries()
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.accuracy >= floor)
+            .collect();
+        debug_assert!(!candidates.is_empty(), "unpruned entry always qualifies");
+
+        let fps_of = |e: &crate::library::ModelEntry| self.throughput_of(e, kind);
+        let matching = candidates
+            .iter()
+            .filter(|(_, e)| fps_of(e) >= incoming_fps)
+            // Most accurate among matching; accuracy ties (plateaus from the
+            // divisibility constraints) break toward the *less pruned* model.
+            .max_by(|(ia, a), (ib, b)| {
+                a.accuracy
+                    .partial_cmp(&b.accuracy)
+                    .expect("accuracies are finite")
+                    .then(ib.cmp(ia))
+            });
+        if let Some(&(idx, _)) = matching {
+            return idx;
+        }
+        // No entry can serve the workload: take the fastest; throughput
+        // ties (staircase plateaus) break toward the more accurate model so
+        // the manager never trades accuracy for nothing.
+        candidates
+            .iter()
+            .max_by(|(_, a), (_, b)| {
+                fps_of(a)
+                    .partial_cmp(&fps_of(b))
+                    .expect("throughputs are finite")
+                    .then(
+                        a.accuracy
+                            .partial_cmp(&b.accuracy)
+                            .expect("accuracies are finite"),
+                    )
+            })
+            .map(|&(idx, _)| idx)
+            .expect("candidates nonempty")
+    }
+
+    /// Throughput of `entry` on an accelerator kind.
+    #[must_use]
+    pub fn throughput_of(&self, entry: &crate::library::ModelEntry, kind: AcceleratorKind) -> f64 {
+        match kind {
+            AcceleratorKind::FlexiblePruning => entry.flexible_fps,
+            _ => entry.fixed.throughput_fps,
+        }
+    }
+
+    /// Reacts to a workload level observed at `now_s`, applying and
+    /// returning the decision.
+    ///
+    /// The manager is meant to be invoked on *changes* (new incoming-FPS
+    /// estimate from the performance monitors, or a threshold update);
+    /// invoking it repeatedly with the same conditions is a no-op decision.
+    pub fn decide(&mut self, now_s: f64, incoming_fps: f64) -> Decision {
+        // Accelerator-type rule: Fixed only when models need to be switched
+        // at intervals above the criterion (§IV-B2). The switching cadence
+        // is estimated by blending the time since the last switch with the
+        // EWMA of past inter-switch intervals, and leaving the flexible
+        // fabric requires twice the criterion (hysteresis): one quiet gap
+        // inside a turbulent phase must not bounce the fabric back to Fixed,
+        // since every bounce costs two reconfigurations.
+        let cadence = match (self.last_model_switch, self.switch_interval_ewma) {
+            (None, _) => f64::INFINITY,
+            (Some(t), None) => now_s - t,
+            (Some(t), Some(ewma)) => 0.5 * (now_s - t) + 0.5 * ewma,
+        };
+        let on_flexible = matches!(self.current, Some((_, AcceleratorKind::FlexiblePruning)));
+        let hysteresis = if on_flexible { 2.0 } else { 1.0 };
+        let stable = cadence >= hysteresis * self.switch_criterion_s();
+        let prospective_kind = if stable {
+            AcceleratorKind::FixedPruning
+        } else {
+            AcceleratorKind::FlexiblePruning
+        };
+
+        let idx = self.select_model(incoming_fps, prospective_kind);
+        // The fabric is only worth changing when the model itself changes:
+        // re-loading a different fabric for the same model would spend a
+        // reconfiguration without buying anything.
+        let kind = match self.current {
+            Some((cur_idx, cur_kind)) if cur_idx == idx => cur_kind,
+            _ => prospective_kind,
+        };
+        let entry = &self.library.entries()[idx];
+
+        let (switch, stall_s) = match self.current {
+            None => {
+                // Initial load: one reconfiguration to bring the fabric up.
+                let bitstream = match kind {
+                    AcceleratorKind::FlexiblePruning => &self.library.flexible.bitstream,
+                    _ => &entry.fixed.bitstream,
+                };
+                (
+                    SwitchKind::Reconfiguration,
+                    self.config
+                        .reconfig
+                        .reconfiguration_time(bitstream)
+                        .as_secs_f64(),
+                )
+            }
+            Some((cur_idx, cur_kind)) if cur_idx == idx && cur_kind == kind => {
+                (SwitchKind::None, 0.0)
+            }
+            Some((cur_idx, cur_kind)) => {
+                if kind == AcceleratorKind::FlexiblePruning
+                    && cur_kind == AcceleratorKind::FlexiblePruning
+                {
+                    // Fast model switch: stream the new weights in.
+                    let _ = cur_idx;
+                    let bytes = entry.weight_bits as f64 / 8.0;
+                    (
+                        SwitchKind::FlexibleModelSwitch,
+                        bytes / self.config.weight_bus_bytes_per_second,
+                    )
+                } else {
+                    // Any fabric change or fixed-accelerator switch is a
+                    // full reconfiguration.
+                    let bitstream = match kind {
+                        AcceleratorKind::FlexiblePruning => &self.library.flexible.bitstream,
+                        _ => &entry.fixed.bitstream,
+                    };
+                    (
+                        SwitchKind::Reconfiguration,
+                        self.config
+                            .reconfig
+                            .reconfiguration_time(bitstream)
+                            .as_secs_f64(),
+                    )
+                }
+            }
+        };
+
+        // The initial load is not a model *switch*: cadence tracking starts
+        // with the first actual change.
+        let model_changed = matches!(self.current, Some((cur_idx, _)) if cur_idx != idx);
+        if model_changed {
+            if let Some(last) = self.last_model_switch {
+                let interval = now_s - last;
+                self.switch_interval_ewma = Some(match self.switch_interval_ewma {
+                    Some(ewma) => 0.5 * interval + 0.5 * ewma,
+                    None => interval,
+                });
+            }
+            self.last_model_switch = Some(now_s);
+        }
+        self.current = Some((idx, kind));
+
+        Decision {
+            entry_index: idx,
+            model_name: entry.name.clone(),
+            accelerator: kind,
+            switch,
+            stall_s,
+            throughput_fps: self.throughput_of(entry, kind),
+            accuracy: entry.accuracy,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::LibraryGenerator;
+    use adaflow_model::prelude::*;
+    use adaflow_nn::DatasetKind;
+
+    fn library() -> Library {
+        LibraryGenerator::default_edge_setup()
+            .generate(
+                topology::cnv_w2a2_cifar10().expect("builds"),
+                DatasetKind::Cifar10,
+            )
+            .expect("generates")
+    }
+
+    #[test]
+    fn low_workload_selects_most_accurate_model() {
+        let lib = library();
+        let manager = RuntimeManager::new(&lib, RuntimeConfig::default());
+        // Workload far below even the unpruned throughput.
+        let idx = manager.select_model(50.0, AcceleratorKind::FixedPruning);
+        assert_eq!(idx, 0, "unpruned model matches and has the best accuracy");
+    }
+
+    #[test]
+    fn high_workload_selects_faster_model_within_threshold() {
+        let lib = library();
+        let manager = RuntimeManager::new(&lib, RuntimeConfig::default());
+        let base_fps = lib.unpruned().fixed.throughput_fps;
+        let idx = manager.select_model(base_fps * 1.3, AcceleratorKind::FixedPruning);
+        let chosen = &lib.entries()[idx];
+        assert!(chosen.fixed.throughput_fps >= base_fps * 1.3);
+        assert!(chosen.accuracy >= lib.base_accuracy() - 10.0);
+        assert!(idx > 0);
+    }
+
+    #[test]
+    fn impossible_workload_selects_fastest_in_threshold() {
+        let lib = library();
+        let manager = RuntimeManager::new(&lib, RuntimeConfig::default());
+        let idx = manager.select_model(1e9, AcceleratorKind::FixedPruning);
+        let chosen = &lib.entries()[idx];
+        // Never violates the accuracy floor even under impossible load.
+        assert!(chosen.accuracy >= lib.base_accuracy() - 10.0);
+        // And is the fastest entry that respects it.
+        for e in lib.within_threshold(10.0) {
+            assert!(chosen.fixed.throughput_fps >= e.fixed.throughput_fps);
+        }
+    }
+
+    #[test]
+    fn first_decision_is_fixed_with_one_reconfiguration() {
+        let lib = library();
+        let mut manager = RuntimeManager::new(&lib, RuntimeConfig::default());
+        let d = manager.decide(0.0, 600.0);
+        assert_eq!(d.accelerator, AcceleratorKind::FixedPruning);
+        assert_eq!(d.switch, SwitchKind::Reconfiguration);
+        assert!(d.stall_s > 0.1);
+    }
+
+    #[test]
+    fn rapid_switches_move_to_flexible() {
+        let lib = library();
+        let mut manager = RuntimeManager::new(&lib, RuntimeConfig::default());
+        let base_fps = lib.unpruned().fixed.throughput_fps;
+        manager.decide(0.0, 100.0);
+        // First model switch: no cadence history yet → fixed, reconfigured.
+        let d = manager.decide(0.5, base_fps * 1.4);
+        assert_eq!(d.accelerator, AcceleratorKind::FixedPruning);
+        assert_eq!(d.switch, SwitchKind::Reconfiguration);
+        // Second rapid switch: the observed cadence (0.5 s) is far below the
+        // criterion (10 x ~145 ms ≈ 1.45 s) → flexible fabric loaded once...
+        let d2 = manager.decide(1.0, 100.0);
+        assert_eq!(d2.accelerator, AcceleratorKind::FlexiblePruning);
+        assert_eq!(
+            d2.switch,
+            SwitchKind::Reconfiguration,
+            "fabric change reconfigures once"
+        );
+        // ...then fast model switches with sub-millisecond stalls.
+        let d3 = manager.decide(1.5, base_fps * 1.4);
+        assert_eq!(d3.accelerator, AcceleratorKind::FlexiblePruning);
+        assert_eq!(d3.switch, SwitchKind::FlexibleModelSwitch);
+        assert!(
+            d3.stall_s < 0.005,
+            "flexible switch stalled {}s",
+            d3.stall_s
+        );
+    }
+
+    #[test]
+    fn stable_phases_return_to_fixed() {
+        let lib = library();
+        let mut manager = RuntimeManager::new(&lib, RuntimeConfig::default());
+        let base_fps = lib.unpruned().fixed.throughput_fps;
+        manager.decide(0.0, 100.0);
+        manager.decide(0.5, base_fps * 1.4); // flexible
+                                             // Long quiet period, then a change: back to fixed (the quiet gap
+                                             // must dominate the blended cadence estimate).
+        let criterion = manager.switch_criterion_s();
+        let d = manager.decide(0.5 + 3.0 * criterion, 100.0);
+        assert_eq!(d.accelerator, AcceleratorKind::FixedPruning);
+    }
+
+    #[test]
+    fn same_conditions_are_a_no_op() {
+        let lib = library();
+        let mut manager = RuntimeManager::new(&lib, RuntimeConfig::default());
+        manager.decide(0.0, 600.0);
+        let d = manager.decide(10.0, 600.0);
+        assert_eq!(d.switch, SwitchKind::None);
+        assert_eq!(d.stall_s, 0.0);
+    }
+
+    #[test]
+    fn threshold_change_can_unlock_faster_models() {
+        let lib = library();
+        let mut manager = RuntimeManager::new(
+            &lib,
+            RuntimeConfig {
+                accuracy_threshold_points: 2.0,
+                ..RuntimeConfig::default()
+            },
+        );
+        let tight = manager.select_model(1e9, AcceleratorKind::FixedPruning);
+        manager.set_accuracy_threshold(15.0);
+        let loose = manager.select_model(1e9, AcceleratorKind::FixedPruning);
+        let entries = lib.entries();
+        assert!(entries[loose].fixed.throughput_fps > entries[tight].fixed.throughput_fps);
+    }
+
+    #[test]
+    fn criterion_is_ten_reconfigurations_by_default() {
+        let lib = library();
+        let manager = RuntimeManager::new(&lib, RuntimeConfig::default());
+        let c = manager.switch_criterion_s();
+        assert!((1.2..=1.7).contains(&c), "criterion {c}s");
+    }
+
+    #[test]
+    fn accuracy_never_below_floor_across_random_workloads() {
+        let lib = library();
+        let mut manager = RuntimeManager::new(&lib, RuntimeConfig::default());
+        let floor = lib.base_accuracy() - 10.0;
+        let mut t = 0.0;
+        for step in 0..200u32 {
+            // Deterministic pseudo-random workload levels in 0..1200 FPS.
+            let fps = f64::from(step.wrapping_mul(2654435761) % 1200);
+            let d = manager.decide(t, fps);
+            assert!(d.accuracy >= floor - 1e-9, "violated floor at step {step}");
+            t += 0.5;
+        }
+    }
+}

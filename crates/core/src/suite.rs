@@ -1,0 +1,209 @@
+//! Multi-application library suites.
+//!
+//! The paper's Library Generator takes *initial CNN models* (plural) as user
+//! input and builds one library per model/dataset pair — the evaluation uses
+//! four (CNVW2A2/CNVW1A2 × CIFAR-10/GTSRB). A [`LibrarySuite`] holds those
+//! libraries keyed by application name, so an Edge deployment serving
+//! several applications can instantiate a Runtime Manager per application
+//! from one designed artifact.
+
+use crate::error::AdaFlowError;
+use crate::library::{Library, LibraryGenerator};
+use crate::runtime::{RuntimeConfig, RuntimeManager};
+use adaflow_model::CnnGraph;
+use adaflow_nn::DatasetKind;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A set of generated libraries, one per application.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct LibrarySuite {
+    libraries: BTreeMap<String, Library>,
+}
+
+impl LibrarySuite {
+    /// Creates an empty suite.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Generates a suite from `(application, initial CNN, dataset)` triples
+    /// with one generator configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first library-generation failure; returns
+    /// [`AdaFlowError::Library`] on duplicate application names.
+    pub fn generate<I>(generator: &LibraryGenerator, applications: I) -> Result<Self, AdaFlowError>
+    where
+        I: IntoIterator<Item = (String, CnnGraph, DatasetKind)>,
+    {
+        let mut suite = Self::new();
+        for (app, graph, dataset) in applications {
+            let library = generator.generate(graph, dataset)?;
+            suite.insert(app, library)?;
+        }
+        Ok(suite)
+    }
+
+    /// Adds a library under an application name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdaFlowError::Library`] if the name is already taken.
+    pub fn insert(&mut self, app: impl Into<String>, library: Library) -> Result<(), AdaFlowError> {
+        let app = app.into();
+        if self.libraries.contains_key(&app) {
+            return Err(AdaFlowError::Library(format!(
+                "application {app} already registered"
+            )));
+        }
+        self.libraries.insert(app, library);
+        Ok(())
+    }
+
+    /// The library of one application.
+    #[must_use]
+    pub fn library(&self, app: &str) -> Option<&Library> {
+        self.libraries.get(app)
+    }
+
+    /// Registered application names, sorted.
+    #[must_use]
+    pub fn applications(&self) -> Vec<&str> {
+        self.libraries.keys().map(String::as_str).collect()
+    }
+
+    /// Number of registered applications.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.libraries.len()
+    }
+
+    /// Whether the suite holds no libraries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.libraries.is_empty()
+    }
+
+    /// Iterates over `(application, library)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Library)> {
+        self.libraries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Instantiates a Runtime Manager for one application.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdaFlowError::Library`] for an unknown application.
+    pub fn manager_for(
+        &self,
+        app: &str,
+        config: RuntimeConfig,
+    ) -> Result<RuntimeManager<'_>, AdaFlowError> {
+        let library = self
+            .library(app)
+            .ok_or_else(|| AdaFlowError::Library(format!("unknown application {app}")))?;
+        Ok(RuntimeManager::new(library, config))
+    }
+
+    /// Serializes the suite to JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdaFlowError::Export`] on serialization failure.
+    pub fn to_json(&self) -> Result<String, AdaFlowError> {
+        serde_json::to_string_pretty(self).map_err(|e| AdaFlowError::Export(e.to_string()))
+    }
+
+    /// Deserializes a suite from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdaFlowError::Export`] on malformed input.
+    pub fn from_json(json: &str) -> Result<Self, AdaFlowError> {
+        serde_json::from_str(json).map_err(|e| AdaFlowError::Export(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaflow_model::prelude::*;
+
+    fn small_generator() -> LibraryGenerator {
+        // Fewer rates keep the suite tests fast.
+        LibraryGenerator {
+            pruning_rates: vec![0.0, 0.25, 0.5],
+            ..LibraryGenerator::default_edge_setup()
+        }
+    }
+
+    fn two_app_suite() -> LibrarySuite {
+        LibrarySuite::generate(
+            &small_generator(),
+            [
+                (
+                    "surveillance".to_string(),
+                    topology::cnv_w2a2_cifar10().expect("builds"),
+                    DatasetKind::Cifar10,
+                ),
+                (
+                    "traffic-signs".to_string(),
+                    topology::cnv_w2a2_gtsrb().expect("builds"),
+                    DatasetKind::Gtsrb,
+                ),
+            ],
+        )
+        .expect("generates")
+    }
+
+    #[test]
+    fn generates_one_library_per_application() {
+        let suite = two_app_suite();
+        assert_eq!(suite.len(), 2);
+        assert_eq!(suite.applications(), vec!["surveillance", "traffic-signs"]);
+        assert_eq!(
+            suite.library("surveillance").expect("exists").dataset,
+            DatasetKind::Cifar10
+        );
+        assert!(suite.library("nope").is_none());
+    }
+
+    #[test]
+    fn duplicate_application_rejected() {
+        let mut suite = two_app_suite();
+        let lib = suite.library("surveillance").expect("exists").clone();
+        assert!(matches!(
+            suite.insert("surveillance", lib),
+            Err(AdaFlowError::Library(_))
+        ));
+    }
+
+    #[test]
+    fn manager_per_application() {
+        let suite = two_app_suite();
+        let mut m = suite
+            .manager_for("traffic-signs", RuntimeConfig::default())
+            .expect("manager");
+        let d = m.decide(0.0, 500.0);
+        assert!(d.model_name.contains("gtsrb"));
+        assert!(suite.manager_for("nope", RuntimeConfig::default()).is_err());
+    }
+
+    #[test]
+    fn suite_json_round_trip() {
+        let suite = two_app_suite();
+        let json = suite.to_json().expect("export");
+        let back = LibrarySuite::from_json(&json).expect("import");
+        assert_eq!(suite, back);
+    }
+
+    #[test]
+    fn empty_suite_behaves() {
+        let suite = LibrarySuite::new();
+        assert!(suite.is_empty());
+        assert_eq!(suite.iter().count(), 0);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests on the Runtime Manager's decision invariants.
+
+use adaflow::prelude::*;
+use adaflow_model::prelude::*;
+use adaflow_nn::DatasetKind;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// Library generation is expensive; share one across cases.
+fn library() -> &'static Library {
+    static LIB: OnceLock<Library> = OnceLock::new();
+    LIB.get_or_init(|| {
+        LibraryGenerator::default_edge_setup()
+            .generate(
+                topology::cnv_w2a2_cifar10().expect("builds"),
+                DatasetKind::Cifar10,
+            )
+            .expect("generates")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Under any workload sequence the manager never violates the accuracy
+    /// floor, never reports negative stalls, and its reported throughput
+    /// always matches the selected entry on the selected fabric.
+    #[test]
+    fn decisions_are_always_consistent(
+        workloads in proptest::collection::vec(0.0f64..2_000.0, 1..40),
+        dt in 0.05f64..5.0,
+    ) {
+        let lib = library();
+        let floor = lib.base_accuracy() - 10.0;
+        let mut manager = RuntimeManager::new(lib, RuntimeConfig::default());
+        let mut t = 0.0;
+        for fps in workloads {
+            let d = manager.decide(t, fps);
+            prop_assert!(d.accuracy >= floor - 1e-9);
+            prop_assert!(d.stall_s >= 0.0);
+            let entry = &lib.entries()[d.entry_index];
+            let expect = match d.accelerator {
+                AcceleratorKind::FlexiblePruning => entry.flexible_fps,
+                _ => entry.fixed.throughput_fps,
+            };
+            prop_assert!((d.throughput_fps - expect).abs() < 1e-9);
+            prop_assert_eq!(manager.current(), Some((d.entry_index, d.accelerator)));
+            t += dt;
+        }
+    }
+
+    /// Whenever a model can serve the workload within the threshold, the
+    /// selected model serves it too (the manager never under-provisions
+    /// when provisioning is possible).
+    #[test]
+    fn never_underprovisions_when_possible(fps in 0.0f64..10_000.0) {
+        let lib = library();
+        let manager = RuntimeManager::new(lib, RuntimeConfig::default());
+        for kind in [AcceleratorKind::FixedPruning, AcceleratorKind::FlexiblePruning] {
+            let idx = manager.select_model(fps, kind);
+            let chosen = &lib.entries()[idx];
+            let feasible = lib
+                .within_threshold(10.0)
+                .iter()
+                .any(|e| manager.throughput_of(e, kind) >= fps);
+            if feasible {
+                prop_assert!(
+                    manager.throughput_of(chosen, kind) >= fps,
+                    "workload {fps} was serveable but {} selected",
+                    chosen.name
+                );
+            }
+        }
+    }
+
+    /// Among entries that can serve the workload, the selection maximizes
+    /// accuracy (the paper's tie rule).
+    #[test]
+    fn selects_most_accurate_matching_model(fps in 0.0f64..3_000.0) {
+        let lib = library();
+        let manager = RuntimeManager::new(lib, RuntimeConfig::default());
+        let idx = manager.select_model(fps, AcceleratorKind::FixedPruning);
+        let chosen = &lib.entries()[idx];
+        for e in lib.within_threshold(10.0) {
+            if e.fixed.throughput_fps >= fps && chosen.fixed.throughput_fps >= fps {
+                prop_assert!(chosen.accuracy >= e.accuracy - 1e-9);
+            }
+        }
+    }
+
+    /// Repeating the same conditions is always a free no-op.
+    #[test]
+    fn idempotent_decisions(fps in 0.0f64..2_000.0, reps in 2usize..6) {
+        let lib = library();
+        let mut manager = RuntimeManager::new(lib, RuntimeConfig::default());
+        let first = manager.decide(0.0, fps);
+        for k in 1..reps {
+            let d = manager.decide(k as f64 * 2.0, fps);
+            prop_assert_eq!(d.entry_index, first.entry_index);
+            prop_assert_eq!(d.switch, SwitchKind::None);
+            prop_assert_eq!(d.stall_s, 0.0);
+        }
+    }
+}

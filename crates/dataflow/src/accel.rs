@@ -1,0 +1,473 @@
+//! Dataflow accelerator compilation and performance estimation.
+
+use crate::error::DataflowError;
+use crate::module::{ModuleKind, ModuleSpec};
+use crate::DEFAULT_CLOCK_HZ;
+use adaflow_model::{CnnGraph, Layer};
+use adaflow_pruning::FinnConfig;
+use serde::{Deserialize, Serialize};
+
+/// The three accelerator families the paper evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AcceleratorKind {
+    /// The original FINN accelerator, synthesized for the unpruned model.
+    Finn,
+    /// A Fixed-Pruning accelerator: synthesized for one particular pruned
+    /// model; switching models requires an FPGA reconfiguration.
+    FixedPruning,
+    /// The Flexible-Pruning accelerator: synthesized for the worst case with
+    /// runtime-controllable channel counts; switches models without
+    /// reconfiguration at the cost of extra logic.
+    FlexiblePruning,
+}
+
+impl AcceleratorKind {
+    /// Whether this kind instantiates the flexible HLS templates.
+    #[must_use]
+    pub fn is_flexible(&self) -> bool {
+        matches!(self, AcceleratorKind::FlexiblePruning)
+    }
+
+    /// Short name used in reports.
+    #[must_use]
+    pub fn short_name(&self) -> &'static str {
+        match self {
+            AcceleratorKind::Finn => "finn",
+            AcceleratorKind::FixedPruning => "fixed",
+            AcceleratorKind::FlexiblePruning => "flexible",
+        }
+    }
+}
+
+impl std::fmt::Display for AcceleratorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+/// Per-module performance breakdown.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerfReport {
+    /// Module name and its steady-state cycles per frame, in pipeline order.
+    pub module_cycles: Vec<(String, u64)>,
+    /// Initiation interval: cycles between successive frame completions.
+    pub initiation_interval: u64,
+    /// End-to-end latency of one frame through the empty pipeline.
+    pub latency_cycles: u64,
+    /// Steady-state throughput at the accelerator clock.
+    pub throughput_fps: f64,
+}
+
+/// A compiled dataflow accelerator.
+///
+/// Holds the module pipeline and answers performance queries. Resource and
+/// power estimation live in `adaflow-hls`, which consumes [`ModuleSpec`]s.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DataflowAccelerator {
+    name: String,
+    kind: AcceleratorKind,
+    clock_hz: u64,
+    modules: Vec<ModuleSpec>,
+    /// Channel vector the accelerator was synthesized for (worst case for
+    /// flexible accelerators).
+    synth_channels: Vec<usize>,
+}
+
+impl DataflowAccelerator {
+    /// Compiles `graph` with folding `config` into an accelerator of the
+    /// given kind, at the default 100 MHz clock.
+    ///
+    /// For [`AcceleratorKind::FlexiblePruning`] the graph is the *worst
+    /// case* (unpruned) model; runtime configurations are evaluated with
+    /// [`DataflowAccelerator::performance_for`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataflowError::MissingFolding`] when an MVTU layer lacks a
+    /// folding entry, or [`DataflowError::Unmappable`] for unsupported
+    /// structures.
+    pub fn compile(
+        graph: &CnnGraph,
+        config: &FinnConfig,
+        kind: AcceleratorKind,
+    ) -> Result<Self, DataflowError> {
+        config.validate(graph)?;
+        let flexible = kind.is_flexible();
+        let mut modules = Vec::new();
+        for node in graph.iter() {
+            match &node.layer {
+                Layer::Conv2d(c) => {
+                    let folding = config
+                        .folding(node.id)
+                        .ok_or_else(|| DataflowError::MissingFolding(node.name.clone()))?;
+                    let out_pixels = node.output_shape.spatial();
+                    modules.push(ModuleSpec {
+                        name: format!("{}_swu", node.name),
+                        kind: ModuleKind::Swu {
+                            in_channels: c.in_channels,
+                            kernel: c.kernel,
+                            out_pixels,
+                            simd: folding.simd,
+                            act_bits: c.quant.act_bits,
+                        },
+                        flexible,
+                    });
+                    modules.push(ModuleSpec {
+                        name: format!("{}_mvtu", node.name),
+                        kind: ModuleKind::Mvtu {
+                            rows: c.out_channels,
+                            cols: c.kernel * c.kernel * c.in_channels,
+                            pe: folding.pe,
+                            simd: folding.simd,
+                            out_pixels,
+                            weight_bits: c.quant.weight_bits,
+                            act_bits: c.quant.act_bits,
+                            threshold_levels: next_threshold_levels(graph, node.id.0),
+                        },
+                        flexible,
+                    });
+                }
+                Layer::Dense(d) => {
+                    let folding = config
+                        .folding(node.id)
+                        .ok_or_else(|| DataflowError::MissingFolding(node.name.clone()))?;
+                    modules.push(ModuleSpec {
+                        name: format!("{}_mvtu", node.name),
+                        kind: ModuleKind::Mvtu {
+                            rows: d.out_features,
+                            cols: d.in_features,
+                            pe: folding.pe,
+                            simd: folding.simd,
+                            out_pixels: 1,
+                            weight_bits: d.quant.weight_bits,
+                            act_bits: d.quant.act_bits,
+                            threshold_levels: next_threshold_levels(graph, node.id.0),
+                        },
+                        flexible,
+                    });
+                }
+                Layer::MaxPool2d(p) => {
+                    modules.push(ModuleSpec {
+                        name: node.name.clone(),
+                        kind: ModuleKind::MaxPool {
+                            channels: node.input_shape.channels,
+                            kernel: p.kernel,
+                            in_pixels: node.input_shape.spatial(),
+                            act_bits: graph.quant().map_or(2, |q| q.act_bits),
+                        },
+                        flexible,
+                    });
+                }
+                Layer::MultiThreshold(_) => {
+                    // Folded into the preceding MVTU.
+                }
+                Layer::LabelSelect(l) => {
+                    modules.push(ModuleSpec {
+                        name: node.name.clone(),
+                        kind: ModuleKind::LabelSelect { classes: l.classes },
+                        // LabelSelect has no channel-dependent loops; it is
+                        // identical in flexible and fixed accelerators.
+                        flexible: false,
+                    });
+                }
+            }
+        }
+        if modules.is_empty() {
+            return Err(DataflowError::Unmappable {
+                layer: "<graph>".into(),
+                reason: "graph produced no hardware modules".into(),
+            });
+        }
+        Ok(Self {
+            name: format!("{}-{}", graph.name(), kind.short_name()),
+            kind,
+            clock_hz: DEFAULT_CLOCK_HZ,
+            modules,
+            synth_channels: graph.conv_channels(),
+        })
+    }
+
+    /// Accelerator instance name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Accelerator family.
+    #[must_use]
+    pub fn kind(&self) -> AcceleratorKind {
+        self.kind
+    }
+
+    /// Clock frequency in Hz.
+    #[must_use]
+    pub fn clock_hz(&self) -> u64 {
+        self.clock_hz
+    }
+
+    /// Returns a copy clocked at `clock_hz`.
+    #[must_use]
+    pub fn with_clock(mut self, clock_hz: u64) -> Self {
+        assert!(clock_hz > 0, "clock must be nonzero");
+        self.clock_hz = clock_hz;
+        self
+    }
+
+    /// The module pipeline in dataflow order.
+    #[must_use]
+    pub fn modules(&self) -> &[ModuleSpec] {
+        &self.modules
+    }
+
+    /// Channel vector the accelerator was synthesized for.
+    #[must_use]
+    pub fn synth_channels(&self) -> &[usize] {
+        &self.synth_channels
+    }
+
+    /// Initiation interval: the slowest module's cycles per frame.
+    #[must_use]
+    pub fn initiation_interval(&self) -> u64 {
+        self.modules
+            .iter()
+            .map(ModuleSpec::cycles_per_frame)
+            .max()
+            .unwrap_or(1)
+    }
+
+    /// Latency of one frame through the empty pipeline (sum of module
+    /// cycles).
+    #[must_use]
+    pub fn latency_cycles(&self) -> u64 {
+        self.modules.iter().map(ModuleSpec::cycles_per_frame).sum()
+    }
+
+    /// Steady-state throughput in frames per second.
+    #[must_use]
+    pub fn throughput_fps(&self) -> f64 {
+        self.clock_hz as f64 / self.initiation_interval() as f64
+    }
+
+    /// Full performance report.
+    #[must_use]
+    pub fn performance(&self) -> PerfReport {
+        PerfReport {
+            module_cycles: self
+                .modules
+                .iter()
+                .map(|m| (m.name.clone(), m.cycles_per_frame()))
+                .collect(),
+            initiation_interval: self.initiation_interval(),
+            latency_cycles: self.latency_cycles(),
+            throughput_fps: self.throughput_fps(),
+        }
+    }
+
+    /// Performance of this *flexible* accelerator when loaded with a pruned
+    /// model: the folding math is evaluated on the loaded model's channel
+    /// counts (fewer pipeline iterations, Fig. 3a) while the flexible cycle
+    /// overheads still apply.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataflowError::BadConfiguration`] when called on a
+    /// non-flexible accelerator or when `model` exceeds the synthesized
+    /// worst case.
+    pub fn performance_for(
+        &self,
+        model: &CnnGraph,
+        config: &FinnConfig,
+    ) -> Result<PerfReport, DataflowError> {
+        if !self.kind.is_flexible() {
+            return Err(DataflowError::BadConfiguration(
+                "only flexible accelerators accept runtime model configurations".into(),
+            ));
+        }
+        let loaded = model.conv_channels();
+        if loaded.len() != self.synth_channels.len() {
+            return Err(DataflowError::BadConfiguration(format!(
+                "model has {} conv layers, fabric was synthesized for {}",
+                loaded.len(),
+                self.synth_channels.len()
+            )));
+        }
+        for (l, w) in loaded.iter().zip(&self.synth_channels) {
+            if l > w {
+                return Err(DataflowError::BadConfiguration(format!(
+                    "runtime channels {l} exceed synthesized worst case {w}"
+                )));
+            }
+        }
+        // Folding arithmetic on the loaded model, flexible overheads on.
+        let configured = Self::compile(model, config, AcceleratorKind::FlexiblePruning)?
+            .with_clock(self.clock_hz);
+        Ok(configured.performance())
+    }
+}
+
+/// Threshold levels of the MultiThreshold immediately following layer
+/// `idx`, if any (FINN folds it into the MVTU).
+fn next_threshold_levels(graph: &CnnGraph, idx: usize) -> usize {
+    graph
+        .nodes()
+        .get(idx + 1)
+        .and_then(|n| match &n.layer {
+            Layer::MultiThreshold(t) => Some(t.table.levels()),
+            _ => None,
+        })
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaflow_model::prelude::*;
+    use adaflow_pruning::DataflowAwarePruner;
+
+    fn cnv_setup() -> (CnnGraph, FinnConfig) {
+        let g = topology::cnv_w2a2_cifar10().expect("builds");
+        let cfg = FinnConfig::cnv_reference(&g).expect("valid");
+        (g, cfg)
+    }
+
+    #[test]
+    fn cnv_module_count() {
+        let (g, cfg) = cnv_setup();
+        let accel =
+            DataflowAccelerator::compile(&g, &cfg, AcceleratorKind::Finn).expect("compiles");
+        // 6 convs -> 12 modules (SWU+MVTU), 2 pools, 3 dense MVTUs, 1 labelselect.
+        assert_eq!(accel.modules().len(), 12 + 2 + 3 + 1);
+    }
+
+    #[test]
+    fn cnv_baseline_throughput_in_expected_band() {
+        // With the reference folding, conv2 dominates: 4·72·784 cycles
+        // ≈ 226k → ~443 FPS at 100 MHz. The paper's Edge server workload is
+        // 600 FPS peak, so the unpruned FINN under-serves — exactly the
+        // premise of Fig. 1(b).
+        let (g, cfg) = cnv_setup();
+        let accel =
+            DataflowAccelerator::compile(&g, &cfg, AcceleratorKind::Finn).expect("compiles");
+        let fps = accel.throughput_fps();
+        assert!((400.0..500.0).contains(&fps), "baseline FPS {fps}");
+    }
+
+    #[test]
+    fn initiation_interval_is_max_module() {
+        let (g, cfg) = cnv_setup();
+        let accel =
+            DataflowAccelerator::compile(&g, &cfg, AcceleratorKind::Finn).expect("compiles");
+        let perf = accel.performance();
+        let max = perf.module_cycles.iter().map(|(_, c)| *c).max().unwrap();
+        assert_eq!(perf.initiation_interval, max);
+        assert!(perf.latency_cycles >= perf.initiation_interval);
+    }
+
+    #[test]
+    fn pruned_fixed_is_faster() {
+        let (g, cfg) = cnv_setup();
+        let baseline =
+            DataflowAccelerator::compile(&g, &cfg, AcceleratorKind::Finn).expect("compiles");
+        let pruner = DataflowAwarePruner::new(cfg.clone());
+        let pruned = pruner.prune(&g, 0.25).expect("prunes");
+        let fixed =
+            DataflowAccelerator::compile(&pruned.graph, &cfg, AcceleratorKind::FixedPruning)
+                .expect("compiles");
+        assert!(fixed.throughput_fps() > baseline.throughput_fps());
+    }
+
+    #[test]
+    fn flexible_latency_overhead_within_paper_bounds() {
+        let (g, cfg) = cnv_setup();
+        let fixed =
+            DataflowAccelerator::compile(&g, &cfg, AcceleratorKind::FixedPruning).expect("ok");
+        let flex =
+            DataflowAccelerator::compile(&g, &cfg, AcceleratorKind::FlexiblePruning).expect("ok");
+        let rel = flex.latency_cycles() as f64 / fixed.latency_cycles() as f64 - 1.0;
+        assert!(rel > 0.0, "flexible must cost something");
+        assert!(
+            rel <= 0.037,
+            "latency overhead {rel} above the paper's 3.7% max"
+        );
+    }
+
+    #[test]
+    fn flexible_performance_for_pruned_model() {
+        let (g, cfg) = cnv_setup();
+        let flex =
+            DataflowAccelerator::compile(&g, &cfg, AcceleratorKind::FlexiblePruning).expect("ok");
+        let pruner = DataflowAwarePruner::new(cfg.clone());
+        let pruned = pruner.prune(&g, 0.5).expect("prunes");
+        let perf = flex
+            .performance_for(&pruned.graph, &cfg)
+            .expect("configures");
+        assert!(perf.throughput_fps > flex.throughput_fps());
+    }
+
+    #[test]
+    fn performance_for_rejects_fixed_accelerators() {
+        let (g, cfg) = cnv_setup();
+        let fixed =
+            DataflowAccelerator::compile(&g, &cfg, AcceleratorKind::FixedPruning).expect("ok");
+        assert!(matches!(
+            fixed.performance_for(&g, &cfg),
+            Err(DataflowError::BadConfiguration(_))
+        ));
+    }
+
+    #[test]
+    fn performance_for_rejects_oversized_model() {
+        let (g, cfg) = cnv_setup();
+        let pruner = DataflowAwarePruner::new(cfg.clone());
+        let pruned = pruner.prune(&g, 0.5).expect("prunes");
+        // Fabric synthesized for the *pruned* model cannot host the full one.
+        let small_flex =
+            DataflowAccelerator::compile(&pruned.graph, &cfg, AcceleratorKind::FlexiblePruning)
+                .expect("ok");
+        assert!(small_flex.performance_for(&g, &cfg).is_err());
+    }
+
+    #[test]
+    fn clock_scales_throughput() {
+        let (g, cfg) = cnv_setup();
+        let a = DataflowAccelerator::compile(&g, &cfg, AcceleratorKind::Finn).expect("ok");
+        let double = a.clone().with_clock(200_000_000);
+        let ratio = double.throughput_fps() / a.throughput_fps();
+        assert!((ratio - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn thresholds_folded_into_mvtus() {
+        let (g, cfg) = cnv_setup();
+        let accel = DataflowAccelerator::compile(&g, &cfg, AcceleratorKind::Finn).expect("ok");
+        // No standalone threshold modules; conv MVTUs carry 3 levels (W2A2).
+        let mvtu_levels: Vec<usize> = accel
+            .modules()
+            .iter()
+            .filter_map(|m| match &m.kind {
+                ModuleKind::Mvtu {
+                    threshold_levels, ..
+                } => Some(*threshold_levels),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(mvtu_levels.len(), 9);
+        assert!(mvtu_levels[..8].iter().all(|&l| l == 3));
+        assert_eq!(mvtu_levels[8], 0, "classifier MVTU has no thresholds");
+    }
+
+    #[test]
+    fn tiny_graph_compiles_for_all_kinds() {
+        let g = topology::tiny(QuantSpec::w2a2(), 4).expect("builds");
+        let cfg = FinnConfig::auto(&g).expect("auto");
+        for kind in [
+            AcceleratorKind::Finn,
+            AcceleratorKind::FixedPruning,
+            AcceleratorKind::FlexiblePruning,
+        ] {
+            let a = DataflowAccelerator::compile(&g, &cfg, kind).expect("compiles");
+            assert!(a.throughput_fps() > 0.0);
+            assert_eq!(a.kind(), kind);
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Error types for dataflow compilation.
+
+use adaflow_model::ModelError;
+use adaflow_pruning::PruneError;
+use thiserror::Error;
+
+/// Errors produced while compiling a graph to a dataflow accelerator or
+/// configuring one at runtime.
+#[derive(Debug, Clone, PartialEq, Error)]
+#[non_exhaustive]
+pub enum DataflowError {
+    /// The folding configuration is missing an entry for an MVTU layer.
+    #[error("no folding entry for layer {0}")]
+    MissingFolding(String),
+
+    /// The graph contains a structure the mapper cannot lower.
+    #[error("cannot map layer {layer}: {reason}")]
+    Unmappable {
+        /// Offending layer name.
+        layer: String,
+        /// Why it cannot be mapped.
+        reason: String,
+    },
+
+    /// A runtime channel configuration is illegal for this accelerator.
+    #[error("illegal runtime configuration: {0}")]
+    BadConfiguration(String),
+
+    /// Underlying graph error.
+    #[error(transparent)]
+    Model(#[from] ModelError),
+
+    /// Underlying folding-config error.
+    #[error(transparent)]
+    Prune(#[from] PruneError),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DataflowError>();
+    }
+
+    #[test]
+    fn messages_are_lowercase() {
+        let e = DataflowError::MissingFolding("conv1".into());
+        assert_eq!(e.to_string(), "no folding entry for layer conv1");
+    }
+}

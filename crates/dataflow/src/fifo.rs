@@ -1,0 +1,121 @@
+//! Inter-module FIFO sizing.
+//!
+//! FINN inserts stream FIFOs between dataflow layers and sizes them so the
+//! pipeline sustains its bottleneck-limited initiation interval. This module
+//! reproduces that design step on the frame-granular stream model: it finds
+//! the minimal uniform FIFO depth at which the simulated steady-state II
+//! equals the analytical bottleneck II, and reports the fill latency and
+//! buffering cost at that depth.
+
+use crate::accel::DataflowAccelerator;
+use crate::stream::StreamSimulator;
+use serde::{Deserialize, Serialize};
+
+/// Result of the FIFO sizing search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FifoSizing {
+    /// Minimal uniform FIFO depth (frames of slack per edge) sustaining the
+    /// bottleneck II.
+    pub depth: usize,
+    /// The bottleneck (analytical) initiation interval in cycles.
+    pub target_ii: u64,
+    /// Observed II at the chosen depth (equals `target_ii`).
+    pub achieved_ii: u64,
+    /// Observed II at depth 1, for comparison (the cost of under-buffering).
+    pub depth1_ii: u64,
+    /// Pipeline fill latency at the chosen depth, cycles.
+    pub fill_latency: u64,
+    /// Number of buffered frames across the pipeline at the chosen depth
+    /// (edges × depth) — proportional to FIFO memory cost.
+    pub buffered_frames: usize,
+}
+
+/// Frames simulated per sizing probe; enough to reach steady state for any
+/// pipeline whose depth search stays below `PROBE_FRAMES / 2`.
+const PROBE_FRAMES: usize = 48;
+/// Upper bound on the depth search (a chain pipeline never needs more).
+const MAX_DEPTH: usize = 16;
+
+/// Sizes the inter-module FIFOs of `accel`.
+///
+/// # Panics
+///
+/// Panics if no depth up to an internal bound sustains the bottleneck II
+/// (cannot happen for chain pipelines, where depth 2 always suffices; the
+/// bound guards future non-chain topologies).
+#[must_use]
+pub fn size_fifos(accel: &DataflowAccelerator) -> FifoSizing {
+    let target_ii = accel.initiation_interval();
+    let depth1 = StreamSimulator::new(accel, 1).run(PROBE_FRAMES);
+    let mut chosen = None;
+    for depth in 1..=MAX_DEPTH {
+        let stats = StreamSimulator::new(accel, depth).run(PROBE_FRAMES);
+        if stats.observed_ii == target_ii {
+            chosen = Some((depth, stats));
+            break;
+        }
+    }
+    let (depth, stats) = chosen.expect("a chain pipeline reaches its bottleneck II by depth 2");
+    let edges = accel.modules().len().saturating_sub(1);
+    FifoSizing {
+        depth,
+        target_ii,
+        achieved_ii: stats.observed_ii,
+        depth1_ii: depth1.observed_ii,
+        fill_latency: stats.first_frame_cycles,
+        buffered_frames: edges * depth,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accel::AcceleratorKind;
+    use adaflow_model::prelude::*;
+    use adaflow_pruning::FinnConfig;
+
+    fn cnv_accel() -> DataflowAccelerator {
+        let g = topology::cnv_w2a2_cifar10().expect("builds");
+        let cfg = FinnConfig::cnv_reference(&g).expect("valid");
+        DataflowAccelerator::compile(&g, &cfg, AcceleratorKind::Finn).expect("compiles")
+    }
+
+    #[test]
+    fn cnv_needs_depth_two() {
+        let sizing = size_fifos(&cnv_accel());
+        assert_eq!(sizing.depth, 2);
+        assert_eq!(sizing.achieved_ii, sizing.target_ii);
+        assert!(
+            sizing.depth1_ii > sizing.target_ii,
+            "depth 1 must under-perform"
+        );
+    }
+
+    #[test]
+    fn fill_latency_at_least_sum_of_modules() {
+        let accel = cnv_accel();
+        let sizing = size_fifos(&accel);
+        assert!(sizing.fill_latency >= accel.latency_cycles());
+    }
+
+    #[test]
+    fn buffered_frames_counts_edges() {
+        let accel = cnv_accel();
+        let sizing = size_fifos(&accel);
+        assert_eq!(
+            sizing.buffered_frames,
+            (accel.modules().len() - 1) * sizing.depth
+        );
+    }
+
+    #[test]
+    fn balanced_pipeline_is_fine_at_depth_one() {
+        let g = topology::tiny(QuantSpec::w2a2(), 4).expect("builds");
+        let cfg = FinnConfig::auto(&g).expect("auto");
+        let accel =
+            DataflowAccelerator::compile(&g, &cfg, AcceleratorKind::Finn).expect("compiles");
+        let sizing = size_fifos(&accel);
+        assert!(sizing.depth <= 2);
+        assert_eq!(sizing.achieved_ii, accel.initiation_interval());
+    }
+}

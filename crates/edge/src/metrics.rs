@@ -1,0 +1,196 @@
+//! Run metrics and traces.
+
+use serde::{Deserialize, Serialize};
+
+/// Aggregate metrics of one (or the mean of many) serving run(s).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// Frames offered by the workload.
+    pub offered: f64,
+    /// Frames processed by the accelerator.
+    pub processed: f64,
+    /// Frames lost (buffer overflow or left queued at the end).
+    pub lost: f64,
+    /// Frame loss percentage (`lost / offered`).
+    pub frame_loss_pct: f64,
+    /// Quality of Experience: accuracy × percentage of processed frames
+    /// (the paper's §V definition), in percent.
+    pub qoe_pct: f64,
+    /// Processing-weighted mean accuracy, percent.
+    pub mean_accuracy_pct: f64,
+    /// Largest accuracy drop versus the unpruned model observed while
+    /// processing, percentage points.
+    pub max_accuracy_drop: f64,
+    /// Time-averaged board power, watts.
+    pub avg_power_w: f64,
+    /// Total energy over the run, joules.
+    pub energy_j: f64,
+    /// Power efficiency: processed inferences per joule.
+    pub inferences_per_joule: f64,
+    /// Number of CNN model switches performed.
+    pub model_switches: f64,
+    /// Number of FPGA reconfigurations performed.
+    pub reconfigurations: f64,
+    /// Number of fast (flexible) model switches performed.
+    pub flexible_switches: f64,
+    /// Time-averaged queue occupancy in frames.
+    pub mean_queue_frames: f64,
+    /// Mean sojourn time of a processed frame (queueing delay by Little's
+    /// law plus one service time), milliseconds.
+    pub mean_latency_ms: f64,
+}
+
+impl RunMetrics {
+    /// Element-wise mean of several runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `runs` is empty.
+    #[must_use]
+    pub fn mean(runs: &[RunMetrics]) -> RunMetrics {
+        assert!(!runs.is_empty(), "need at least one run");
+        let n = runs.len() as f64;
+        let mut m = RunMetrics::default();
+        for r in runs {
+            m.offered += r.offered;
+            m.processed += r.processed;
+            m.lost += r.lost;
+            m.frame_loss_pct += r.frame_loss_pct;
+            m.qoe_pct += r.qoe_pct;
+            m.mean_accuracy_pct += r.mean_accuracy_pct;
+            m.max_accuracy_drop = m.max_accuracy_drop.max(r.max_accuracy_drop);
+            m.avg_power_w += r.avg_power_w;
+            m.energy_j += r.energy_j;
+            m.inferences_per_joule += r.inferences_per_joule;
+            m.model_switches += r.model_switches;
+            m.reconfigurations += r.reconfigurations;
+            m.flexible_switches += r.flexible_switches;
+            m.mean_queue_frames += r.mean_queue_frames;
+            m.mean_latency_ms += r.mean_latency_ms;
+        }
+        m.offered /= n;
+        m.processed /= n;
+        m.lost /= n;
+        m.frame_loss_pct /= n;
+        m.qoe_pct /= n;
+        m.mean_accuracy_pct /= n;
+        m.avg_power_w /= n;
+        m.energy_j /= n;
+        m.inferences_per_joule /= n;
+        m.model_switches /= n;
+        m.reconfigurations /= n;
+        m.flexible_switches /= n;
+        m.mean_queue_frames /= n;
+        m.mean_latency_ms /= n;
+        m
+    }
+}
+
+/// Renders a trace as CSV (header + one line per point), for plotting the
+/// Fig. 1(b)/Fig. 6 curves with external tools.
+#[must_use]
+pub fn trace_to_csv(trace: &[TracePoint]) -> String {
+    let mut out = String::from(
+        "t_s,workload_fps,throughput_fps,queue_frames,cumulative_loss_pct,cumulative_qoe_pct,model,accelerator\n",
+    );
+    for p in trace {
+        out.push_str(&format!(
+            "{:.3},{:.2},{:.2},{:.2},{:.4},{:.4},{},{}\n",
+            p.t_s,
+            p.workload_fps,
+            p.throughput_fps,
+            p.queue_frames,
+            p.cumulative_loss_pct,
+            p.cumulative_qoe_pct,
+            p.model,
+            p.accelerator
+        ));
+    }
+    out
+}
+
+/// One sampled point of a serving trace (for the Fig. 1(b)/Fig. 6 curves).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TracePoint {
+    /// Sample time in seconds.
+    pub t_s: f64,
+    /// Incoming workload at this time, FPS.
+    pub workload_fps: f64,
+    /// Serving throughput (0 while stalled), FPS.
+    pub throughput_fps: f64,
+    /// Queue occupancy in frames.
+    pub queue_frames: f64,
+    /// Cumulative frame loss percentage up to this time.
+    pub cumulative_loss_pct: f64,
+    /// Cumulative QoE percentage up to this time.
+    pub cumulative_qoe_pct: f64,
+    /// Name of the model serving at this time.
+    pub model: String,
+    /// Accelerator kind serving at this time (`finn`/`fixed`/`flexible`).
+    pub accelerator: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_averages_fields() {
+        let a = RunMetrics {
+            frame_loss_pct: 10.0,
+            qoe_pct: 80.0,
+            ..RunMetrics::default()
+        };
+        let b = RunMetrics {
+            frame_loss_pct: 20.0,
+            qoe_pct: 60.0,
+            ..RunMetrics::default()
+        };
+        let m = RunMetrics::mean(&[a, b]);
+        assert!((m.frame_loss_pct - 15.0).abs() < 1e-12);
+        assert!((m.qoe_pct - 70.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_takes_max_of_max_drop() {
+        let a = RunMetrics {
+            max_accuracy_drop: 4.0,
+            ..RunMetrics::default()
+        };
+        let b = RunMetrics {
+            max_accuracy_drop: 7.0,
+            ..RunMetrics::default()
+        };
+        assert_eq!(RunMetrics::mean(&[a, b]).max_accuracy_drop, 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one run")]
+    fn mean_of_nothing_panics() {
+        let _ = RunMetrics::mean(&[]);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let trace = vec![TracePoint {
+            t_s: 0.1,
+            workload_fps: 600.0,
+            throughput_fps: 443.0,
+            queue_frames: 3.0,
+            cumulative_loss_pct: 0.5,
+            cumulative_qoe_pct: 80.0,
+            model: "m".into(),
+            accelerator: "fixed".into(),
+        }];
+        let csv = trace_to_csv(&trace);
+        let mut lines = csv.lines();
+        assert!(lines
+            .next()
+            .expect("header")
+            .starts_with("t_s,workload_fps"));
+        let row = lines.next().expect("row");
+        assert!(row.contains("600.00"));
+        assert!(row.ends_with("m,fixed"));
+        assert_eq!(lines.next(), None);
+    }
+}

@@ -1,0 +1,335 @@
+//! Serving policies: how the Edge server reacts to workload changes.
+
+use adaflow::{Library, RuntimeConfig, RuntimeManager, SwitchKind};
+use adaflow_dataflow::AcceleratorKind;
+use adaflow_hls::PowerModel;
+use std::time::Duration;
+
+/// The serving state a policy establishes after a workload change.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingState {
+    /// Serving throughput once the stall (if any) completes.
+    pub throughput_fps: f64,
+    /// Seconds of service suspension applying this state (reconfiguration
+    /// or flexible weight reload).
+    pub stall_s: f64,
+    /// TOP-1 accuracy of the model now serving, percent.
+    pub accuracy: f64,
+    /// Power model of the loaded fabric.
+    pub power: PowerModel,
+    /// Activity factor of the loaded fabric (1.0 for fixed accelerators).
+    pub activity: f64,
+    /// Name of the loaded model.
+    pub model: String,
+    /// Loaded accelerator kind.
+    pub accelerator: AcceleratorKind,
+    /// Whether this change switched the CNN model.
+    pub model_switched: bool,
+    /// Whether this change reconfigured the FPGA.
+    pub reconfigured: bool,
+}
+
+/// A serving policy driven by workload-change events.
+pub trait ServerPolicy {
+    /// Policy display name.
+    fn name(&self) -> &str;
+
+    /// Reacts to a workload estimate observed at `now_s`.
+    fn on_workload_change(&mut self, now_s: f64, incoming_fps: f64) -> ServingState;
+}
+
+/// The static baseline: the original FINN accelerator, loaded once and
+/// never changed.
+#[derive(Debug, Clone)]
+pub struct OriginalFinnPolicy<'l> {
+    library: &'l Library,
+    loaded: bool,
+}
+
+impl<'l> OriginalFinnPolicy<'l> {
+    /// Creates the baseline policy over a library (uses only its baseline
+    /// accelerator and unpruned accuracy).
+    #[must_use]
+    pub fn new(library: &'l Library) -> Self {
+        Self {
+            library,
+            loaded: false,
+        }
+    }
+}
+
+impl ServerPolicy for OriginalFinnPolicy<'_> {
+    fn name(&self) -> &str {
+        "original-finn"
+    }
+
+    fn on_workload_change(&mut self, _now_s: f64, _incoming_fps: f64) -> ServingState {
+        self.loaded = true;
+        let baseline = &self.library.baseline;
+        ServingState {
+            throughput_fps: baseline.throughput_fps,
+            stall_s: 0.0, // assumed resident before the evaluation window
+            accuracy: self.library.base_accuracy(),
+            power: baseline.power,
+            activity: 1.0,
+            model: self.library.initial_model.clone(),
+            accelerator: AcceleratorKind::Finn,
+            model_switched: false,
+            reconfigured: false,
+        }
+    }
+}
+
+/// The Fig. 1(b) policy: model switching restricted to fixed accelerators,
+/// paying a configurable reconfiguration time per switch.
+#[derive(Debug, Clone)]
+pub struct PruningReconfPolicy<'l> {
+    library: &'l Library,
+    manager: RuntimeManager<'l>,
+    reconfiguration_time: Duration,
+    current: Option<usize>,
+}
+
+impl<'l> PruningReconfPolicy<'l> {
+    /// Creates the policy with the paper's default 10 % accuracy threshold
+    /// and an explicit reconfiguration time (0 ms models the ideal switch).
+    #[must_use]
+    pub fn new(library: &'l Library, reconfiguration_time: Duration) -> Self {
+        Self {
+            library,
+            manager: RuntimeManager::new(library, RuntimeConfig::default()),
+            reconfiguration_time,
+            current: None,
+        }
+    }
+}
+
+impl ServerPolicy for PruningReconfPolicy<'_> {
+    fn name(&self) -> &str {
+        "pruning-reconf"
+    }
+
+    fn on_workload_change(&mut self, _now_s: f64, incoming_fps: f64) -> ServingState {
+        let idx = self
+            .manager
+            .select_model(incoming_fps, AcceleratorKind::FixedPruning);
+        let entry = &self.library.entries()[idx];
+        // The very first load is assumed resident (like the baseline);
+        // subsequent switches pay the reconfiguration time and count.
+        let switched = self.current.is_some() && self.current != Some(idx);
+        let stall_s = if switched {
+            self.reconfiguration_time.as_secs_f64()
+        } else {
+            0.0
+        };
+        self.current = Some(idx);
+        ServingState {
+            throughput_fps: entry.fixed.throughput_fps,
+            stall_s,
+            accuracy: entry.accuracy,
+            power: entry.fixed.power,
+            activity: 1.0,
+            model: entry.name.clone(),
+            accelerator: AcceleratorKind::FixedPruning,
+            model_switched: switched,
+            reconfigured: switched && stall_s > 0.0,
+        }
+    }
+}
+
+/// The full AdaFlow policy: wraps the [`RuntimeManager`].
+#[derive(Debug, Clone)]
+pub struct AdaFlowPolicy<'l> {
+    library: &'l Library,
+    manager: RuntimeManager<'l>,
+    first: bool,
+    /// Scheduled accuracy-threshold changes `(time, points)`, sorted by
+    /// time; applied before the decision at the first event at or past the
+    /// scheduled instant (the paper's user-driven threshold events).
+    threshold_schedule: Vec<(f64, f64)>,
+}
+
+impl<'l> AdaFlowPolicy<'l> {
+    /// Creates the policy from a library and runtime configuration.
+    #[must_use]
+    pub fn new(library: &'l Library, config: RuntimeConfig) -> Self {
+        Self {
+            library,
+            manager: RuntimeManager::new(library, config),
+            first: true,
+            threshold_schedule: Vec::new(),
+        }
+    }
+
+    /// Schedules accuracy-threshold changes over the run: each `(t, points)`
+    /// pair updates the manager's threshold at the first decision at or
+    /// after `t`.
+    #[must_use]
+    pub fn with_threshold_schedule(mut self, mut schedule: Vec<(f64, f64)>) -> Self {
+        schedule.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("times are finite"));
+        self.threshold_schedule = schedule;
+        self
+    }
+
+    /// Access to the underlying manager (e.g. to change the threshold
+    /// mid-run).
+    pub fn manager_mut(&mut self) -> &mut RuntimeManager<'l> {
+        &mut self.manager
+    }
+}
+
+impl ServerPolicy for AdaFlowPolicy<'_> {
+    fn name(&self) -> &str {
+        "adaflow"
+    }
+
+    fn on_workload_change(&mut self, now_s: f64, incoming_fps: f64) -> ServingState {
+        while let Some(&(t, points)) = self.threshold_schedule.first() {
+            if t <= now_s {
+                self.manager.set_accuracy_threshold(points);
+                self.threshold_schedule.remove(0);
+            } else {
+                break;
+            }
+        }
+        let decision = self.manager.decide(now_s, incoming_fps);
+        let entry = &self.library.entries()[decision.entry_index];
+        let (power, activity) = match decision.accelerator {
+            AcceleratorKind::FlexiblePruning => {
+                (self.library.flexible.power, entry.flexible_activity)
+            }
+            _ => (entry.fixed.power, 1.0),
+        };
+        // Like the baselines, the initial image is assumed resident when
+        // the evaluation window opens.
+        let stall_s = if self.first { 0.0 } else { decision.stall_s };
+        let reconfigured = !self.first && decision.switch == SwitchKind::Reconfiguration;
+        let model_switched = !self.first && decision.switch != SwitchKind::None;
+        self.first = false;
+        ServingState {
+            throughput_fps: decision.throughput_fps,
+            stall_s,
+            accuracy: decision.accuracy,
+            power,
+            activity,
+            model: decision.model_name,
+            accelerator: decision.accelerator,
+            model_switched,
+            reconfigured,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaflow::LibraryGenerator;
+    use adaflow_model::prelude::*;
+    use adaflow_nn::DatasetKind;
+
+    fn library() -> Library {
+        LibraryGenerator::default_edge_setup()
+            .generate(
+                topology::cnv_w2a2_cifar10().expect("builds"),
+                DatasetKind::Cifar10,
+            )
+            .expect("generates")
+    }
+
+    #[test]
+    fn finn_policy_is_static() {
+        let lib = library();
+        let mut p = OriginalFinnPolicy::new(&lib);
+        let a = p.on_workload_change(0.0, 100.0);
+        let b = p.on_workload_change(5.0, 1000.0);
+        assert_eq!(a.throughput_fps, b.throughput_fps);
+        assert_eq!(b.stall_s, 0.0);
+        assert!(!b.model_switched);
+        assert_eq!(a.accuracy, lib.base_accuracy());
+    }
+
+    #[test]
+    fn reconf_policy_pays_for_switches() {
+        let lib = library();
+        let mut p = PruningReconfPolicy::new(&lib, Duration::from_millis(290));
+        let base_fps = lib.unpruned().fixed.throughput_fps;
+        let first = p.on_workload_change(0.0, 100.0);
+        assert_eq!(first.stall_s, 0.0, "initial image resident");
+        let up = p.on_workload_change(5.0, base_fps * 1.4);
+        assert!(up.model_switched);
+        assert!((up.stall_s - 0.29).abs() < 1e-9);
+        let same = p.on_workload_change(10.0, base_fps * 1.35);
+        assert!(!same.model_switched);
+        assert_eq!(same.stall_s, 0.0);
+    }
+
+    #[test]
+    fn adaflow_policy_uses_flexible_under_rapid_change() {
+        let lib = library();
+        let mut p = AdaFlowPolicy::new(&lib, RuntimeConfig::default());
+        let base_fps = lib.unpruned().fixed.throughput_fps;
+        p.on_workload_change(0.0, 100.0);
+        // First switch establishes the cadence (fixed), second goes
+        // flexible, third is a fast in-fabric switch.
+        p.on_workload_change(0.4, base_fps * 1.4);
+        let d = p.on_workload_change(0.8, 100.0);
+        assert_eq!(d.accelerator, AcceleratorKind::FlexiblePruning);
+        let d2 = p.on_workload_change(1.2, base_fps * 1.4);
+        assert_eq!(d2.accelerator, AcceleratorKind::FlexiblePruning);
+        assert!(d2.stall_s < 0.005, "flexible switch must be fast");
+        assert!(d2.model_switched);
+        assert!(!d2.reconfigured);
+    }
+
+    #[test]
+    fn threshold_schedule_changes_selection_mid_run() {
+        let lib = library();
+        let base_fps = lib.unpruned().fixed.throughput_fps;
+        let overload = base_fps * 1.4;
+        // Tight threshold first (no model can match the overload), loosened
+        // at t = 10: the policy must upgrade to a faster pruned model.
+        let mut p = AdaFlowPolicy::new(
+            &lib,
+            RuntimeConfig {
+                accuracy_threshold_points: 2.0,
+                ..RuntimeConfig::default()
+            },
+        )
+        .with_threshold_schedule(vec![(10.0, 15.0)]);
+        let before = p.on_workload_change(0.0, overload);
+        let after = p.on_workload_change(10.0, overload);
+        assert!(after.throughput_fps > before.throughput_fps);
+        assert!(after.accuracy < before.accuracy);
+    }
+
+    #[test]
+    fn adaflow_first_load_is_free_like_baselines() {
+        let lib = library();
+        let mut p = AdaFlowPolicy::new(&lib, RuntimeConfig::default());
+        let d = p.on_workload_change(0.0, 600.0);
+        assert_eq!(d.stall_s, 0.0);
+        assert!(!d.reconfigured);
+    }
+
+    #[test]
+    fn flexible_power_uses_flexible_fabric() {
+        let lib = library();
+        let mut p = AdaFlowPolicy::new(&lib, RuntimeConfig::default());
+        let base_fps = lib.unpruned().fixed.throughput_fps;
+        p.on_workload_change(0.0, 100.0);
+        p.on_workload_change(0.4, base_fps * 1.4);
+        p.on_workload_change(0.8, 100.0);
+        // Pruned model loaded on the flexible fabric.
+        let d = p.on_workload_change(1.2, base_fps * 1.4);
+        assert_eq!(d.accelerator, AcceleratorKind::FlexiblePruning);
+        // Flexible fabric's peak dynamic power exceeds any fixed one's.
+        assert!(
+            d.power.peak_dynamic_w() > lib.baseline.power.peak_dynamic_w(),
+            "flexible fabric should be the power-hungriest"
+        );
+        assert!(
+            d.activity < 1.0,
+            "pruned model leaves fabric partially idle"
+        );
+    }
+}

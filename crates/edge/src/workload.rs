@@ -1,0 +1,258 @@
+//! Workload generation.
+//!
+//! The paper's setting: 20 IoT devices produce inference requests at the
+//! real-time rate of 30 FPS (600 FPS nominal), with the incoming rate
+//! deviating over time due to FPS fluctuation, network congestion and node
+//! churn. Two scenarios are evaluated (§V):
+//!
+//! * **Scenario 1** (stable): ±30 % uniform deviation redrawn every 5 s;
+//! * **Scenario 2** (unpredictable): ±70 % deviation every 500 ms;
+//! * **Scenario 1+2** (shifting): Scenario 1 until 15 s, Scenario 2 after.
+//!
+//! Workloads are piecewise-constant FPS levels, deterministic in the seed.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// One piecewise-constant workload segment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSegment {
+    /// Segment start time in seconds.
+    pub start_s: f64,
+    /// Segment length in seconds.
+    pub duration_s: f64,
+    /// Incoming frame rate during the segment.
+    pub fps: f64,
+}
+
+/// The paper's evaluation scenarios.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Scenario {
+    /// Scenario 1: 30 % deviation every 5 s.
+    Stable,
+    /// Scenario 2: 70 % deviation every 500 ms.
+    Unpredictable,
+    /// Scenario 1+2: stable until 15 s, unpredictable afterwards.
+    Shifting,
+    /// A custom piecewise-random scenario.
+    Custom {
+        /// Fractional deviation amplitude (0.3 = ±30 %).
+        deviation: f64,
+        /// Redraw period in seconds.
+        period_s: f64,
+    },
+    /// Bursty on/off traffic: alternating heavy (nominal × (1 + surge)) and
+    /// light (nominal × idle) phases of the given period — cameras waking
+    /// on motion events.
+    Bursty {
+        /// Relative surge above nominal during the on-phase.
+        surge: f64,
+        /// Fraction of nominal during the off-phase.
+        idle: f64,
+        /// Phase length in seconds.
+        period_s: f64,
+    },
+}
+
+impl Scenario {
+    /// `(deviation, period)` active at time `t`.
+    #[must_use]
+    pub fn params_at(&self, t: f64) -> (f64, f64) {
+        match self {
+            Scenario::Stable => (0.3, 5.0),
+            Scenario::Unpredictable => (0.7, 0.5),
+            Scenario::Shifting => {
+                if t < 15.0 {
+                    (0.3, 5.0)
+                } else {
+                    (0.7, 0.5)
+                }
+            }
+            Scenario::Custom {
+                deviation,
+                period_s,
+            } => (*deviation, *period_s),
+            Scenario::Bursty { period_s, .. } => (0.0, *period_s),
+        }
+    }
+
+    /// Display name matching the paper's terminology.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scenario::Stable => "scenario-1",
+            Scenario::Unpredictable => "scenario-2",
+            Scenario::Shifting => "scenario-1+2",
+            Scenario::Custom { .. } => "custom",
+            Scenario::Bursty { .. } => "bursty",
+        }
+    }
+}
+
+/// Full workload specification.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Number of IoT devices.
+    pub devices: usize,
+    /// Per-device nominal frame rate.
+    pub fps_per_device: f64,
+    /// Evaluation length in seconds.
+    pub duration_s: f64,
+    /// The deviation scenario.
+    pub scenario: Scenario,
+}
+
+impl WorkloadSpec {
+    /// The paper's setup: 20 devices × 30 FPS, 25 s runs.
+    #[must_use]
+    pub fn paper_edge(scenario: Scenario) -> Self {
+        Self {
+            devices: 20,
+            fps_per_device: 30.0,
+            duration_s: 25.0,
+            scenario,
+        }
+    }
+
+    /// Nominal (undeviated) offered rate.
+    #[must_use]
+    pub fn nominal_fps(&self) -> f64 {
+        self.devices as f64 * self.fps_per_device
+    }
+
+    /// Generates the piecewise-constant workload for one seeded run.
+    ///
+    /// Segments cover `[0, duration_s)` contiguously; each level is
+    /// `nominal × (1 + U(−dev, +dev))`, floored at zero.
+    #[must_use]
+    pub fn generate(&self, seed: u64) -> Vec<WorkloadSegment> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xED6E_10AD);
+        let nominal = self.nominal_fps();
+        let mut segments = Vec::new();
+        let mut t = 0.0;
+        let mut phase = 0usize;
+        while t < self.duration_s {
+            let (dev, period) = self.scenario.params_at(t);
+            let len = period.min(self.duration_s - t);
+            let factor = match self.scenario {
+                Scenario::Bursty { surge, idle, .. } => {
+                    // Deterministic alternation with a small random jitter.
+                    let jitter = 1.0 + rng.gen_range(-0.05..=0.05);
+                    if phase.is_multiple_of(2) {
+                        (1.0 + surge) * jitter
+                    } else {
+                        idle * jitter
+                    }
+                }
+                _ => 1.0 + rng.gen_range(-dev..=dev),
+            };
+            segments.push(WorkloadSegment {
+                start_s: t,
+                duration_s: len,
+                fps: (nominal * factor).max(0.0),
+            });
+            t += len;
+            phase += 1;
+        }
+        segments
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_setup_nominal_600fps() {
+        let spec = WorkloadSpec::paper_edge(Scenario::Stable);
+        assert_eq!(spec.nominal_fps(), 600.0);
+        assert_eq!(spec.duration_s, 25.0);
+    }
+
+    #[test]
+    fn stable_scenario_has_five_second_segments() {
+        let spec = WorkloadSpec::paper_edge(Scenario::Stable);
+        let segs = spec.generate(1);
+        assert_eq!(segs.len(), 5);
+        assert!(segs.iter().all(|s| (s.duration_s - 5.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn unpredictable_scenario_has_50_segments() {
+        let spec = WorkloadSpec::paper_edge(Scenario::Unpredictable);
+        let segs = spec.generate(1);
+        assert_eq!(segs.len(), 50);
+    }
+
+    #[test]
+    fn shifting_scenario_changes_cadence_at_15s() {
+        let spec = WorkloadSpec::paper_edge(Scenario::Shifting);
+        let segs = spec.generate(1);
+        let before: Vec<_> = segs.iter().filter(|s| s.start_s < 15.0).collect();
+        let after: Vec<_> = segs.iter().filter(|s| s.start_s >= 15.0).collect();
+        assert_eq!(before.len(), 3);
+        assert_eq!(after.len(), 20);
+        assert!(after.iter().all(|s| (s.duration_s - 0.5).abs() < 1e-9));
+    }
+
+    #[test]
+    fn deviations_respect_amplitude() {
+        let spec = WorkloadSpec::paper_edge(Scenario::Stable);
+        for seed in 0..20 {
+            for s in spec.generate(seed) {
+                assert!(s.fps >= 600.0 * 0.7 - 1e-9 && s.fps <= 600.0 * 1.3 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let spec = WorkloadSpec::paper_edge(Scenario::Unpredictable);
+        assert_eq!(spec.generate(7), spec.generate(7));
+        assert_ne!(spec.generate(7), spec.generate(8));
+    }
+
+    #[test]
+    fn segments_are_contiguous() {
+        let spec = WorkloadSpec::paper_edge(Scenario::Shifting);
+        let segs = spec.generate(3);
+        let mut t = 0.0;
+        for s in &segs {
+            assert!((s.start_s - t).abs() < 1e-9);
+            t += s.duration_s;
+        }
+        assert!((t - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bursty_alternates_heavy_and_light() {
+        let spec = WorkloadSpec {
+            scenario: Scenario::Bursty {
+                surge: 0.5,
+                idle: 0.2,
+                period_s: 2.5,
+            },
+            ..WorkloadSpec::paper_edge(Scenario::Stable)
+        };
+        let segments = spec.generate(4);
+        assert_eq!(segments.len(), 10);
+        for (i, s) in segments.iter().enumerate() {
+            if i % 2 == 0 {
+                assert!(s.fps > 600.0 * 1.4, "on-phase fps {}", s.fps);
+            } else {
+                assert!(s.fps < 600.0 * 0.3, "off-phase fps {}", s.fps);
+            }
+        }
+    }
+
+    #[test]
+    fn custom_scenario_params() {
+        let sc = Scenario::Custom {
+            deviation: 0.1,
+            period_s: 2.0,
+        };
+        assert_eq!(sc.params_at(0.0), (0.1, 2.0));
+        assert_eq!(sc.name(), "custom");
+    }
+}

@@ -1,0 +1,76 @@
+//! FPGA device models.
+
+use serde::{Deserialize, Serialize};
+
+/// Programmable-logic capacities of a target FPGA.
+///
+/// The paper targets the Xilinx Zynq UltraScale+ MPSoC ZCU104 board
+/// (XCZU7EV); [`FpgaDevice::zcu104`] carries its published capacities.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FpgaDevice {
+    /// Device/board name.
+    pub name: String,
+    /// Look-up tables.
+    pub lut: u64,
+    /// Flip-flops.
+    pub ff: u64,
+    /// 36 Kib block RAMs.
+    pub bram36: u64,
+    /// DSP48 slices.
+    pub dsp: u64,
+    /// Full configuration bitstream size in bytes (drives full
+    /// reconfiguration time).
+    pub bitstream_bytes: u64,
+}
+
+impl FpgaDevice {
+    /// The ZCU104 board (XCZU7EV-2FFVC1156): 230,400 LUTs, 460,800 FFs,
+    /// 312 BRAM36, 1,728 DSP48E2; ~31 MB full bitstream.
+    #[must_use]
+    pub fn zcu104() -> Self {
+        Self {
+            name: "zcu104".into(),
+            lut: 230_400,
+            ff: 460_800,
+            bram36: 312,
+            dsp: 1_728,
+            bitstream_bytes: 31_000_000,
+        }
+    }
+
+    /// A smaller edge-class device (Zynq-7020 / PYNQ-Z1-like) used in
+    /// capacity tests: 53,200 LUTs, 106,400 FFs, 140 BRAM36, 220 DSPs.
+    #[must_use]
+    pub fn z7020() -> Self {
+        Self {
+            name: "z7020".into(),
+            lut: 53_200,
+            ff: 106_400,
+            bram36: 140,
+            dsp: 220,
+            bitstream_bytes: 4_045_564,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zcu104_capacities() {
+        let d = FpgaDevice::zcu104();
+        assert_eq!(d.lut, 230_400);
+        assert_eq!(d.bram36, 312);
+        assert!(d.bitstream_bytes > 10_000_000);
+    }
+
+    #[test]
+    fn z7020_is_smaller() {
+        let big = FpgaDevice::zcu104();
+        let small = FpgaDevice::z7020();
+        assert!(small.lut < big.lut);
+        assert!(small.bram36 < big.bram36);
+        assert!(small.bitstream_bytes < big.bitstream_bytes);
+    }
+}

@@ -1,0 +1,59 @@
+//! Error types for the synthesis simulator.
+
+use thiserror::Error;
+
+/// Errors produced by synthesis, fitting or reconfiguration modelling.
+#[derive(Debug, Clone, PartialEq, Error)]
+#[non_exhaustive]
+pub enum HlsError {
+    /// The design does not fit the target device.
+    #[error("design does not fit {device}: {resource} needs {needed}, device has {available}")]
+    DoesNotFit {
+        /// Device name.
+        device: String,
+        /// Exhausted resource.
+        resource: String,
+        /// Amount required.
+        needed: u64,
+        /// Amount available.
+        available: u64,
+    },
+
+    /// Timing closure failed at the requested clock.
+    #[error("timing failure: estimated fmax {fmax_mhz:.1} MHz below target {target_mhz:.1} MHz")]
+    TimingFailure {
+        /// Estimated maximum frequency.
+        fmax_mhz: f64,
+        /// Requested frequency.
+        target_mhz: f64,
+    },
+
+    /// An invalid parameter was supplied to a model.
+    #[error("invalid parameter: {0}")]
+    InvalidParameter(String),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<HlsError>();
+    }
+
+    #[test]
+    fn fit_error_message() {
+        let e = HlsError::DoesNotFit {
+            device: "zcu104".into(),
+            resource: "bram36".into(),
+            needed: 400,
+            available: 312,
+        };
+        let text = e.to_string();
+        assert!(text.contains("zcu104"));
+        assert!(text.contains("400"));
+        assert!(text.contains("312"));
+    }
+}

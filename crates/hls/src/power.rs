@@ -1,0 +1,198 @@
+//! Power and energy modelling.
+//!
+//! Board power is modelled as `P = P_static + duty · activity · P_dyn`,
+//! where `P_dyn` scales with the instantiated resources (toggling fabric),
+//! `duty` is the fraction of time the accelerator is processing frames
+//! (set by the serving workload), and `activity` accounts for the fraction
+//! of a flexible fabric actually exercised by the loaded (pruned) model.
+//!
+//! Calibration anchors from the paper: the original FINN CNVW2A2
+//! accelerator dissipates ≈ 1.07 W when saturated; fixed-pruned variants sit
+//! near 0.94–1.01 W under partial duty; the flexible fabric under heavy
+//! switching reaches ≈ 1.1–1.2 W (Table I).
+
+use crate::resources::ResourceEstimate;
+use serde::{Deserialize, Serialize};
+
+/// Static (always-on) power of the programmable logic + support rails, W.
+pub const STATIC_POWER_W: f64 = 0.55;
+/// Clock-tree dynamic power at 100 MHz, W.
+pub const CLOCK_TREE_POWER_W: f64 = 0.05;
+/// Dynamic power per active LUT, W.
+pub const LUT_POWER_W: f64 = 4.5e-6;
+/// Dynamic power per active BRAM36, W.
+pub const BRAM_POWER_W: f64 = 1.0e-3;
+/// Dynamic power per active DSP slice, W.
+pub const DSP_POWER_W: f64 = 1.2e-3;
+
+/// A point power evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerReport {
+    /// Total board power in watts.
+    pub total_w: f64,
+    /// Static component in watts.
+    pub static_w: f64,
+    /// Dynamic component in watts (after duty/activity scaling).
+    pub dynamic_w: f64,
+}
+
+/// Resource-driven power model of one synthesized accelerator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerModel {
+    resources: ResourceEstimate,
+}
+
+impl PowerModel {
+    /// Builds a power model from synthesized resources.
+    #[must_use]
+    pub fn new(resources: ResourceEstimate) -> Self {
+        Self { resources }
+    }
+
+    /// The resources this model is based on.
+    #[must_use]
+    pub fn resources(&self) -> ResourceEstimate {
+        self.resources
+    }
+
+    /// Peak dynamic power with everything toggling (duty = activity = 1).
+    #[must_use]
+    pub fn peak_dynamic_w(&self) -> f64 {
+        CLOCK_TREE_POWER_W
+            + self.resources.lut as f64 * LUT_POWER_W
+            + self.resources.bram36 as f64 * BRAM_POWER_W
+            + self.resources.dsp as f64 * DSP_POWER_W
+    }
+
+    /// Board power at the given `duty` (fraction of time busy, `0..=1`) and
+    /// `activity` (fraction of the fabric exercised by the loaded model,
+    /// `0..=1`; `1.0` for fixed accelerators running their own model).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duty` or `activity` fall outside `[0, 1]`.
+    #[must_use]
+    pub fn power(&self, duty: f64, activity: f64) -> PowerReport {
+        assert!((0.0..=1.0).contains(&duty), "duty must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&activity),
+            "activity must be in [0, 1]"
+        );
+        let dynamic = self.peak_dynamic_w() * duty * activity;
+        PowerReport {
+            total_w: STATIC_POWER_W + dynamic,
+            static_w: STATIC_POWER_W,
+            dynamic_w: dynamic,
+        }
+    }
+
+    /// Energy per inference in joules when running saturated at
+    /// `throughput_fps` with the given fabric `activity`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `throughput_fps` is not positive or `activity` is outside
+    /// `[0, 1]`.
+    #[must_use]
+    pub fn energy_per_inference_j(&self, throughput_fps: f64, activity: f64) -> f64 {
+        assert!(throughput_fps > 0.0, "throughput must be positive");
+        self.power(1.0, activity).total_w / throughput_fps
+    }
+}
+
+/// Activity factor of a flexible fabric loaded with a pruned model:
+/// interpolates between full activity (unpruned) and the MAC-share of the
+/// loaded model (idle channel units are clock-gated but clock/control keep
+/// toggling).
+///
+/// # Panics
+///
+/// Panics if `loaded_macs > worst_case_macs` or `worst_case_macs == 0`.
+#[must_use]
+pub fn flexible_activity(worst_case_macs: u64, loaded_macs: u64) -> f64 {
+    assert!(worst_case_macs > 0, "worst-case MACs must be nonzero");
+    assert!(
+        loaded_macs <= worst_case_macs,
+        "loaded model exceeds worst case"
+    );
+    let mac_share = loaded_macs as f64 / worst_case_macs as f64;
+    // Control/clock floor of 50%: gated units still see clock and control.
+    0.5 + 0.5 * mac_share
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finn_like_resources() -> ResourceEstimate {
+        // Approximate CNV-W2A2 FINN accelerator footprint.
+        ResourceEstimate {
+            lut: 67_000,
+            ff: 70_000,
+            bram36: 170,
+            dsp: 0,
+        }
+    }
+
+    #[test]
+    fn saturated_finn_power_near_paper_value() {
+        let p = PowerModel::new(finn_like_resources()).power(1.0, 1.0);
+        // Paper Table I: original FINN ≈ 1.07 W. Accept ±15 %.
+        assert!((0.9..=1.25).contains(&p.total_w), "power {}", p.total_w);
+    }
+
+    #[test]
+    fn idle_power_is_static_only() {
+        let p = PowerModel::new(finn_like_resources()).power(0.0, 1.0);
+        assert!((p.total_w - STATIC_POWER_W).abs() < 1e-12);
+        assert_eq!(p.dynamic_w, 0.0);
+    }
+
+    #[test]
+    fn power_scales_linearly_with_duty() {
+        let m = PowerModel::new(finn_like_resources());
+        let half = m.power(0.5, 1.0);
+        let full = m.power(1.0, 1.0);
+        assert!((half.dynamic_w * 2.0 - full.dynamic_w).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_per_inference_decreases_with_fps() {
+        let m = PowerModel::new(finn_like_resources());
+        let slow = m.energy_per_inference_j(400.0, 1.0);
+        let fast = m.energy_per_inference_j(800.0, 1.0);
+        assert!(fast < slow);
+    }
+
+    #[test]
+    fn flexible_activity_bounds() {
+        assert!((flexible_activity(100, 100) - 1.0).abs() < 1e-12);
+        assert!((flexible_activity(100, 0) - 0.5).abs() < 1e-12);
+        let mid = flexible_activity(100, 50);
+        assert!((mid - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "duty must be in [0, 1]")]
+    fn rejects_bad_duty() {
+        let _ = PowerModel::new(finn_like_resources()).power(1.2, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "loaded model exceeds worst case")]
+    fn rejects_oversized_load() {
+        let _ = flexible_activity(10, 11);
+    }
+
+    #[test]
+    fn bigger_fabric_burns_more() {
+        let small = PowerModel::new(finn_like_resources());
+        let big = PowerModel::new(ResourceEstimate {
+            lut: 123_000,
+            ff: 130_000,
+            bram36: 170,
+            dsp: 0,
+        });
+        assert!(big.power(1.0, 1.0).total_w > small.power(1.0, 1.0).total_w);
+    }
+}

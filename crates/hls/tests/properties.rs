@@ -1,0 +1,107 @@
+//! Property-based tests on the synthesis simulator.
+
+use adaflow_dataflow::{ModuleKind, ModuleSpec};
+use adaflow_hls::power::flexible_activity;
+use adaflow_hls::{estimate_module, Bitstream, PowerModel, ReconfigurationModel, ResourceEstimate};
+use proptest::prelude::*;
+use std::time::Duration;
+
+fn mvtu(rows: usize, cols: usize, pe: usize, simd: usize, flexible: bool) -> ModuleSpec {
+    ModuleSpec {
+        name: "m".into(),
+        kind: ModuleKind::Mvtu {
+            rows,
+            cols,
+            pe,
+            simd,
+            out_pixels: 1,
+            weight_bits: 2,
+            act_bits: 2,
+            threshold_levels: 3,
+        },
+        flexible,
+    }
+}
+
+proptest! {
+    /// MVTU resources grow monotonically with every structural parameter.
+    #[test]
+    fn mvtu_resources_monotone(
+        rows in 1usize..512,
+        cols in 1usize..512,
+        pe in 1usize..32,
+        simd in 1usize..32,
+    ) {
+        let base = estimate_module(&mvtu(rows, cols, pe, simd, false));
+        let more_rows = estimate_module(&mvtu(rows + 16, cols, pe, simd, false));
+        let more_cols = estimate_module(&mvtu(rows, cols + 16, pe, simd, false));
+        let more_pe = estimate_module(&mvtu(rows, cols, pe + 4, simd, false));
+        prop_assert!(more_rows.lut >= base.lut);
+        prop_assert!(more_cols.lut >= base.lut);
+        prop_assert!(more_pe.lut >= base.lut);
+        prop_assert!(more_rows.bram36 >= base.bram36);
+    }
+
+    /// The flexible template always costs more LUTs than the fixed one, and
+    /// never changes BRAM.
+    #[test]
+    fn flexible_template_overhead(
+        rows in 1usize..512,
+        cols in 1usize..512,
+        pe in 1usize..16,
+        simd in 1usize..16,
+    ) {
+        let fixed = estimate_module(&mvtu(rows, cols, pe, simd, false));
+        let flex = estimate_module(&mvtu(rows, cols, pe, simd, true));
+        prop_assert!(flex.lut > fixed.lut);
+        prop_assert_eq!(flex.bram36, fixed.bram36);
+    }
+
+    /// Power: monotone in duty and activity, bounded below by static power,
+    /// and energy/inference decreases with throughput.
+    #[test]
+    fn power_model_invariants(
+        lut in 1000u64..200_000,
+        bram in 0u64..300,
+        duty1 in 0.0f64..1.0,
+        duty2 in 0.0f64..1.0,
+        fps in 1.0f64..10_000.0,
+    ) {
+        let model = PowerModel::new(ResourceEstimate { lut, ff: lut, bram36: bram, dsp: 0 });
+        let (lo, hi) = if duty1 <= duty2 { (duty1, duty2) } else { (duty2, duty1) };
+        prop_assert!(model.power(lo, 1.0).total_w <= model.power(hi, 1.0).total_w + 1e-12);
+        prop_assert!(model.power(hi, lo.min(1.0)).total_w <= model.power(hi, 1.0).total_w + 1e-12);
+        prop_assert!(model.power(0.0, 1.0).total_w >= adaflow_hls::power::STATIC_POWER_W - 1e-12);
+        let e1 = model.energy_per_inference_j(fps, 1.0);
+        let e2 = model.energy_per_inference_j(fps * 2.0, 1.0);
+        prop_assert!(e2 < e1);
+    }
+
+    /// Flexible activity is in [0.5, 1] and monotone in the loaded MACs.
+    #[test]
+    fn activity_bounds(worst in 1u64..1_000_000, frac1 in 0.0f64..1.0, frac2 in 0.0f64..1.0) {
+        let (lo, hi) = if frac1 <= frac2 { (frac1, frac2) } else { (frac2, frac1) };
+        let a_lo = flexible_activity(worst, (worst as f64 * lo) as u64);
+        let a_hi = flexible_activity(worst, (worst as f64 * hi) as u64);
+        prop_assert!((0.5..=1.0 + 1e-12).contains(&a_lo));
+        prop_assert!(a_lo <= a_hi + 1e-12);
+    }
+
+    /// Reconfiguration time is affine in bitstream size and monotone in the
+    /// partial-region fraction.
+    #[test]
+    fn reconfiguration_monotone(
+        bytes1 in 1u64..100_000_000,
+        bytes2 in 1u64..100_000_000,
+        frac in 0.01f64..1.0,
+    ) {
+        let model = ReconfigurationModel::default();
+        let (small, big) = if bytes1 <= bytes2 { (bytes1, bytes2) } else { (bytes2, bytes1) };
+        let bs_small = Bitstream { accelerator: "a".into(), bytes: small };
+        let bs_big = Bitstream { accelerator: "a".into(), bytes: big };
+        prop_assert!(model.reconfiguration_time(&bs_small) <= model.reconfiguration_time(&bs_big));
+        let partial = ReconfigurationModel::partial(frac);
+        prop_assert!(partial.reconfiguration_time(&bs_big) <= model.reconfiguration_time(&bs_big));
+        prop_assert!(partial.reconfiguration_time(&bs_big) >= Duration::from_millis(21));
+    }
+}

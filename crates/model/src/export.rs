@@ -1,0 +1,159 @@
+//! Model serialization ("ONNX-like" export).
+//!
+//! The original flow exports pruned Brevitas models as ONNX files that FINN
+//! consumes. We reproduce the interchange step with a self-describing JSON
+//! container: a versioned envelope around the full [`CnnGraph`], including
+//! the per-layer channel metadata the Runtime Manager ships to flexible
+//! accelerators at model-switch time.
+
+use crate::error::ModelError;
+use crate::graph::CnnGraph;
+use serde::{Deserialize, Serialize};
+
+/// Envelope format version; bumped on breaking layout changes.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Serialized model container.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelArchive {
+    /// Envelope format version.
+    pub version: u32,
+    /// Producer tag (diagnostics only).
+    pub producer: String,
+    /// Per-conv-layer output channel counts — the runtime-controllable
+    /// parameter vector of the flexible accelerator (paper §IV-A2).
+    pub conv_channels: Vec<usize>,
+    /// The graph itself.
+    pub graph: CnnGraph,
+}
+
+impl ModelArchive {
+    /// Wraps a graph in an archive envelope.
+    #[must_use]
+    pub fn new(graph: CnnGraph) -> Self {
+        Self {
+            version: FORMAT_VERSION,
+            producer: format!("adaflow-model {}", env!("CARGO_PKG_VERSION")),
+            conv_channels: graph.conv_channels(),
+            graph,
+        }
+    }
+
+    /// Serializes to the JSON interchange form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Import`] if serialization fails (practically
+    /// impossible for well-formed graphs; kept for API symmetry).
+    pub fn to_json(&self) -> Result<String, ModelError> {
+        serde_json::to_string(self).map_err(|e| ModelError::Import(e.to_string()))
+    }
+
+    /// Deserializes from the JSON interchange form, validating the envelope
+    /// and re-running graph validation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Import`] on malformed JSON, an unsupported
+    /// version, or channel metadata inconsistent with the embedded graph;
+    /// graph validation errors are propagated as-is.
+    pub fn from_json(json: &str) -> Result<Self, ModelError> {
+        let archive: ModelArchive =
+            serde_json::from_str(json).map_err(|e| ModelError::Import(e.to_string()))?;
+        if archive.version != FORMAT_VERSION {
+            return Err(ModelError::Import(format!(
+                "unsupported archive version {} (expected {FORMAT_VERSION})",
+                archive.version
+            )));
+        }
+        // Re-validate the graph: the archive may have been edited on disk.
+        let revalidated = archive.graph.with_layers(archive.graph.to_layer_chain())?;
+        if revalidated.conv_channels() != archive.conv_channels {
+            return Err(ModelError::Import(
+                "conv_channels metadata disagrees with graph".into(),
+            ));
+        }
+        Ok(Self {
+            graph: revalidated,
+            ..archive
+        })
+    }
+}
+
+/// Exports a graph to the JSON interchange form (convenience wrapper).
+///
+/// # Errors
+///
+/// See [`ModelArchive::to_json`].
+pub fn export_json(graph: &CnnGraph) -> Result<String, ModelError> {
+    ModelArchive::new(graph.clone()).to_json()
+}
+
+/// Imports a graph from the JSON interchange form (convenience wrapper).
+///
+/// # Errors
+///
+/// See [`ModelArchive::from_json`].
+pub fn import_json(json: &str) -> Result<CnnGraph, ModelError> {
+    ModelArchive::from_json(json).map(|a| a.graph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quant::QuantSpec;
+    use crate::topology;
+
+    #[test]
+    fn round_trip_preserves_graph() {
+        let g = topology::tiny(QuantSpec::w2a2(), 10).expect("builds");
+        let json = export_json(&g).expect("export");
+        let back = import_json(&json).expect("import");
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn archive_captures_channel_metadata() {
+        let g = topology::tiny(QuantSpec::w2a2(), 10).expect("builds");
+        let archive = ModelArchive::new(g);
+        assert_eq!(archive.conv_channels, vec![8, 16]);
+        assert_eq!(archive.version, FORMAT_VERSION);
+    }
+
+    #[test]
+    fn version_mismatch_rejected() {
+        let g = topology::tiny(QuantSpec::w2a2(), 10).expect("builds");
+        let mut archive = ModelArchive::new(g);
+        archive.version = 99;
+        let json = serde_json::to_string(&archive).expect("serialize");
+        let err = ModelArchive::from_json(&json).unwrap_err();
+        assert!(matches!(err, ModelError::Import(_)));
+    }
+
+    #[test]
+    fn tampered_channel_metadata_rejected() {
+        let g = topology::tiny(QuantSpec::w2a2(), 10).expect("builds");
+        let mut archive = ModelArchive::new(g);
+        archive.conv_channels = vec![8, 15];
+        let json = serde_json::to_string(&archive).expect("serialize");
+        let err = ModelArchive::from_json(&json).unwrap_err();
+        assert!(matches!(err, ModelError::Import(_)));
+    }
+
+    #[test]
+    fn garbage_json_rejected() {
+        assert!(matches!(
+            import_json("{not json"),
+            Err(ModelError::Import(_))
+        ));
+    }
+
+    #[test]
+    fn cnv_round_trip() {
+        let g = topology::cnv_w2a2_cifar10().expect("builds");
+        let json = export_json(&g).expect("export");
+        let back = import_json(&json).expect("import");
+        assert_eq!(g.conv_channels(), back.conv_channels());
+        assert_eq!(g.total_macs(), back.total_macs());
+    }
+}

@@ -1,0 +1,488 @@
+//! Layer definitions.
+//!
+//! The layer set matches what FINN's CNV dataflow needs: convolutions
+//! (mapped to SWU + MVTU module pairs), max-pooling, fully-connected layers
+//! (MVTU), multi-threshold activations (folded into the MVTU) and the final
+//! label-select. Each layer knows how to infer its output shape from an input
+//! shape and how to count its multiply-accumulate work.
+
+use crate::error::ModelError;
+use crate::quant::QuantSpec;
+use crate::shape::TensorShape;
+use crate::weights::{ConvWeights, DenseWeights, ThresholdTable};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A 2-D convolution layer (maps to SWU + MVTU in the dataflow).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Conv2d {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Output channels (number of filters).
+    pub out_channels: usize,
+    /// Square kernel side length.
+    pub kernel: usize,
+    /// Stride.
+    pub stride: usize,
+    /// Zero padding on each border.
+    pub padding: usize,
+    /// Weight/activation quantization.
+    pub quant: QuantSpec,
+    /// Quantized weights, `[out][in][kh][kw]`.
+    pub weights: ConvWeights,
+}
+
+impl Conv2d {
+    /// Creates a convolution with zeroed weights.
+    #[must_use]
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        quant: QuantSpec,
+    ) -> Self {
+        Self {
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            padding,
+            quant,
+            weights: ConvWeights::zeroed(out_channels, in_channels, kernel),
+        }
+    }
+
+    /// MAC operations per inference for a given output shape.
+    #[must_use]
+    pub fn macs(&self, out_shape: TensorShape) -> u64 {
+        (self.kernel * self.kernel * self.in_channels) as u64
+            * self.out_channels as u64
+            * out_shape.spatial() as u64
+    }
+
+    /// Number of stored weight bits.
+    #[must_use]
+    pub fn weight_bits(&self) -> u64 {
+        self.weights.len() as u64 * u64::from(self.quant.weight_bits)
+    }
+}
+
+/// A max-pooling layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MaxPool2d {
+    /// Square pooling window side length.
+    pub kernel: usize,
+    /// Stride (FINN CNV uses kernel == stride == 2).
+    pub stride: usize,
+}
+
+impl MaxPool2d {
+    /// Creates a pooling layer.
+    #[must_use]
+    pub const fn new(kernel: usize, stride: usize) -> Self {
+        Self { kernel, stride }
+    }
+}
+
+/// A fully-connected layer (maps to an MVTU in the dataflow).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Dense {
+    /// Input features.
+    pub in_features: usize,
+    /// Output features (neurons).
+    pub out_features: usize,
+    /// Weight/activation quantization.
+    pub quant: QuantSpec,
+    /// Quantized weights, `[out][in]`.
+    pub weights: DenseWeights,
+}
+
+impl Dense {
+    /// Creates a dense layer with zeroed weights.
+    #[must_use]
+    pub fn new(in_features: usize, out_features: usize, quant: QuantSpec) -> Self {
+        Self {
+            in_features,
+            out_features,
+            quant,
+            weights: DenseWeights::zeroed(out_features, in_features),
+        }
+    }
+
+    /// MAC operations per inference.
+    #[must_use]
+    pub fn macs(&self) -> u64 {
+        (self.in_features * self.out_features) as u64
+    }
+
+    /// Number of stored weight bits.
+    #[must_use]
+    pub fn weight_bits(&self) -> u64 {
+        (self.in_features * self.out_features) as u64 * u64::from(self.quant.weight_bits)
+    }
+}
+
+/// A multi-threshold activation (FINN folds batch-norm + quantized
+/// activation into this form; executed inside the MVTU).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MultiThreshold {
+    /// Number of channels thresholded.
+    pub channels: usize,
+    /// Per-channel threshold rows.
+    pub table: ThresholdTable,
+}
+
+impl MultiThreshold {
+    /// Creates a threshold activation with uniform thresholds spanning
+    /// `[lo, hi]` — a reasonable default before calibration/retraining.
+    #[must_use]
+    pub fn uniform(channels: usize, levels: usize, lo: i32, hi: i32) -> Self {
+        Self {
+            channels,
+            table: ThresholdTable::uniform(channels, levels, lo, hi),
+        }
+    }
+}
+
+/// Final label selection (top-1 / arg-max over class logits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LabelSelect {
+    /// Number of classes to select among.
+    pub classes: usize,
+}
+
+/// One layer of a feed-forward CNN graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Layer {
+    /// 2-D convolution.
+    Conv2d(Conv2d),
+    /// Max pooling.
+    MaxPool2d(MaxPool2d),
+    /// Fully-connected.
+    Dense(Dense),
+    /// Multi-threshold activation.
+    MultiThreshold(MultiThreshold),
+    /// Top-1 label selection.
+    LabelSelect(LabelSelect),
+}
+
+impl Layer {
+    /// Short kind name used in diagnostics and exports.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Layer::Conv2d(_) => "conv2d",
+            Layer::MaxPool2d(_) => "maxpool2d",
+            Layer::Dense(_) => "dense",
+            Layer::MultiThreshold(_) => "multithreshold",
+            Layer::LabelSelect(_) => "labelselect",
+        }
+    }
+
+    /// Infers the output shape for a given input shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::ShapeMismatch`] if the input shape is not
+    /// compatible with this layer (wrong channel count, window does not fit,
+    /// non-flat input to a dense layer, ...). The `layer`/`name` fields of
+    /// the error are filled with placeholders; [`crate::graph::CnnGraph`]
+    /// rewrites them with real positions.
+    pub fn output_shape(&self, input: TensorShape) -> Result<TensorShape, ModelError> {
+        let mismatch = |expected: TensorShape| ModelError::ShapeMismatch {
+            layer: usize::MAX,
+            name: self.kind().to_string(),
+            expected,
+            found: input,
+        };
+        match self {
+            Layer::Conv2d(c) => {
+                if input.channels != c.in_channels {
+                    return Err(mismatch(input.with_channels(c.in_channels)));
+                }
+                let out = input
+                    .windowed(c.kernel, c.stride, c.padding)
+                    .ok_or_else(|| mismatch(input))?;
+                Ok(out.with_channels(c.out_channels))
+            }
+            Layer::MaxPool2d(p) => input
+                .windowed(p.kernel, p.stride, 0)
+                .ok_or_else(|| mismatch(input)),
+            Layer::Dense(d) => {
+                if input.elements() != d.in_features {
+                    return Err(mismatch(TensorShape::flat(d.in_features)));
+                }
+                Ok(TensorShape::flat(d.out_features))
+            }
+            Layer::MultiThreshold(t) => {
+                if input.channels != t.channels {
+                    return Err(mismatch(input.with_channels(t.channels)));
+                }
+                Ok(input)
+            }
+            Layer::LabelSelect(l) => {
+                if input.elements() != l.classes {
+                    return Err(mismatch(TensorShape::flat(l.classes)));
+                }
+                Ok(TensorShape::flat(1))
+            }
+        }
+    }
+
+    /// MAC operations this layer performs per inference given its input
+    /// shape (zero for non-MAC layers).
+    #[must_use]
+    pub fn macs(&self, input: TensorShape) -> u64 {
+        match self {
+            Layer::Conv2d(c) => c.output_shape_or_zero(input).map_or(0, |out| c.macs(out)),
+            Layer::Dense(d) => d.macs(),
+            _ => 0,
+        }
+    }
+
+    /// Whether this layer is executed by an MVTU (matrix-vector-threshold
+    /// unit) in the FINN dataflow.
+    #[must_use]
+    pub fn is_mvtu(&self) -> bool {
+        matches!(self, Layer::Conv2d(_) | Layer::Dense(_))
+    }
+
+    /// Validates the layer's internal structure (nonzero dims, weight
+    /// geometry consistent with declared dims).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] or
+    /// [`ModelError::WeightMismatch`] describing the problem; position fields
+    /// use placeholders rewritten by the graph validator.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        let invalid = |reason: String| ModelError::InvalidParameter {
+            layer: usize::MAX,
+            name: self.kind().to_string(),
+            reason,
+        };
+        match self {
+            Layer::Conv2d(c) => {
+                if c.in_channels == 0 || c.out_channels == 0 {
+                    return Err(invalid("channel counts must be nonzero".into()));
+                }
+                if c.kernel == 0 || c.stride == 0 {
+                    return Err(invalid("kernel and stride must be nonzero".into()));
+                }
+                if c.weights.out_channels() != c.out_channels
+                    || c.weights.in_channels() != c.in_channels
+                    || c.weights.kernel() != c.kernel
+                {
+                    return Err(ModelError::WeightMismatch {
+                        layer: usize::MAX,
+                        reason: format!(
+                            "conv weights are {}x{}x{k}x{k}, layer declares {}x{}x{kk}x{kk}",
+                            c.weights.out_channels(),
+                            c.weights.in_channels(),
+                            c.out_channels,
+                            c.in_channels,
+                            k = c.weights.kernel(),
+                            kk = c.kernel,
+                        ),
+                    });
+                }
+                Ok(())
+            }
+            Layer::MaxPool2d(p) => {
+                if p.kernel == 0 || p.stride == 0 {
+                    return Err(invalid("kernel and stride must be nonzero".into()));
+                }
+                Ok(())
+            }
+            Layer::Dense(d) => {
+                if d.in_features == 0 || d.out_features == 0 {
+                    return Err(invalid("feature counts must be nonzero".into()));
+                }
+                if d.weights.out_features() != d.out_features
+                    || d.weights.in_features() != d.in_features
+                {
+                    return Err(ModelError::WeightMismatch {
+                        layer: usize::MAX,
+                        reason: format!(
+                            "dense weights are {}x{}, layer declares {}x{}",
+                            d.weights.out_features(),
+                            d.weights.in_features(),
+                            d.out_features,
+                            d.in_features
+                        ),
+                    });
+                }
+                Ok(())
+            }
+            Layer::MultiThreshold(t) => {
+                if t.channels == 0 {
+                    return Err(invalid("channel count must be nonzero".into()));
+                }
+                if t.table.channels() != t.channels {
+                    return Err(ModelError::WeightMismatch {
+                        layer: usize::MAX,
+                        reason: format!(
+                            "threshold table has {} channels, layer declares {}",
+                            t.table.channels(),
+                            t.channels
+                        ),
+                    });
+                }
+                Ok(())
+            }
+            Layer::LabelSelect(l) => {
+                if l.classes == 0 {
+                    return Err(invalid("class count must be nonzero".into()));
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl Conv2d {
+    fn output_shape_or_zero(&self, input: TensorShape) -> Option<TensorShape> {
+        input
+            .windowed(self.kernel, self.stride, self.padding)
+            .map(|s| s.with_channels(self.out_channels))
+    }
+}
+
+impl fmt::Display for Layer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Layer::Conv2d(c) => write!(
+                f,
+                "conv2d({}→{}, k{}, s{}, p{}, {})",
+                c.in_channels, c.out_channels, c.kernel, c.stride, c.padding, c.quant
+            ),
+            Layer::MaxPool2d(p) => write!(f, "maxpool2d(k{}, s{})", p.kernel, p.stride),
+            Layer::Dense(d) => {
+                write!(
+                    f,
+                    "dense({}→{}, {})",
+                    d.in_features, d.out_features, d.quant
+                )
+            }
+            Layer::MultiThreshold(t) => {
+                write!(
+                    f,
+                    "multithreshold({} ch, {} levels)",
+                    t.channels,
+                    t.table.levels()
+                )
+            }
+            Layer::LabelSelect(l) => write!(f, "labelselect({} classes)", l.classes),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_shape_inference() {
+        let layer = Layer::Conv2d(Conv2d::new(3, 64, 3, 1, 0, QuantSpec::w2a2()));
+        let out = layer
+            .output_shape(TensorShape::new(3, 32, 32))
+            .expect("fits");
+        assert_eq!(out, TensorShape::new(64, 30, 30));
+    }
+
+    #[test]
+    fn conv_rejects_wrong_channels() {
+        let layer = Layer::Conv2d(Conv2d::new(3, 64, 3, 1, 0, QuantSpec::w2a2()));
+        let err = layer.output_shape(TensorShape::new(4, 32, 32)).unwrap_err();
+        assert!(matches!(err, ModelError::ShapeMismatch { .. }));
+    }
+
+    #[test]
+    fn maxpool_shape_inference() {
+        let layer = Layer::MaxPool2d(MaxPool2d::new(2, 2));
+        let out = layer
+            .output_shape(TensorShape::new(64, 30, 30))
+            .expect("fits");
+        assert_eq!(out, TensorShape::new(64, 15, 15));
+    }
+
+    #[test]
+    fn dense_accepts_flattened_input() {
+        let layer = Layer::Dense(Dense::new(256 * 4 * 4, 512, QuantSpec::w2a2()));
+        let out = layer
+            .output_shape(TensorShape::new(256, 4, 4))
+            .expect("flatten");
+        assert_eq!(out, TensorShape::flat(512));
+    }
+
+    #[test]
+    fn dense_rejects_wrong_feature_count() {
+        let layer = Layer::Dense(Dense::new(100, 10, QuantSpec::w2a2()));
+        assert!(layer.output_shape(TensorShape::flat(99)).is_err());
+    }
+
+    #[test]
+    fn threshold_preserves_shape() {
+        let layer = Layer::MultiThreshold(MultiThreshold::uniform(64, 3, -10, 10));
+        let s = TensorShape::new(64, 30, 30);
+        assert_eq!(layer.output_shape(s).expect("ok"), s);
+    }
+
+    #[test]
+    fn labelselect_outputs_single_value() {
+        let layer = Layer::LabelSelect(LabelSelect { classes: 10 });
+        assert_eq!(
+            layer.output_shape(TensorShape::flat(10)).expect("ok"),
+            TensorShape::flat(1)
+        );
+        assert!(layer.output_shape(TensorShape::flat(11)).is_err());
+    }
+
+    #[test]
+    fn conv_macs() {
+        let c = Conv2d::new(3, 64, 3, 1, 0, QuantSpec::w2a2());
+        // 30x30 output positions, 3*3*3 MACs per filter, 64 filters.
+        assert_eq!(c.macs(TensorShape::new(64, 30, 30)), 27 * 64 * 900);
+    }
+
+    #[test]
+    fn dense_macs_and_weight_bits() {
+        let d = Dense::new(512, 10, QuantSpec::w1a2());
+        assert_eq!(d.macs(), 5120);
+        assert_eq!(d.weight_bits(), 5120);
+    }
+
+    #[test]
+    fn validate_catches_geometry_drift() {
+        let mut c = Conv2d::new(3, 64, 3, 1, 0, QuantSpec::w2a2());
+        c.out_channels = 32; // declared dims no longer match the weights
+        assert!(Layer::Conv2d(c).validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_zero_dims() {
+        let p = Layer::MaxPool2d(MaxPool2d::new(0, 2));
+        assert!(matches!(
+            p.validate(),
+            Err(ModelError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn layer_display_is_informative() {
+        let layer = Layer::Conv2d(Conv2d::new(3, 64, 3, 1, 0, QuantSpec::w2a2()));
+        let s = layer.to_string();
+        assert!(s.contains("conv2d"));
+        assert!(s.contains("3→64"));
+        assert!(s.contains("W2A2"));
+    }
+
+    #[test]
+    fn mvtu_classification() {
+        assert!(Layer::Conv2d(Conv2d::new(3, 8, 3, 1, 0, QuantSpec::w2a2())).is_mvtu());
+        assert!(Layer::Dense(Dense::new(8, 4, QuantSpec::w2a2())).is_mvtu());
+        assert!(!Layer::MaxPool2d(MaxPool2d::new(2, 2)).is_mvtu());
+    }
+}

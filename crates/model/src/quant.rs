@@ -1,0 +1,264 @@
+//! Quantization metadata.
+//!
+//! The AdaFlow paper evaluates two quantized CNV variants from the FINN
+//! model zoo: CNVW2A2 (2-bit weights, 2-bit activations) and CNVW1A2 (1-bit
+//! weights, 2-bit activations). Quantization-aware training is performed in
+//! Brevitas in the original flow; here we carry the same bit-width metadata
+//! through the graph so the dataflow mapper can size datapaths and the
+//! synthesis simulator can estimate resources.
+
+use crate::error::ModelError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Weight/activation bit widths of a quantized CNN.
+///
+/// ```
+/// use adaflow_model::QuantSpec;
+///
+/// let q = QuantSpec::w2a2();
+/// assert_eq!(q.weight_bits, 2);
+/// assert_eq!(q.act_bits, 2);
+/// assert_eq!(q.to_string(), "W2A2");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct QuantSpec {
+    /// Bits per weight. `1` means binarized weights in {-1, +1}.
+    pub weight_bits: u8,
+    /// Bits per activation.
+    pub act_bits: u8,
+}
+
+impl QuantSpec {
+    /// Creates a quantization spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either bit width is zero or above 8 (this crate models the
+    /// low-precision regime FINN targets; wider datapaths are out of scope).
+    #[must_use]
+    pub fn new(weight_bits: u8, act_bits: u8) -> Self {
+        assert!(
+            (1..=8).contains(&weight_bits) && (1..=8).contains(&act_bits),
+            "bit widths must be in 1..=8"
+        );
+        Self {
+            weight_bits,
+            act_bits,
+        }
+    }
+
+    /// The CNVW2A2 spec used in the paper (2-bit weights, 2-bit activations).
+    #[must_use]
+    pub fn w2a2() -> Self {
+        Self::new(2, 2)
+    }
+
+    /// The CNVW1A2 spec used in the paper (binary weights, 2-bit activations).
+    #[must_use]
+    pub fn w1a2() -> Self {
+        Self::new(1, 2)
+    }
+
+    /// Quantized domain of weight values.
+    #[must_use]
+    pub fn weight_domain(&self) -> QuantizedDomain {
+        QuantizedDomain::signed(self.weight_bits)
+    }
+
+    /// Quantized domain of activation values.
+    ///
+    /// FINN activations after thresholding are unsigned counts in
+    /// `0..2^act_bits - 1`.
+    #[must_use]
+    pub fn act_domain(&self) -> QuantizedDomain {
+        QuantizedDomain::unsigned(self.act_bits)
+    }
+
+    /// Number of threshold levels a MultiThreshold activation needs to map an
+    /// accumulator onto this activation domain (`2^act_bits - 1`).
+    #[must_use]
+    pub fn threshold_levels(&self) -> usize {
+        (1usize << self.act_bits) - 1
+    }
+}
+
+impl fmt::Display for QuantSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "W{}A{}", self.weight_bits, self.act_bits)
+    }
+}
+
+/// Inclusive integer range representable by a quantized value.
+///
+/// Signed domains are symmetric (`-(2^(b-1)-1) ..= 2^(b-1)-1`), matching
+/// Brevitas' narrow-range signed quantizers; the binary case degenerates to
+/// {-1, +1} with zero excluded, which [`QuantizedDomain::validate`] enforces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct QuantizedDomain {
+    /// Minimum representable value.
+    pub min: i64,
+    /// Maximum representable value.
+    pub max: i64,
+    /// Whether zero is excluded (binary weight domain {-1, +1}).
+    pub excludes_zero: bool,
+}
+
+impl QuantizedDomain {
+    /// Narrow-range signed domain for `bits`-bit values.
+    #[must_use]
+    pub fn signed(bits: u8) -> Self {
+        assert!((1..=8).contains(&bits), "bit width must be in 1..=8");
+        if bits == 1 {
+            // Binarized weights take values in {-1, +1}.
+            Self {
+                min: -1,
+                max: 1,
+                excludes_zero: true,
+            }
+        } else {
+            let m = (1i64 << (bits - 1)) - 1;
+            Self {
+                min: -m,
+                max: m,
+                excludes_zero: false,
+            }
+        }
+    }
+
+    /// Unsigned domain `0 ..= 2^bits - 1`.
+    #[must_use]
+    pub fn unsigned(bits: u8) -> Self {
+        assert!((1..=8).contains(&bits), "bit width must be in 1..=8");
+        Self {
+            min: 0,
+            max: (1i64 << bits) - 1,
+            excludes_zero: false,
+        }
+    }
+
+    /// Number of distinct representable values.
+    #[must_use]
+    pub fn cardinality(&self) -> usize {
+        let span = (self.max - self.min + 1) as usize;
+        if self.excludes_zero && self.min <= 0 && self.max >= 0 {
+            span - 1
+        } else {
+            span
+        }
+    }
+
+    /// Whether `value` is representable in this domain.
+    #[must_use]
+    pub fn contains(&self, value: i64) -> bool {
+        value >= self.min && value <= self.max && !(self.excludes_zero && value == 0)
+    }
+
+    /// Validates that `value` is representable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::QuantRange`] if the value falls outside the
+    /// domain (or is zero in a zero-excluding domain).
+    pub fn validate(&self, value: i64) -> Result<(), ModelError> {
+        if self.contains(value) {
+            Ok(())
+        } else {
+            Err(ModelError::QuantRange {
+                value,
+                min: self.min,
+                max: self.max,
+            })
+        }
+    }
+
+    /// Clamps `value` into the domain, snapping zero to +1 in zero-excluding
+    /// (binary) domains.
+    #[must_use]
+    pub fn clamp(&self, value: i64) -> i64 {
+        let v = value.clamp(self.min, self.max);
+        if self.excludes_zero && v == 0 {
+            1
+        } else {
+            v
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn w2a2_domains() {
+        let q = QuantSpec::w2a2();
+        assert_eq!(
+            q.weight_domain(),
+            QuantizedDomain {
+                min: -1,
+                max: 1,
+                excludes_zero: false
+            }
+        );
+        assert_eq!(
+            q.act_domain(),
+            QuantizedDomain {
+                min: 0,
+                max: 3,
+                excludes_zero: false
+            }
+        );
+        assert_eq!(q.threshold_levels(), 3);
+    }
+
+    #[test]
+    fn w1a2_weight_domain_is_binary() {
+        let q = QuantSpec::w1a2();
+        let d = q.weight_domain();
+        assert!(d.contains(-1));
+        assert!(d.contains(1));
+        assert!(!d.contains(0));
+        assert_eq!(d.cardinality(), 2);
+    }
+
+    #[test]
+    fn signed_domain_cardinality() {
+        assert_eq!(QuantizedDomain::signed(2).cardinality(), 3); // {-1, 0, 1}
+        assert_eq!(QuantizedDomain::signed(3).cardinality(), 7); // {-3..3}
+        assert_eq!(QuantizedDomain::signed(8).cardinality(), 255);
+    }
+
+    #[test]
+    fn unsigned_domain() {
+        let d = QuantizedDomain::unsigned(2);
+        assert_eq!((d.min, d.max), (0, 3));
+        assert_eq!(d.cardinality(), 4);
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range() {
+        let d = QuantizedDomain::signed(2);
+        assert!(d.validate(1).is_ok());
+        assert!(matches!(d.validate(2), Err(ModelError::QuantRange { .. })));
+    }
+
+    #[test]
+    fn clamp_snaps_binary_zero() {
+        let d = QuantizedDomain::signed(1);
+        assert_eq!(d.clamp(0), 1);
+        assert_eq!(d.clamp(-7), -1);
+        assert_eq!(d.clamp(9), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "bit widths must be in 1..=8")]
+    fn zero_bits_rejected() {
+        let _ = QuantSpec::new(0, 2);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(QuantSpec::w1a2().to_string(), "W1A2");
+        assert_eq!(QuantSpec::new(4, 8).to_string(), "W4A8");
+    }
+}

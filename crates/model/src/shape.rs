@@ -1,0 +1,188 @@
+//! Tensor shapes in channels-height-width (CHW) layout.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Shape of an activation tensor flowing between dataflow layers.
+///
+/// FINN streams feature maps in CHW order, one pixel-vector at a time; all
+/// shape arithmetic in the dataflow mapper is therefore expressed on this
+/// type. A fully-connected feature vector of length `n` is represented as
+/// `TensorShape::flat(n)` (i.e. `n x 1 x 1`).
+///
+/// ```
+/// use adaflow_model::TensorShape;
+///
+/// let input = TensorShape::new(3, 32, 32);
+/// assert_eq!(input.elements(), 3 * 32 * 32);
+/// assert_eq!(input.spatial(), 32 * 32);
+/// assert!(!input.is_flat());
+/// assert!(TensorShape::flat(512).is_flat());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TensorShape {
+    /// Number of channels (feature maps).
+    pub channels: usize,
+    /// Spatial height in pixels.
+    pub height: usize,
+    /// Spatial width in pixels.
+    pub width: usize,
+}
+
+impl TensorShape {
+    /// Creates a CHW shape.
+    #[must_use]
+    pub const fn new(channels: usize, height: usize, width: usize) -> Self {
+        Self {
+            channels,
+            height,
+            width,
+        }
+    }
+
+    /// Creates a flat (fully-connected) feature vector shape of length `n`.
+    #[must_use]
+    pub const fn flat(n: usize) -> Self {
+        Self {
+            channels: n,
+            height: 1,
+            width: 1,
+        }
+    }
+
+    /// Total number of elements.
+    #[must_use]
+    pub const fn elements(&self) -> usize {
+        self.channels * self.height * self.width
+    }
+
+    /// Number of spatial positions (`height * width`).
+    #[must_use]
+    pub const fn spatial(&self) -> usize {
+        self.height * self.width
+    }
+
+    /// Whether this shape is a flat feature vector (1x1 spatial extent).
+    #[must_use]
+    pub const fn is_flat(&self) -> bool {
+        self.height == 1 && self.width == 1
+    }
+
+    /// Returns this shape with a different channel count, keeping the
+    /// spatial extent. Used by the pruning transform when filters are
+    /// removed from the producing convolution.
+    #[must_use]
+    pub const fn with_channels(&self, channels: usize) -> Self {
+        Self {
+            channels,
+            height: self.height,
+            width: self.width,
+        }
+    }
+
+    /// Output spatial extent of a `kernel`/`stride`/`padding` sliding window
+    /// applied over this shape, or `None` if the window does not fit.
+    #[must_use]
+    pub fn windowed(&self, kernel: usize, stride: usize, padding: usize) -> Option<Self> {
+        if kernel == 0 || stride == 0 {
+            return None;
+        }
+        let h_in = self.height + 2 * padding;
+        let w_in = self.width + 2 * padding;
+        if h_in < kernel || w_in < kernel {
+            return None;
+        }
+        Some(Self {
+            channels: self.channels,
+            height: (h_in - kernel) / stride + 1,
+            width: (w_in - kernel) / stride + 1,
+        })
+    }
+}
+
+impl fmt::Display for TensorShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}", self.channels, self.height, self.width)
+    }
+}
+
+impl From<(usize, usize, usize)> for TensorShape {
+    fn from((c, h, w): (usize, usize, usize)) -> Self {
+        Self::new(c, h, w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elements_and_spatial() {
+        let s = TensorShape::new(64, 16, 16);
+        assert_eq!(s.elements(), 64 * 256);
+        assert_eq!(s.spatial(), 256);
+    }
+
+    #[test]
+    fn flat_shapes() {
+        let s = TensorShape::flat(512);
+        assert!(s.is_flat());
+        assert_eq!(s.elements(), 512);
+        assert_eq!(s.to_string(), "512x1x1");
+    }
+
+    #[test]
+    fn windowed_valid_conv() {
+        // 3x3 conv, stride 1, no padding over 32x32 -> 30x30 (FINN CNV style).
+        let s = TensorShape::new(3, 32, 32);
+        let out = s.windowed(3, 1, 0).expect("window fits");
+        assert_eq!(out, TensorShape::new(3, 30, 30));
+    }
+
+    #[test]
+    fn windowed_with_padding() {
+        let s = TensorShape::new(16, 32, 32);
+        let out = s.windowed(3, 1, 1).expect("window fits");
+        assert_eq!(out, TensorShape::new(16, 32, 32));
+    }
+
+    #[test]
+    fn windowed_maxpool() {
+        let s = TensorShape::new(64, 30, 30);
+        let out = s.windowed(2, 2, 0).expect("window fits");
+        assert_eq!(out, TensorShape::new(64, 15, 15));
+    }
+
+    #[test]
+    fn windowed_too_small() {
+        let s = TensorShape::new(8, 2, 2);
+        assert_eq!(s.windowed(3, 1, 0), None);
+    }
+
+    #[test]
+    fn windowed_rejects_degenerate_params() {
+        let s = TensorShape::new(8, 8, 8);
+        assert_eq!(s.windowed(0, 1, 0), None);
+        assert_eq!(s.windowed(3, 0, 0), None);
+    }
+
+    #[test]
+    fn with_channels_keeps_spatial() {
+        let s = TensorShape::new(64, 15, 15).with_channels(48);
+        assert_eq!(s, TensorShape::new(48, 15, 15));
+    }
+
+    #[test]
+    fn conversion_from_tuple() {
+        let s: TensorShape = (3, 32, 32).into();
+        assert_eq!(s, TensorShape::new(3, 32, 32));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let s = TensorShape::new(128, 8, 8);
+        let json = serde_json::to_string(&s).expect("serialize");
+        let back: TensorShape = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(s, back);
+    }
+}

@@ -1,0 +1,687 @@
+//! Integer weight storage for quantized layers.
+//!
+//! Weights are kept as `i8` values constrained to the layer's
+//! [`QuantizedDomain`](crate::quant::QuantizedDomain). The storage types also
+//! carry the structural operations the pruning transform needs: per-filter
+//! ℓ1-norms, filter removal, and input-channel removal (when the *previous*
+//! layer lost filters).
+
+use crate::error::ModelError;
+use serde::{Deserialize, Serialize};
+
+/// Weights of a 2-D convolution, stored `[out_ch][in_ch][kh][kw]` row-major.
+///
+/// ```
+/// use adaflow_model::ConvWeights;
+///
+/// let w = ConvWeights::zeroed(8, 3, 3);
+/// assert_eq!(w.out_channels(), 8);
+/// assert_eq!(w.in_channels(), 3);
+/// assert_eq!(w.len(), 8 * 3 * 3 * 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConvWeights {
+    out_channels: usize,
+    in_channels: usize,
+    kernel: usize,
+    data: Vec<i8>,
+}
+
+impl ConvWeights {
+    /// Creates an all-zero weight tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    #[must_use]
+    pub fn zeroed(out_channels: usize, in_channels: usize, kernel: usize) -> Self {
+        assert!(
+            out_channels > 0 && in_channels > 0 && kernel > 0,
+            "dimensions must be nonzero"
+        );
+        Self {
+            out_channels,
+            in_channels,
+            kernel,
+            data: vec![0; out_channels * in_channels * kernel * kernel],
+        }
+    }
+
+    /// Creates weights from a flat `[out][in][kh][kw]` buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::WeightMismatch`] if `data.len()` does not equal
+    /// `out_channels * in_channels * kernel^2`.
+    pub fn from_flat(
+        out_channels: usize,
+        in_channels: usize,
+        kernel: usize,
+        data: Vec<i8>,
+    ) -> Result<Self, ModelError> {
+        let expect = out_channels * in_channels * kernel * kernel;
+        if data.len() != expect {
+            return Err(ModelError::WeightMismatch {
+                layer: usize::MAX,
+                reason: format!("expected {expect} weights, got {}", data.len()),
+            });
+        }
+        Ok(Self {
+            out_channels,
+            in_channels,
+            kernel,
+            data,
+        })
+    }
+
+    /// Number of output channels (filters).
+    #[must_use]
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// Number of input channels.
+    #[must_use]
+    pub fn in_channels(&self) -> usize {
+        self.in_channels
+    }
+
+    /// Square kernel side length.
+    #[must_use]
+    pub fn kernel(&self) -> usize {
+        self.kernel
+    }
+
+    /// Total number of stored weights.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor holds no weights (never true for valid tensors).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Flat view of all weights.
+    #[must_use]
+    pub fn as_slice(&self) -> &[i8] {
+        &self.data
+    }
+
+    /// Mutable flat view of all weights.
+    pub fn as_mut_slice(&mut self) -> &mut [i8] {
+        &mut self.data
+    }
+
+    /// Weight at `[out][in][kh][kw]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    #[must_use]
+    pub fn at(&self, out: usize, inp: usize, kh: usize, kw: usize) -> i8 {
+        self.data[self.index(out, inp, kh, kw)]
+    }
+
+    /// Sets the weight at `[out][in][kh][kw]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn set(&mut self, out: usize, inp: usize, kh: usize, kw: usize, value: i8) {
+        let idx = self.index(out, inp, kh, kw);
+        self.data[idx] = value;
+    }
+
+    fn index(&self, out: usize, inp: usize, kh: usize, kw: usize) -> usize {
+        assert!(out < self.out_channels, "out channel {out} out of range");
+        assert!(inp < self.in_channels, "in channel {inp} out of range");
+        assert!(
+            kh < self.kernel && kw < self.kernel,
+            "kernel index out of range"
+        );
+        ((out * self.in_channels + inp) * self.kernel + kh) * self.kernel + kw
+    }
+
+    /// The flat weights of one filter (`[in][kh][kw]` for a fixed `out`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is out of range.
+    #[must_use]
+    pub fn filter(&self, out: usize) -> &[i8] {
+        assert!(out < self.out_channels, "out channel {out} out of range");
+        let stride = self.in_channels * self.kernel * self.kernel;
+        &self.data[out * stride..(out + 1) * stride]
+    }
+
+    /// ℓ1-norm of each filter, the relative-importance measure of Li et al.
+    /// ("Pruning filters for efficient convnets", ICLR'17) that AdaFlow's
+    /// dataflow-aware pruning reuses for filter selection.
+    #[must_use]
+    pub fn filter_l1_norms(&self) -> Vec<u64> {
+        (0..self.out_channels)
+            .map(|o| {
+                self.filter(o)
+                    .iter()
+                    .map(|&w| (w as i64).unsigned_abs())
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Returns a copy with the given filters (output channels) removed.
+    /// `remove` must be sorted ascending and duplicate-free.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::WeightMismatch`] if `remove` references an
+    /// out-of-range filter, is unsorted, contains duplicates, or would remove
+    /// every filter.
+    pub fn without_filters(&self, remove: &[usize]) -> Result<Self, ModelError> {
+        validate_removal(remove, self.out_channels, "filter")?;
+        if remove.len() == self.out_channels {
+            return Err(ModelError::WeightMismatch {
+                layer: usize::MAX,
+                reason: "cannot remove every filter".into(),
+            });
+        }
+        let keep: Vec<usize> = (0..self.out_channels)
+            .filter(|i| !remove.contains(i))
+            .collect();
+        let stride = self.in_channels * self.kernel * self.kernel;
+        let mut data = Vec::with_capacity(keep.len() * stride);
+        for &o in &keep {
+            data.extend_from_slice(self.filter(o));
+        }
+        Ok(Self {
+            out_channels: keep.len(),
+            in_channels: self.in_channels,
+            kernel: self.kernel,
+            data,
+        })
+    }
+
+    /// Returns a copy with the given *input* channels removed — applied when
+    /// the upstream convolution lost the corresponding filters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::WeightMismatch`] under the same conditions as
+    /// [`ConvWeights::without_filters`].
+    pub fn without_input_channels(&self, remove: &[usize]) -> Result<Self, ModelError> {
+        validate_removal(remove, self.in_channels, "input channel")?;
+        if remove.len() == self.in_channels {
+            return Err(ModelError::WeightMismatch {
+                layer: usize::MAX,
+                reason: "cannot remove every input channel".into(),
+            });
+        }
+        let keep: Vec<usize> = (0..self.in_channels)
+            .filter(|i| !remove.contains(i))
+            .collect();
+        let k2 = self.kernel * self.kernel;
+        let mut data = Vec::with_capacity(self.out_channels * keep.len() * k2);
+        for o in 0..self.out_channels {
+            let f = self.filter(o);
+            for &i in &keep {
+                data.extend_from_slice(&f[i * k2..(i + 1) * k2]);
+            }
+        }
+        Ok(Self {
+            out_channels: self.out_channels,
+            in_channels: keep.len(),
+            kernel: self.kernel,
+            data,
+        })
+    }
+}
+
+/// Weights of a fully-connected layer, stored `[out][in]` row-major.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DenseWeights {
+    out_features: usize,
+    in_features: usize,
+    data: Vec<i8>,
+}
+
+impl DenseWeights {
+    /// Creates an all-zero weight matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn zeroed(out_features: usize, in_features: usize) -> Self {
+        assert!(
+            out_features > 0 && in_features > 0,
+            "dimensions must be nonzero"
+        );
+        Self {
+            out_features,
+            in_features,
+            data: vec![0; out_features * in_features],
+        }
+    }
+
+    /// Creates weights from a flat `[out][in]` buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::WeightMismatch`] if the buffer length does not
+    /// equal `out_features * in_features`.
+    pub fn from_flat(
+        out_features: usize,
+        in_features: usize,
+        data: Vec<i8>,
+    ) -> Result<Self, ModelError> {
+        if data.len() != out_features * in_features {
+            return Err(ModelError::WeightMismatch {
+                layer: usize::MAX,
+                reason: format!(
+                    "expected {} weights, got {}",
+                    out_features * in_features,
+                    data.len()
+                ),
+            });
+        }
+        Ok(Self {
+            out_features,
+            in_features,
+            data,
+        })
+    }
+
+    /// Number of output features (neurons).
+    #[must_use]
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// Number of input features.
+    #[must_use]
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Flat view of all weights.
+    #[must_use]
+    pub fn as_slice(&self) -> &[i8] {
+        &self.data
+    }
+
+    /// Mutable flat view of all weights.
+    pub fn as_mut_slice(&mut self) -> &mut [i8] {
+        &mut self.data
+    }
+
+    /// One neuron's weight row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is out of range.
+    #[must_use]
+    pub fn row(&self, out: usize) -> &[i8] {
+        assert!(out < self.out_features, "row {out} out of range");
+        &self.data[out * self.in_features..(out + 1) * self.in_features]
+    }
+
+    /// Weight at `[out][in]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    #[must_use]
+    pub fn at(&self, out: usize, inp: usize) -> i8 {
+        assert!(inp < self.in_features, "column {inp} out of range");
+        self.row(out)[inp]
+    }
+
+    /// Sets the weight at `[out][in]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn set(&mut self, out: usize, inp: usize, value: i8) {
+        assert!(
+            out < self.out_features && inp < self.in_features,
+            "index out of range"
+        );
+        self.data[out * self.in_features + inp] = value;
+    }
+
+    /// Removes input features. When the last convolution before the
+    /// flatten lost filters, each lost channel removes `spatial` consecutive
+    /// blocks of input features; the caller passes the already-expanded
+    /// feature indices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::WeightMismatch`] if `remove` is invalid or would
+    /// remove every input feature.
+    pub fn without_input_features(&self, remove: &[usize]) -> Result<Self, ModelError> {
+        validate_removal(remove, self.in_features, "input feature")?;
+        if remove.len() == self.in_features {
+            return Err(ModelError::WeightMismatch {
+                layer: usize::MAX,
+                reason: "cannot remove every input feature".into(),
+            });
+        }
+        let removed: std::collections::HashSet<usize> = remove.iter().copied().collect();
+        let keep: Vec<usize> = (0..self.in_features)
+            .filter(|i| !removed.contains(i))
+            .collect();
+        let mut data = Vec::with_capacity(self.out_features * keep.len());
+        for o in 0..self.out_features {
+            let r = self.row(o);
+            for &i in &keep {
+                data.push(r[i]);
+            }
+        }
+        Ok(Self {
+            out_features: self.out_features,
+            in_features: keep.len(),
+            data,
+        })
+    }
+}
+
+/// Per-channel threshold table of a FINN MultiThreshold activation.
+///
+/// FINN folds batch-norm + quantized activation into a monotonically
+/// increasing threshold list per channel: the output activation is the count
+/// of thresholds the accumulator meets or exceeds. `levels` equals
+/// `2^act_bits - 1`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ThresholdTable {
+    channels: usize,
+    levels: usize,
+    /// `[channel][level]`, each row sorted ascending.
+    data: Vec<i32>,
+}
+
+impl ThresholdTable {
+    /// Builds a table from per-channel rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::WeightMismatch`] if rows have inconsistent
+    /// lengths, there are no channels/levels, or a row is not sorted
+    /// ascending (thresholding requires monotone levels).
+    pub fn from_rows(rows: Vec<Vec<i32>>) -> Result<Self, ModelError> {
+        let channels = rows.len();
+        if channels == 0 {
+            return Err(ModelError::WeightMismatch {
+                layer: usize::MAX,
+                reason: "threshold table needs at least one channel".into(),
+            });
+        }
+        let levels = rows[0].len();
+        if levels == 0 {
+            return Err(ModelError::WeightMismatch {
+                layer: usize::MAX,
+                reason: "threshold table needs at least one level".into(),
+            });
+        }
+        let mut data = Vec::with_capacity(channels * levels);
+        for (c, row) in rows.iter().enumerate() {
+            if row.len() != levels {
+                return Err(ModelError::WeightMismatch {
+                    layer: usize::MAX,
+                    reason: format!("channel {c} has {} levels, expected {levels}", row.len()),
+                });
+            }
+            if row.windows(2).any(|w| w[0] > w[1]) {
+                return Err(ModelError::WeightMismatch {
+                    layer: usize::MAX,
+                    reason: format!("channel {c} thresholds not ascending"),
+                });
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(Self {
+            channels,
+            levels,
+            data,
+        })
+    }
+
+    /// A uniform table where every channel uses the same evenly spaced
+    /// thresholds in `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels` or `levels` is zero or `lo > hi`.
+    #[must_use]
+    pub fn uniform(channels: usize, levels: usize, lo: i32, hi: i32) -> Self {
+        assert!(channels > 0 && levels > 0, "dimensions must be nonzero");
+        assert!(lo <= hi, "lo must not exceed hi");
+        let row: Vec<i32> = (0..levels)
+            .map(|l| {
+                let span = (hi - lo) as i64;
+                lo + ((span * (l as i64 + 1)) / (levels as i64 + 1)) as i32
+            })
+            .collect();
+        let mut data = Vec::with_capacity(channels * levels);
+        for _ in 0..channels {
+            data.extend_from_slice(&row);
+        }
+        Self {
+            channels,
+            levels,
+            data,
+        }
+    }
+
+    /// Number of channels.
+    #[must_use]
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Number of threshold levels per channel.
+    #[must_use]
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// Threshold row of one channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` is out of range.
+    #[must_use]
+    pub fn row(&self, channel: usize) -> &[i32] {
+        assert!(channel < self.channels, "channel {channel} out of range");
+        &self.data[channel * self.levels..(channel + 1) * self.levels]
+    }
+
+    /// Applies the threshold activation: number of thresholds `acc` meets or
+    /// exceeds, i.e. the quantized activation value in `0..=levels`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` is out of range.
+    #[must_use]
+    pub fn apply(&self, channel: usize, acc: i32) -> u8 {
+        self.row(channel).iter().filter(|&&t| acc >= t).count() as u8
+    }
+
+    /// Returns a copy keeping only the channels NOT listed in `remove`
+    /// (sorted, deduplicated indices) — used when the upstream conv is pruned.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::WeightMismatch`] if `remove` is invalid or would
+    /// remove every channel.
+    pub fn without_channels(&self, remove: &[usize]) -> Result<Self, ModelError> {
+        validate_removal(remove, self.channels, "channel")?;
+        if remove.len() == self.channels {
+            return Err(ModelError::WeightMismatch {
+                layer: usize::MAX,
+                reason: "cannot remove every channel".into(),
+            });
+        }
+        let keep: Vec<usize> = (0..self.channels).filter(|i| !remove.contains(i)).collect();
+        let mut data = Vec::with_capacity(keep.len() * self.levels);
+        for &c in &keep {
+            data.extend_from_slice(self.row(c));
+        }
+        Ok(Self {
+            channels: keep.len(),
+            levels: self.levels,
+            data,
+        })
+    }
+}
+
+/// Validates that `remove` is a sorted, deduplicated list of in-range indices.
+fn validate_removal(remove: &[usize], limit: usize, what: &str) -> Result<(), ModelError> {
+    for w in remove.windows(2) {
+        if w[0] >= w[1] {
+            return Err(ModelError::WeightMismatch {
+                layer: usize::MAX,
+                reason: format!("{what} removal list must be sorted and duplicate-free"),
+            });
+        }
+    }
+    if let Some(&last) = remove.last() {
+        if last >= limit {
+            return Err(ModelError::WeightMismatch {
+                layer: usize::MAX,
+                reason: format!("{what} index {last} out of range (limit {limit})"),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counting_conv(out: usize, inp: usize, k: usize) -> ConvWeights {
+        let mut w = ConvWeights::zeroed(out, inp, k);
+        for (i, v) in w.as_mut_slice().iter_mut().enumerate() {
+            *v = ((i % 5) as i8) - 2;
+        }
+        w
+    }
+
+    #[test]
+    fn conv_indexing_round_trip() {
+        let mut w = ConvWeights::zeroed(4, 2, 3);
+        w.set(3, 1, 2, 2, -1);
+        assert_eq!(w.at(3, 1, 2, 2), -1);
+        assert_eq!(w.at(0, 0, 0, 0), 0);
+    }
+
+    #[test]
+    fn conv_from_flat_checks_length() {
+        assert!(ConvWeights::from_flat(2, 2, 3, vec![0; 36]).is_ok());
+        assert!(ConvWeights::from_flat(2, 2, 3, vec![0; 35]).is_err());
+    }
+
+    #[test]
+    fn filter_l1_norm_matches_manual_sum() {
+        let w = counting_conv(3, 2, 3);
+        let norms = w.filter_l1_norms();
+        for (o, &n) in norms.iter().enumerate() {
+            let manual: u64 = w.filter(o).iter().map(|&x| (x as i64).unsigned_abs()).sum();
+            assert_eq!(n, manual);
+        }
+    }
+
+    #[test]
+    fn without_filters_shrinks_out_channels() {
+        let w = counting_conv(8, 4, 3);
+        let pruned = w.without_filters(&[1, 5]).expect("prune");
+        assert_eq!(pruned.out_channels(), 6);
+        assert_eq!(pruned.in_channels(), 4);
+        // Filter 0 unchanged, filter 1 is old filter 2.
+        assert_eq!(pruned.filter(0), w.filter(0));
+        assert_eq!(pruned.filter(1), w.filter(2));
+        assert_eq!(pruned.filter(4), w.filter(6));
+    }
+
+    #[test]
+    fn without_filters_rejects_bad_lists() {
+        let w = counting_conv(4, 2, 3);
+        assert!(w.without_filters(&[2, 1]).is_err(), "unsorted");
+        assert!(w.without_filters(&[1, 1]).is_err(), "duplicate");
+        assert!(w.without_filters(&[4]).is_err(), "out of range");
+        assert!(w.without_filters(&[0, 1, 2, 3]).is_err(), "removes all");
+    }
+
+    #[test]
+    fn without_input_channels_shrinks_in_channels() {
+        let w = counting_conv(2, 4, 3);
+        let pruned = w.without_input_channels(&[0, 3]).expect("prune");
+        assert_eq!(pruned.in_channels(), 2);
+        // Kept input channels are old channels 1 and 2.
+        for o in 0..2 {
+            for kh in 0..3 {
+                for kw in 0..3 {
+                    assert_eq!(pruned.at(o, 0, kh, kw), w.at(o, 1, kh, kw));
+                    assert_eq!(pruned.at(o, 1, kh, kw), w.at(o, 2, kh, kw));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dense_row_and_removal() {
+        let mut w = DenseWeights::zeroed(2, 6);
+        for i in 0..6 {
+            w.set(0, i, i as i8);
+            w.set(1, i, -(i as i8));
+        }
+        let pruned = w.without_input_features(&[1, 4]).expect("prune");
+        assert_eq!(pruned.in_features(), 4);
+        assert_eq!(pruned.row(0), &[0, 2, 3, 5]);
+        assert_eq!(pruned.row(1), &[0, -2, -3, -5]);
+    }
+
+    #[test]
+    fn dense_from_flat_checks_length() {
+        assert!(DenseWeights::from_flat(2, 3, vec![0; 6]).is_ok());
+        assert!(DenseWeights::from_flat(2, 3, vec![0; 5]).is_err());
+    }
+
+    #[test]
+    fn threshold_apply_counts_levels() {
+        let t = ThresholdTable::from_rows(vec![vec![-1, 3, 9]]).expect("table");
+        assert_eq!(t.apply(0, -5), 0);
+        assert_eq!(t.apply(0, -1), 1);
+        assert_eq!(t.apply(0, 3), 2);
+        assert_eq!(t.apply(0, 100), 3);
+    }
+
+    #[test]
+    fn threshold_rejects_unsorted_rows() {
+        assert!(ThresholdTable::from_rows(vec![vec![5, 1, 9]]).is_err());
+    }
+
+    #[test]
+    fn threshold_uniform_is_sorted_and_sized() {
+        let t = ThresholdTable::uniform(4, 3, -10, 10);
+        assert_eq!(t.channels(), 4);
+        assert_eq!(t.levels(), 3);
+        for c in 0..4 {
+            let row = t.row(c);
+            assert!(row.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    #[test]
+    fn threshold_channel_removal() {
+        let t =
+            ThresholdTable::from_rows(vec![vec![0, 1], vec![10, 11], vec![20, 21]]).expect("table");
+        let pruned = t.without_channels(&[1]).expect("prune");
+        assert_eq!(pruned.channels(), 2);
+        assert_eq!(pruned.row(0), &[0, 1]);
+        assert_eq!(pruned.row(1), &[20, 21]);
+    }
+}

@@ -1,0 +1,260 @@
+//! Calibrated accuracy-vs-pruning model.
+//!
+//! At CNV scale, retraining each of the 18 pruned variants for 40 epochs (as
+//! the paper does on a Tesla K20m) is outside this reproduction's budget, so
+//! model accuracy is supplied by an analytical curve anchored to the paper's
+//! published operating points:
+//!
+//! * the unpruned TOP-1 baselines of the CNV variants,
+//! * the −9.9 %-points drop at 25 % pruning on CNVW2A2/CIFAR-10 (Fig. 5b),
+//! * the steady decline toward 85 % pruning visible in Fig. 1(a).
+//!
+//! The curve is `drop(p) = c1·p + c3·p³` (percentage points, `p ∈ [0, 1]`),
+//! which reproduces the near-linear low-rate regime and the steeper tail.
+//! The real-training path (small scale) lives in [`crate::train`].
+
+use crate::dataset::DatasetSpec;
+use adaflow_model::QuantSpec;
+use serde::{Deserialize, Serialize};
+
+/// The two evaluation datasets of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DatasetKind {
+    /// CIFAR-10 (10 classes, 3x32x32).
+    Cifar10,
+    /// German Traffic Sign Recognition Benchmark, rescaled to 3x32x32
+    /// (43 classes).
+    Gtsrb,
+}
+
+impl DatasetKind {
+    /// Number of classes.
+    #[must_use]
+    pub fn classes(&self) -> usize {
+        match self {
+            DatasetKind::Cifar10 => 10,
+            DatasetKind::Gtsrb => 43,
+        }
+    }
+
+    /// The synthetic stand-in dataset spec (see DESIGN.md §1).
+    #[must_use]
+    pub fn spec(&self) -> DatasetSpec {
+        match self {
+            DatasetKind::Cifar10 => DatasetSpec::cifar10_like(),
+            DatasetKind::Gtsrb => DatasetSpec::gtsrb_like(),
+        }
+    }
+
+    /// Short lowercase name used in model/library identifiers.
+    #[must_use]
+    pub fn short_name(&self) -> &'static str {
+        match self {
+            DatasetKind::Cifar10 => "cifar10",
+            DatasetKind::Gtsrb => "gtsrb",
+        }
+    }
+
+    /// Both datasets, in the paper's order.
+    #[must_use]
+    pub fn all() -> [DatasetKind; 2] {
+        [DatasetKind::Cifar10, DatasetKind::Gtsrb]
+    }
+}
+
+impl std::fmt::Display for DatasetKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+/// Analytical TOP-1 accuracy as a function of the filter-pruning rate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AccuracyModel {
+    /// Unpruned TOP-1 accuracy in percent.
+    pub base: f64,
+    /// Linear drop coefficient (percentage points at p = 1).
+    pub c1: f64,
+    /// Cubic drop coefficient.
+    pub c3: f64,
+    /// Accuracy floor (chance level) in percent.
+    pub floor: f64,
+}
+
+impl AccuracyModel {
+    /// An explicit model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is not in `(floor, 100]` or coefficients are
+    /// negative.
+    #[must_use]
+    pub fn new(base: f64, c1: f64, c3: f64, floor: f64) -> Self {
+        assert!(base > floor && base <= 100.0, "base accuracy out of range");
+        assert!(
+            c1 >= 0.0 && c3 >= 0.0,
+            "drop coefficients must be nonnegative"
+        );
+        Self {
+            base,
+            c1,
+            c3,
+            floor,
+        }
+    }
+
+    /// The calibrated model for one paper dataset/CNN combination.
+    ///
+    /// Calibration anchors (see module docs): CNVW2A2/CIFAR-10 loses 9.9
+    /// points at 25 % pruning; the other combinations scale that curve by a
+    /// redundancy factor.
+    #[must_use]
+    pub fn calibrated(dataset: DatasetKind, quant: QuantSpec) -> Self {
+        // Reference curve fitted to drop(0.25) = 9.9 and drop(0.85) = 38.
+        const C1: f64 = 39.12;
+        const C3: f64 = 7.73;
+        // Steepness stays at or slightly below 1.0 for every combination:
+        // Table I shows all four dataset/model pairs adapting under the
+        // 10% threshold, which requires the 25% pruning point to stay
+        // within ~10 points of the unpruned accuracy.
+        let (base, steepness) = match (dataset, quant.weight_bits) {
+            (DatasetKind::Cifar10, 2) => (84.8, 1.0),
+            (DatasetKind::Cifar10, _) => (79.5, 0.99),
+            (DatasetKind::Gtsrb, 2) => (96.5, 0.96),
+            (DatasetKind::Gtsrb, _) => (94.0, 0.97),
+        };
+        let floor = 100.0 / dataset.classes() as f64;
+        Self::new(base, C1 * steepness, C3 * steepness, floor)
+    }
+
+    /// Accuracy drop in percentage points at pruning rate `p ∈ [0, 1]`.
+    #[must_use]
+    pub fn drop_at(&self, p: f64) -> f64 {
+        let p = p.clamp(0.0, 1.0);
+        (self.c1 * p + self.c3 * p * p * p).min(self.base - self.floor)
+    }
+
+    /// TOP-1 accuracy in percent at pruning rate `p ∈ [0, 1]`, floored at
+    /// chance level.
+    #[must_use]
+    pub fn accuracy_at(&self, p: f64) -> f64 {
+        (self.base - self.drop_at(p)).max(self.floor)
+    }
+
+    /// Largest pruning rate whose accuracy drop stays within
+    /// `max_loss_points` — the paper's accuracy-threshold concept (10 % in
+    /// the evaluation). Returns a rate in `[0, 1]`.
+    #[must_use]
+    pub fn max_pruning_for_loss(&self, max_loss_points: f64) -> f64 {
+        if max_loss_points <= 0.0 {
+            return 0.0;
+        }
+        // Bisection on the monotone drop curve.
+        let (mut lo, mut hi) = (0.0f64, 1.0f64);
+        if self.drop_at(hi) <= max_loss_points {
+            return hi;
+        }
+        for _ in 0..60 {
+            let mid = 0.5 * (lo + hi);
+            if self.drop_at(mid) <= max_loss_points {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cifar10_w2a2_anchor_points() {
+        let m = AccuracyModel::calibrated(DatasetKind::Cifar10, QuantSpec::w2a2());
+        assert!((m.accuracy_at(0.0) - 84.8).abs() < 1e-9);
+        // Paper: 9.9-point loss at 25 % pruning.
+        assert!(
+            (m.drop_at(0.25) - 9.9).abs() < 0.1,
+            "drop at 25% = {}",
+            m.drop_at(0.25)
+        );
+    }
+
+    #[test]
+    fn accuracy_is_monotone_decreasing() {
+        for dataset in DatasetKind::all() {
+            for quant in [QuantSpec::w2a2(), QuantSpec::w1a2()] {
+                let m = AccuracyModel::calibrated(dataset, quant);
+                let mut prev = f64::INFINITY;
+                for step in 0..=17 {
+                    let acc = m.accuracy_at(step as f64 * 0.05);
+                    assert!(acc <= prev + 1e-12);
+                    prev = acc;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn accuracy_never_below_chance() {
+        let m = AccuracyModel::calibrated(DatasetKind::Cifar10, QuantSpec::w1a2());
+        assert!(m.accuracy_at(1.0) >= 10.0);
+        let g = AccuracyModel::calibrated(DatasetKind::Gtsrb, QuantSpec::w1a2());
+        assert!(g.accuracy_at(1.0) >= 100.0 / 43.0);
+    }
+
+    #[test]
+    fn ten_percent_threshold_allows_about_quarter_pruning() {
+        // The paper's 10 % threshold admits models up to ~25 % pruning.
+        let m = AccuracyModel::calibrated(DatasetKind::Cifar10, QuantSpec::w2a2());
+        let p = m.max_pruning_for_loss(10.0);
+        assert!(
+            (0.22..=0.30).contains(&p),
+            "max pruning for 10% loss was {p}"
+        );
+    }
+
+    #[test]
+    fn zero_threshold_admits_no_pruning() {
+        let m = AccuracyModel::calibrated(DatasetKind::Cifar10, QuantSpec::w2a2());
+        assert_eq!(m.max_pruning_for_loss(0.0), 0.0);
+    }
+
+    #[test]
+    fn huge_threshold_admits_full_range() {
+        let m = AccuracyModel::calibrated(DatasetKind::Cifar10, QuantSpec::w2a2());
+        assert_eq!(m.max_pruning_for_loss(1000.0), 1.0);
+    }
+
+    #[test]
+    fn gtsrb_base_is_higher_than_cifar() {
+        let g = AccuracyModel::calibrated(DatasetKind::Gtsrb, QuantSpec::w2a2());
+        let c = AccuracyModel::calibrated(DatasetKind::Cifar10, QuantSpec::w2a2());
+        assert!(g.base > c.base);
+    }
+
+    #[test]
+    fn w1a2_base_is_lower_than_w2a2() {
+        for dataset in DatasetKind::all() {
+            let w2 = AccuracyModel::calibrated(dataset, QuantSpec::w2a2());
+            let w1 = AccuracyModel::calibrated(dataset, QuantSpec::w1a2());
+            assert!(w1.base < w2.base);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "base accuracy out of range")]
+    fn rejects_base_below_floor() {
+        let _ = AccuracyModel::new(5.0, 1.0, 1.0, 10.0);
+    }
+
+    #[test]
+    fn dataset_kind_metadata() {
+        assert_eq!(DatasetKind::Cifar10.classes(), 10);
+        assert_eq!(DatasetKind::Gtsrb.classes(), 43);
+        assert_eq!(DatasetKind::Gtsrb.to_string(), "gtsrb");
+        assert_eq!(DatasetKind::Cifar10.spec().classes, 10);
+    }
+}

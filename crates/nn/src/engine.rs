@@ -1,0 +1,553 @@
+//! Bit-accurate integer inference engine.
+//!
+//! Executes a [`CnnGraph`] the way the FINN dataflow hardware does:
+//! convolutions and dense layers accumulate signed integer dot products
+//! (the MVTU's PE accumulators), multi-threshold activations re-quantize
+//! accumulators to low-precision unsigned activations, max-pooling operates
+//! directly on quantized activations, and the final label-select picks the
+//! arg-max class. There is no floating point anywhere on the datapath.
+
+use crate::error::NnError;
+use crate::tensor::Activations;
+use adaflow_model::{CnnGraph, Layer, TensorShape};
+
+/// Result of one inference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InferenceResult {
+    /// Selected (top-1) class index.
+    pub label: usize,
+    /// Raw class accumulators from the classifier layer.
+    pub logits: Vec<i32>,
+}
+
+/// Convolution lowering strategy.
+///
+/// Both strategies are bit-identical; they differ in memory/speed trade-off:
+///
+/// * [`ConvStrategy::Direct`] walks the input in place (no scratch memory);
+/// * [`ConvStrategy::Im2col`] lowers each convolution to a dense
+///   matrix-matrix product over an explicit window matrix — the classic GEMM
+///   lowering, faster for wide layers at the cost of `out_pixels x k^2 x
+///   ch_in` scratch bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ConvStrategy {
+    /// In-place direct convolution.
+    #[default]
+    Direct,
+    /// GEMM lowering via an explicit im2col window matrix.
+    Im2col,
+}
+
+/// Value flowing between layers: quantized activations or raw MVTU
+/// accumulators awaiting thresholding.
+#[derive(Debug, Clone)]
+enum Flow {
+    Quant(Activations),
+    Accum { shape: TensorShape, data: Vec<i32> },
+}
+
+/// The inference engine, borrowing the graph it executes.
+///
+/// ```
+/// use adaflow_model::prelude::*;
+/// use adaflow_nn::{Activations, Engine};
+///
+/// let graph = topology::tiny(QuantSpec::w2a2(), 4)?;
+/// let engine = Engine::new(&graph)?;
+/// let image = Activations::zeroed(graph.input_shape());
+/// let result = engine.run(&image)?;
+/// assert_eq!(result.logits.len(), 4);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Engine<'g> {
+    graph: &'g CnnGraph,
+    strategy: ConvStrategy,
+}
+
+impl<'g> Engine<'g> {
+    /// Prepares an engine for `graph`, checking that the layer arrangement
+    /// is executable (thresholds follow MVTUs, the graph ends in a
+    /// label-select fed by accumulators).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Unsupported`] when the chain cannot be executed
+    /// (e.g. a max-pool directly on raw accumulators).
+    pub fn new(graph: &'g CnnGraph) -> Result<Self, NnError> {
+        // Static walk over the quant/accum state machine.
+        let mut accum = false; // true when the current value is accumulators
+        for node in graph.iter() {
+            match &node.layer {
+                Layer::Conv2d(_) | Layer::Dense(_) => {
+                    if accum {
+                        return Err(NnError::Unsupported(format!(
+                            "{} ({}) consumes raw accumulators; insert a threshold first",
+                            node.id, node.name
+                        )));
+                    }
+                    accum = true;
+                }
+                Layer::MultiThreshold(_) => {
+                    if !accum {
+                        return Err(NnError::Unsupported(format!(
+                            "{} ({}) thresholds already-quantized activations",
+                            node.id, node.name
+                        )));
+                    }
+                    accum = false;
+                }
+                Layer::MaxPool2d(_) => {
+                    if accum {
+                        return Err(NnError::Unsupported(format!(
+                            "{} ({}) pools raw accumulators; insert a threshold first",
+                            node.id, node.name
+                        )));
+                    }
+                }
+                Layer::LabelSelect(_) => {
+                    if !accum {
+                        return Err(NnError::Unsupported(format!(
+                            "{} ({}) needs classifier accumulators",
+                            node.id, node.name
+                        )));
+                    }
+                    accum = false;
+                }
+            }
+        }
+        Ok(Self {
+            graph,
+            strategy: ConvStrategy::Direct,
+        })
+    }
+
+    /// Returns this engine with a different convolution strategy.
+    #[must_use]
+    pub fn with_strategy(mut self, strategy: ConvStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// The graph this engine executes.
+    #[must_use]
+    pub fn graph(&self) -> &CnnGraph {
+        self.graph
+    }
+
+    /// Runs one inference.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InputShape`] if `input` does not match the graph's
+    /// input shape, or [`NnError::Unsupported`] if the graph does not end in
+    /// a label-select.
+    pub fn run(&self, input: &Activations) -> Result<InferenceResult, NnError> {
+        if input.shape() != self.graph.input_shape() {
+            return Err(NnError::InputShape {
+                expected: self.graph.input_shape(),
+                found: input.shape(),
+            });
+        }
+        let mut flow = Flow::Quant(input.clone());
+        let mut result = None;
+        for node in self.graph.iter() {
+            flow = match (&node.layer, flow) {
+                (Layer::Conv2d(c), Flow::Quant(acts)) => {
+                    let out_shape = node.output_shape;
+                    let data = match self.strategy {
+                        ConvStrategy::Direct => conv_forward(c, &acts, out_shape),
+                        ConvStrategy::Im2col => conv_forward_im2col(c, &acts, out_shape),
+                    };
+                    Flow::Accum {
+                        shape: out_shape,
+                        data,
+                    }
+                }
+                (Layer::Dense(d), Flow::Quant(acts)) => {
+                    let data = dense_forward(d, acts.as_slice());
+                    Flow::Accum {
+                        shape: node.output_shape,
+                        data,
+                    }
+                }
+                (Layer::MultiThreshold(t), Flow::Accum { shape, data }) => {
+                    let quant = threshold_forward(t, shape, &data);
+                    Flow::Quant(quant)
+                }
+                (Layer::MaxPool2d(p), Flow::Quant(acts)) => {
+                    Flow::Quant(pool_forward(p.kernel, p.stride, &acts, node.output_shape))
+                }
+                (Layer::LabelSelect(_), Flow::Accum { data, .. }) => {
+                    let label = argmax(&data);
+                    result = Some(InferenceResult {
+                        label,
+                        logits: data.clone(),
+                    });
+                    Flow::Accum {
+                        shape: node.output_shape,
+                        data,
+                    }
+                }
+                (layer, _) => {
+                    // `new` validated the chain; reaching here means the graph
+                    // was mutated behind our back.
+                    return Err(NnError::Unsupported(format!(
+                        "layer {} cannot consume the current value kind",
+                        layer.kind()
+                    )));
+                }
+            };
+        }
+        result.ok_or_else(|| NnError::Unsupported("graph has no label-select output".into()))
+    }
+
+    /// Classifies a batch, returning the predicted label per sample.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error from [`Engine::run`].
+    pub fn run_batch<'a, I>(&self, inputs: I) -> Result<Vec<usize>, NnError>
+    where
+        I: IntoIterator<Item = &'a Activations>,
+    {
+        inputs
+            .into_iter()
+            .map(|x| self.run(x).map(|r| r.label))
+            .collect()
+    }
+}
+
+/// Direct convolution producing MVTU accumulators.
+fn conv_forward(
+    c: &adaflow_model::Conv2d,
+    input: &Activations,
+    out_shape: TensorShape,
+) -> Vec<i32> {
+    let mut out = vec![0i32; out_shape.elements()];
+    let k = c.kernel;
+    let stride = c.stride as isize;
+    let pad = c.padding as isize;
+    let (oh, ow) = (out_shape.height, out_shape.width);
+    for o in 0..c.out_channels {
+        let filter = c.weights.filter(o);
+        for y in 0..oh {
+            for x in 0..ow {
+                let mut acc = 0i32;
+                let base_y = y as isize * stride - pad;
+                let base_x = x as isize * stride - pad;
+                for i in 0..c.in_channels {
+                    let fplane = &filter[i * k * k..(i + 1) * k * k];
+                    for ky in 0..k {
+                        for kx in 0..k {
+                            let v = input.at_padded(i, base_y + ky as isize, base_x + kx as isize);
+                            acc += i32::from(fplane[ky * k + kx]) * i32::from(v);
+                        }
+                    }
+                }
+                out[(o * oh + y) * ow + x] = acc;
+            }
+        }
+    }
+    out
+}
+
+/// GEMM-lowered convolution: materializes the im2col window matrix
+/// (`[out_pixels][k^2 * ch_in]`, the exact stream the SWU produces in
+/// hardware), then multiplies it against the filter matrix.
+fn conv_forward_im2col(
+    c: &adaflow_model::Conv2d,
+    input: &Activations,
+    out_shape: TensorShape,
+) -> Vec<i32> {
+    let k = c.kernel;
+    let window = k * k * c.in_channels;
+    let pixels = out_shape.spatial();
+    let (oh, ow) = (out_shape.height, out_shape.width);
+
+    // im2col: one row per output pixel, channel-major within the row to
+    // match the filter layout `[in][kh][kw]`.
+    let mut cols = vec![0u8; pixels * window];
+    for y in 0..oh {
+        for x in 0..ow {
+            let base_y = (y * c.stride) as isize - c.padding as isize;
+            let base_x = (x * c.stride) as isize - c.padding as isize;
+            let row = &mut cols[(y * ow + x) * window..(y * ow + x + 1) * window];
+            let mut w = 0;
+            for i in 0..c.in_channels {
+                for ky in 0..k {
+                    for kx in 0..k {
+                        row[w] = input.at_padded(i, base_y + ky as isize, base_x + kx as isize);
+                        w += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    // GEMM: filters (rows) x window matrix (columns).
+    let mut out = vec![0i32; c.out_channels * pixels];
+    for o in 0..c.out_channels {
+        let filter = c.weights.filter(o);
+        let out_row = &mut out[o * pixels..(o + 1) * pixels];
+        for (p, acc) in out_row.iter_mut().enumerate() {
+            let col = &cols[p * window..(p + 1) * window];
+            *acc = filter
+                .iter()
+                .zip(col)
+                .map(|(&w, &x)| i32::from(w) * i32::from(x))
+                .sum();
+        }
+    }
+    out
+}
+
+/// Dense matrix-vector product producing MVTU accumulators.
+fn dense_forward(d: &adaflow_model::Dense, input: &[u8]) -> Vec<i32> {
+    (0..d.out_features)
+        .map(|o| {
+            d.weights
+                .row(o)
+                .iter()
+                .zip(input)
+                .map(|(&w, &x)| i32::from(w) * i32::from(x))
+                .sum()
+        })
+        .collect()
+}
+
+/// Multi-threshold re-quantization (per-channel threshold rows).
+fn threshold_forward(
+    t: &adaflow_model::MultiThreshold,
+    shape: TensorShape,
+    accums: &[i32],
+) -> Activations {
+    let mut out = Activations::zeroed(shape);
+    let spatial = shape.spatial();
+    let data = out.as_mut_slice();
+    for ch in 0..shape.channels {
+        for s in 0..spatial {
+            let idx = ch * spatial + s;
+            data[idx] = t.table.apply(ch, accums[idx]);
+        }
+    }
+    out
+}
+
+/// Max-pooling over quantized activations.
+fn pool_forward(
+    kernel: usize,
+    stride: usize,
+    input: &Activations,
+    out_shape: TensorShape,
+) -> Activations {
+    let mut out = Activations::zeroed(out_shape);
+    for c in 0..out_shape.channels {
+        for y in 0..out_shape.height {
+            for x in 0..out_shape.width {
+                let mut best = 0u8;
+                for ky in 0..kernel {
+                    for kx in 0..kernel {
+                        best = best.max(input.at(c, y * stride + ky, x * stride + kx));
+                    }
+                }
+                out.set(c, y, x, best);
+            }
+        }
+    }
+    out
+}
+
+/// Arg-max with deterministic lowest-index tie-breaking (matches FINN's
+/// LabelSelect behaviour).
+fn argmax(values: &[i32]) -> usize {
+    values
+        .iter()
+        .enumerate()
+        .max_by(|(ia, a), (ib, b)| a.cmp(b).then(ib.cmp(ia)))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaflow_model::prelude::*;
+
+    fn tiny_graph() -> CnnGraph {
+        topology::tiny(QuantSpec::w2a2(), 4).expect("builds")
+    }
+
+    #[test]
+    fn engine_accepts_tiny_and_cnv() {
+        let g = tiny_graph();
+        assert!(Engine::new(&g).is_ok());
+        let cnv = topology::cnv_w2a2_cifar10().expect("builds");
+        assert!(Engine::new(&cnv).is_ok());
+    }
+
+    #[test]
+    fn rejects_wrong_input_shape() {
+        let g = tiny_graph();
+        let engine = Engine::new(&g).expect("engine");
+        let bad = Activations::zeroed(TensorShape::new(3, 12, 12));
+        assert!(matches!(engine.run(&bad), Err(NnError::InputShape { .. })));
+    }
+
+    #[test]
+    fn rejects_pool_on_accumulators() {
+        let g = GraphBuilder::new("bad", TensorShape::new(1, 8, 8))
+            .conv2d(Conv2d::new(1, 4, 3, 1, 0, QuantSpec::w2a2()))
+            .max_pool(MaxPool2d::new(2, 2)) // no threshold in between
+            .dense(Dense::new(4 * 3 * 3, 4, QuantSpec::w2a2()))
+            .label_select(4)
+            .build()
+            .expect("builds structurally");
+        assert!(matches!(Engine::new(&g), Err(NnError::Unsupported(_))));
+    }
+
+    #[test]
+    fn zero_input_gives_zero_logits_for_zero_free_weights() {
+        // With a zero input, conv accumulators are zero; thresholds at
+        // negative values may still fire, so just check determinism and
+        // logits length.
+        let g = tiny_graph();
+        let engine = Engine::new(&g).expect("engine");
+        let zero = Activations::zeroed(g.input_shape());
+        let a = engine.run(&zero).expect("run");
+        let b = engine.run(&zero).expect("run");
+        assert_eq!(a, b);
+        assert_eq!(a.logits.len(), 4);
+    }
+
+    #[test]
+    fn hand_computed_single_conv() {
+        // 1x3x3 input, single 3x3 filter of all ones -> accumulator equals
+        // the sum of the input; threshold at >= 5 fires once.
+        let mut conv = Conv2d::new(1, 1, 3, 1, 0, QuantSpec::w2a2());
+        for i in 0..9 {
+            conv.weights.as_mut_slice()[i] = 1;
+        }
+        let g = GraphBuilder::new("hand", TensorShape::new(1, 3, 3))
+            .conv2d(conv)
+            .named_layer(
+                "t",
+                Layer::MultiThreshold(MultiThreshold {
+                    channels: 1,
+                    table: ThresholdTable::from_rows(vec![vec![5, 100, 200]]).expect("table"),
+                }),
+            )
+            .dense(Dense::new(1, 2, QuantSpec::w2a2()))
+            .label_select(2)
+            .build()
+            .expect("builds");
+        // Set dense weights: class0 = +activation, class1 = -activation.
+        let engine = Engine::new(&g).expect("engine");
+        let mut img = Activations::zeroed(TensorShape::new(1, 3, 3));
+        for (i, v) in img.as_mut_slice().iter_mut().enumerate() {
+            *v = i as u8; // sum = 36 -> exceeds threshold 5, below 100
+        }
+        let r = engine.run(&img).expect("run");
+        // Dense weights are zero -> logits [0, 0]; argmax tie-breaks low.
+        assert_eq!(r.logits, vec![0, 0]);
+        assert_eq!(r.label, 0);
+    }
+
+    #[test]
+    fn conv_padding_matches_manual() {
+        // 1x2x2 input, 3x3 all-ones filter, padding 1, stride 1:
+        // each output position sums the in-bounds window.
+        let mut conv = Conv2d::new(1, 1, 3, 1, 1, QuantSpec::w2a2());
+        for w in conv.weights.as_mut_slice() {
+            *w = 1;
+        }
+        let input = Activations::from_vec(TensorShape::new(1, 2, 2), vec![1, 2, 3, 4]);
+        let out = conv_forward(&conv, &input, TensorShape::new(1, 2, 2));
+        // All four windows cover the entire 2x2 input.
+        assert_eq!(out, vec![10, 10, 10, 10]);
+    }
+
+    #[test]
+    fn maxpool_takes_window_max() {
+        let input = Activations::from_vec(
+            TensorShape::new(1, 4, 4),
+            vec![1, 2, 0, 0, 3, 4, 0, 0, 0, 0, 9, 1, 0, 0, 1, 8],
+        );
+        let out = pool_forward(2, 2, &input, TensorShape::new(1, 2, 2));
+        assert_eq!(out.as_slice(), &[4, 0, 0, 9]);
+    }
+
+    #[test]
+    fn argmax_tie_breaks_to_lowest_index() {
+        assert_eq!(argmax(&[3, 7, 7, 1]), 1);
+        assert_eq!(argmax(&[-5, -5]), 0);
+        assert_eq!(argmax(&[]), 0);
+    }
+
+    #[test]
+    fn batch_runs_all_samples() {
+        let g = tiny_graph();
+        let engine = Engine::new(&g).expect("engine");
+        let imgs: Vec<Activations> = (0..3)
+            .map(|_| Activations::zeroed(g.input_shape()))
+            .collect();
+        let labels = engine.run_batch(imgs.iter()).expect("batch");
+        assert_eq!(labels.len(), 3);
+    }
+
+    #[test]
+    fn im2col_matches_direct_on_tiny() {
+        let g = tiny_graph();
+        let direct = Engine::new(&g).expect("engine");
+        let gemm = Engine::new(&g)
+            .expect("engine")
+            .with_strategy(ConvStrategy::Im2col);
+        for seed in 0..8u64 {
+            let mut img = Activations::zeroed(g.input_shape());
+            let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+            for v in img.as_mut_slice() {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                *v = (state % 256) as u8;
+            }
+            assert_eq!(
+                direct.run(&img).expect("direct"),
+                gemm.run(&img).expect("im2col"),
+                "strategies diverged on seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn im2col_matches_direct_with_padding() {
+        let mut conv = Conv2d::new(2, 3, 3, 2, 1, QuantSpec::w2a2());
+        for (i, w) in conv.weights.as_mut_slice().iter_mut().enumerate() {
+            *w = ((i % 3) as i8) - 1;
+        }
+        let input = Activations::from_vec(
+            TensorShape::new(2, 5, 5),
+            (0..50).map(|i| (i * 7 % 256) as u8).collect(),
+        );
+        let out_shape = TensorShape::new(3, 3, 3);
+        assert_eq!(
+            conv_forward(&conv, &input, out_shape),
+            conv_forward_im2col(&conv, &input, out_shape)
+        );
+    }
+
+    #[test]
+    fn different_inputs_can_change_accumulators() {
+        let g = tiny_graph();
+        let engine = Engine::new(&g).expect("engine");
+        let zero = Activations::zeroed(g.input_shape());
+        let mut bright = Activations::zeroed(g.input_shape());
+        for v in bright.as_mut_slice() {
+            *v = 200;
+        }
+        let a = engine.run(&zero).expect("run");
+        let b = engine.run(&bright).expect("run");
+        // A saturated input must flow through to different logits than zero.
+        assert_ne!(a.logits, b.logits);
+    }
+}

@@ -1,0 +1,58 @@
+//! Error types for inference and training.
+
+use adaflow_model::{ModelError, TensorShape};
+use thiserror::Error;
+
+/// Errors produced by the inference engine, trainer or dataset layer.
+#[derive(Debug, Clone, PartialEq, Error)]
+#[non_exhaustive]
+pub enum NnError {
+    /// The input tensor does not match the graph's declared input shape.
+    #[error("input shape {found} does not match graph input {expected}")]
+    InputShape {
+        /// Shape the graph expects.
+        expected: TensorShape,
+        /// Shape that was supplied.
+        found: TensorShape,
+    },
+
+    /// A graph-level problem surfaced during execution.
+    #[error(transparent)]
+    Model(#[from] ModelError),
+
+    /// The graph contains a layer arrangement the engine cannot execute
+    /// (e.g. a dense layer before spatial layers).
+    #[error("unsupported graph structure: {0}")]
+    Unsupported(String),
+
+    /// Training was configured with invalid hyper-parameters.
+    #[error("invalid training configuration: {0}")]
+    InvalidConfig(String),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NnError>();
+    }
+
+    #[test]
+    fn model_error_converts() {
+        let err: NnError = ModelError::UnknownLayer(3).into();
+        assert!(matches!(err, NnError::Model(_)));
+        assert_eq!(err.to_string(), "unknown layer id 3");
+    }
+
+    #[test]
+    fn input_shape_message() {
+        let err = NnError::InputShape {
+            expected: TensorShape::new(3, 32, 32),
+            found: TensorShape::new(1, 32, 32),
+        };
+        assert!(err.to_string().contains("3x32x32"));
+    }
+}

@@ -1,0 +1,300 @@
+//! Flexible-accelerator execution semantics.
+//!
+//! The paper's Flexible-Pruning accelerator is synthesized for the
+//! worst-case (unpruned) model and receives the current number of channels
+//! per layer through a runtime-controllable parameter (§IV-A2, Fig. 3). Two
+//! hardware situations arise:
+//!
+//! * modules whose *unroll* is independent of the channel count (the MVTU,
+//!   unrolled on PE/SIMD) simply execute fewer pipeline iterations;
+//! * modules unrolled *on* the channel count (MaxPool) keep their worst-case
+//!   unrolled units, some of which are simply not fed.
+//!
+//! [`FlexibleExecutor`] emulates this: it verifies a pruned model is a
+//! legal runtime configuration of the worst-case model, executes it
+//! bit-accurately (the flexible fabric computes exactly the pruned network's
+//! function), and reports the idle-unit/iteration accounting that the
+//! synthesis simulator's power model builds on.
+
+use crate::engine::{Engine, InferenceResult};
+use crate::error::NnError;
+use crate::tensor::Activations;
+use adaflow_model::{CnnGraph, Layer};
+
+/// Per-layer occupancy report of a flexible execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerOccupancy {
+    /// Layer name in the worst-case graph.
+    pub name: String,
+    /// Worst-case (synthesized) channel count.
+    pub worst_case_channels: usize,
+    /// Channels configured at runtime.
+    pub active_channels: usize,
+    /// Fraction of unrolled units left idle (0 for MVTU-style modules whose
+    /// unroll does not depend on the channel count).
+    pub idle_unit_fraction: f64,
+    /// Fraction of pipeline iterations saved relative to worst case.
+    pub iteration_saving: f64,
+}
+
+/// Result of executing a pruned model on the flexible accelerator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlexibleExecution {
+    /// The inference output (bit-identical to running the pruned model on
+    /// its own fixed accelerator).
+    pub result: InferenceResult,
+    /// Per-layer occupancy of the worst-case fabric.
+    pub occupancy: Vec<LayerOccupancy>,
+}
+
+impl FlexibleExecution {
+    /// Mean idle-unit fraction across channel-unrolled modules
+    /// (0.0 when nothing is pruned).
+    #[must_use]
+    pub fn mean_idle_fraction(&self) -> f64 {
+        let unrolled: Vec<&LayerOccupancy> = self
+            .occupancy
+            .iter()
+            .filter(|o| o.worst_case_channels > 0)
+            .collect();
+        if unrolled.is_empty() {
+            0.0
+        } else {
+            unrolled.iter().map(|o| o.idle_unit_fraction).sum::<f64>() / unrolled.len() as f64
+        }
+    }
+}
+
+/// Emulator of the Flexible-Pruning accelerator.
+///
+/// Constructed from the worst-case (unpruned) model the fabric was
+/// synthesized for; executes any legal pruned configuration of it.
+#[derive(Debug, Clone)]
+pub struct FlexibleExecutor {
+    worst_case: CnnGraph,
+}
+
+impl FlexibleExecutor {
+    /// Creates an executor whose fabric is synthesized for `worst_case`.
+    #[must_use]
+    pub fn new(worst_case: CnnGraph) -> Self {
+        Self { worst_case }
+    }
+
+    /// The worst-case model the fabric was synthesized for.
+    #[must_use]
+    pub fn worst_case(&self) -> &CnnGraph {
+        &self.worst_case
+    }
+
+    /// Checks that `model` is a legal runtime configuration of the fabric:
+    /// same layer sequence/kinds/kernels, channel counts not exceeding the
+    /// worst case. This mirrors the hardware constraint that the flexible
+    /// fabric can process *up to* `channels_worstcase` channels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Unsupported`] describing the first incompatibility.
+    pub fn check_compatible(&self, model: &CnnGraph) -> Result<(), NnError> {
+        if model.len() != self.worst_case.len() {
+            return Err(NnError::Unsupported(format!(
+                "model has {} layers, fabric was synthesized for {}",
+                model.len(),
+                self.worst_case.len()
+            )));
+        }
+        for (m, w) in model.iter().zip(self.worst_case.iter()) {
+            let incompatible = |reason: String| {
+                NnError::Unsupported(format!("layer {} ({}): {reason}", w.id, w.name))
+            };
+            match (&m.layer, &w.layer) {
+                (Layer::Conv2d(a), Layer::Conv2d(b)) => {
+                    if a.kernel != b.kernel || a.stride != b.stride || a.padding != b.padding {
+                        return Err(incompatible("conv geometry differs".into()));
+                    }
+                    if a.quant != b.quant {
+                        return Err(incompatible("quantization differs".into()));
+                    }
+                    if a.in_channels > b.in_channels || a.out_channels > b.out_channels {
+                        return Err(incompatible(format!(
+                            "channels {}→{} exceed worst case {}→{}",
+                            a.in_channels, a.out_channels, b.in_channels, b.out_channels
+                        )));
+                    }
+                }
+                (Layer::MaxPool2d(a), Layer::MaxPool2d(b)) => {
+                    if a != b {
+                        return Err(incompatible("pool geometry differs".into()));
+                    }
+                }
+                (Layer::Dense(a), Layer::Dense(b)) => {
+                    if a.quant != b.quant {
+                        return Err(incompatible("quantization differs".into()));
+                    }
+                    if a.in_features > b.in_features || a.out_features > b.out_features {
+                        return Err(incompatible(format!(
+                            "features {}→{} exceed worst case {}→{}",
+                            a.in_features, a.out_features, b.in_features, b.out_features
+                        )));
+                    }
+                }
+                (Layer::MultiThreshold(a), Layer::MultiThreshold(b)) => {
+                    if a.channels > b.channels {
+                        return Err(incompatible(format!(
+                            "{} threshold channels exceed worst case {}",
+                            a.channels, b.channels
+                        )));
+                    }
+                }
+                (Layer::LabelSelect(a), Layer::LabelSelect(b)) => {
+                    if a.classes != b.classes {
+                        return Err(incompatible("class count differs".into()));
+                    }
+                }
+                (got, want) => {
+                    return Err(incompatible(format!(
+                        "layer kind {} does not match fabric module {}",
+                        got.kind(),
+                        want.kind()
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Executes `model` on the flexible fabric.
+    ///
+    /// The computation is bit-identical to running `model` on a fixed
+    /// accelerator (the fabric loads the pruned weight matrices and simply
+    /// leaves surplus capacity idle); additionally returns the occupancy
+    /// accounting for each module.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Unsupported`] when `model` is not a legal
+    /// configuration of the fabric, plus any error from the underlying
+    /// engine.
+    pub fn execute(
+        &self,
+        model: &CnnGraph,
+        input: &Activations,
+    ) -> Result<FlexibleExecution, NnError> {
+        self.check_compatible(model)?;
+        let result = Engine::new(model)?.run(input)?;
+        let occupancy = self.occupancy(model);
+        Ok(FlexibleExecution { result, occupancy })
+    }
+
+    /// Occupancy accounting for a legal configuration of the fabric (also
+    /// usable without executing).
+    #[must_use]
+    pub fn occupancy(&self, model: &CnnGraph) -> Vec<LayerOccupancy> {
+        model
+            .iter()
+            .zip(self.worst_case.iter())
+            .map(|(m, w)| {
+                let (worst, active, unrolled_on_channels) = match (&m.layer, &w.layer) {
+                    (Layer::Conv2d(a), Layer::Conv2d(b)) => {
+                        // MVTU: unroll is PE/SIMD-bound, not channel-bound
+                        // (Fig. 3a) — fewer iterations, no idle units.
+                        (b.out_channels, a.out_channels, false)
+                    }
+                    (Layer::Dense(a), Layer::Dense(b)) => (b.out_features, a.out_features, false),
+                    (Layer::MaxPool2d(_), Layer::MaxPool2d(_)) => {
+                        // Pool modules unroll on channels (Fig. 3b): idle
+                        // units when fewer channels are fed.
+                        (w.input_shape.channels, m.input_shape.channels, true)
+                    }
+                    (Layer::MultiThreshold(a), Layer::MultiThreshold(b)) => {
+                        (b.channels, a.channels, true)
+                    }
+                    _ => (0, 0, false),
+                };
+                let ratio = if worst == 0 {
+                    1.0
+                } else {
+                    active as f64 / worst as f64
+                };
+                LayerOccupancy {
+                    name: w.name.clone(),
+                    worst_case_channels: worst,
+                    active_channels: active,
+                    idle_unit_fraction: if unrolled_on_channels {
+                        1.0 - ratio
+                    } else {
+                        0.0
+                    },
+                    iteration_saving: 1.0 - ratio,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaflow_model::prelude::*;
+
+    fn tiny() -> CnnGraph {
+        topology::tiny(QuantSpec::w2a2(), 4).expect("builds")
+    }
+
+    #[test]
+    fn unpruned_model_is_compatible_with_itself() {
+        let g = tiny();
+        let fabric = FlexibleExecutor::new(g.clone());
+        assert!(fabric.check_compatible(&g).is_ok());
+    }
+
+    #[test]
+    fn occupancy_of_unpruned_model_is_full() {
+        let g = tiny();
+        let fabric = FlexibleExecutor::new(g.clone());
+        let exec = fabric
+            .execute(&g, &Activations::zeroed(g.input_shape()))
+            .expect("executes");
+        assert!(exec.mean_idle_fraction().abs() < 1e-12);
+        assert!(exec
+            .occupancy
+            .iter()
+            .all(|o| o.iteration_saving.abs() < 1e-12));
+    }
+
+    #[test]
+    fn flexible_equals_fixed_execution() {
+        let g = tiny();
+        let fabric = FlexibleExecutor::new(g.clone());
+        let mut img = Activations::zeroed(g.input_shape());
+        for (i, v) in img.as_mut_slice().iter_mut().enumerate() {
+            *v = (i * 37 % 251) as u8;
+        }
+        let fixed = Engine::new(&g).expect("engine").run(&img).expect("run");
+        let flex = fabric.execute(&g, &img).expect("executes");
+        assert_eq!(fixed, flex.result);
+    }
+
+    #[test]
+    fn oversized_model_rejected() {
+        let small = topology::tiny(QuantSpec::w2a2(), 4).expect("builds");
+        let fabric = FlexibleExecutor::new(small);
+        let big = topology::cnv_w2a2_cifar10().expect("builds");
+        assert!(fabric.check_compatible(&big).is_err());
+    }
+
+    #[test]
+    fn quantization_mismatch_rejected() {
+        let fabric = FlexibleExecutor::new(tiny());
+        let other = topology::tiny(QuantSpec::w1a2(), 4).expect("builds");
+        let err = fabric.check_compatible(&other).unwrap_err();
+        assert!(err.to_string().contains("quantization"));
+    }
+
+    #[test]
+    fn class_count_mismatch_rejected() {
+        let fabric = FlexibleExecutor::new(tiny());
+        let other = topology::tiny(QuantSpec::w2a2(), 5).expect("builds");
+        assert!(fabric.check_compatible(&other).is_err());
+    }
+}

@@ -1,0 +1,209 @@
+//! Classification quality metrics.
+//!
+//! Confusion-matrix-based metrics for evaluating trained/pruned models on
+//! the synthetic datasets: top-1 accuracy, per-class recall, and macro
+//! recall (balanced accuracy) — the quantities one would report next to the
+//! paper's TOP-1 numbers.
+
+use serde::{Deserialize, Serialize};
+
+/// A `classes x classes` confusion matrix (rows = truth, columns =
+/// prediction).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    classes: usize,
+    counts: Vec<u64>,
+}
+
+impl ConfusionMatrix {
+    /// Creates an empty matrix for `classes` classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes` is zero.
+    #[must_use]
+    pub fn new(classes: usize) -> Self {
+        assert!(classes > 0, "need at least one class");
+        Self {
+            classes,
+            counts: vec![0; classes * classes],
+        }
+    }
+
+    /// Number of classes.
+    #[must_use]
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Records one `(truth, prediction)` observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either label is out of range.
+    pub fn record(&mut self, truth: usize, prediction: usize) {
+        assert!(
+            truth < self.classes && prediction < self.classes,
+            "label out of range"
+        );
+        self.counts[truth * self.classes + prediction] += 1;
+    }
+
+    /// Count at `(truth, prediction)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either label is out of range.
+    #[must_use]
+    pub fn count(&self, truth: usize, prediction: usize) -> u64 {
+        assert!(
+            truth < self.classes && prediction < self.classes,
+            "label out of range"
+        );
+        self.counts[truth * self.classes + prediction]
+    }
+
+    /// Total recorded observations.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Top-1 accuracy in `[0, 1]` (0 when empty).
+    #[must_use]
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: u64 = (0..self.classes).map(|c| self.count(c, c)).sum();
+        correct as f64 / total as f64
+    }
+
+    /// Recall of one class (`None` when the class has no samples).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is out of range.
+    #[must_use]
+    pub fn recall(&self, class: usize) -> Option<f64> {
+        assert!(class < self.classes, "label out of range");
+        let row: u64 = (0..self.classes).map(|p| self.count(class, p)).sum();
+        if row == 0 {
+            None
+        } else {
+            Some(self.count(class, class) as f64 / row as f64)
+        }
+    }
+
+    /// Macro-averaged recall (balanced accuracy) over classes with samples.
+    #[must_use]
+    pub fn macro_recall(&self) -> f64 {
+        let recalls: Vec<f64> = (0..self.classes).filter_map(|c| self.recall(c)).collect();
+        if recalls.is_empty() {
+            0.0
+        } else {
+            recalls.iter().sum::<f64>() / recalls.len() as f64
+        }
+    }
+
+    /// Merges another matrix of the same shape into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the class counts differ.
+    pub fn merge(&mut self, other: &ConfusionMatrix) {
+        assert_eq!(self.classes, other.classes, "class counts differ");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+}
+
+/// Evaluates a classifier over `len` samples of `data` starting at `start`,
+/// returning the filled confusion matrix.
+pub fn evaluate_confusion<F>(
+    data: &crate::dataset::SyntheticDataset,
+    start: u64,
+    len: usize,
+    mut classify: F,
+) -> ConfusionMatrix
+where
+    F: FnMut(&crate::tensor::Activations) -> usize,
+{
+    let classes = data.spec().classes;
+    let mut cm = ConfusionMatrix::new(classes);
+    for i in 0..len as u64 {
+        let sample = data.sample(start + i);
+        cm.record(sample.label, classify(&sample.image).min(classes - 1));
+    }
+    cm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{DatasetSpec, SyntheticDataset};
+
+    #[test]
+    fn perfect_classifier_has_unit_accuracy() {
+        let mut cm = ConfusionMatrix::new(3);
+        for c in 0..3 {
+            for _ in 0..5 {
+                cm.record(c, c);
+            }
+        }
+        assert_eq!(cm.accuracy(), 1.0);
+        assert_eq!(cm.macro_recall(), 1.0);
+        assert_eq!(cm.total(), 15);
+    }
+
+    #[test]
+    fn recall_per_class() {
+        let mut cm = ConfusionMatrix::new(2);
+        cm.record(0, 0);
+        cm.record(0, 1);
+        cm.record(1, 1);
+        assert_eq!(cm.recall(0), Some(0.5));
+        assert_eq!(cm.recall(1), Some(1.0));
+        assert!((cm.macro_recall() - 0.75).abs() < 1e-12);
+        assert!((cm.accuracy() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_class_excluded_from_macro() {
+        let mut cm = ConfusionMatrix::new(3);
+        cm.record(0, 0);
+        assert_eq!(cm.recall(2), None);
+        assert_eq!(cm.macro_recall(), 1.0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = ConfusionMatrix::new(2);
+        a.record(0, 0);
+        let mut b = ConfusionMatrix::new(2);
+        b.record(0, 1);
+        b.record(1, 1);
+        a.merge(&b);
+        assert_eq!(a.total(), 3);
+        assert_eq!(a.count(0, 1), 1);
+    }
+
+    #[test]
+    fn evaluate_against_dataset() {
+        let data = SyntheticDataset::new(DatasetSpec::tiny(4), 5);
+        // Constant classifier: accuracy equals the frequency of class 0.
+        let cm = evaluate_confusion(&data, 0, 100, |_| 0);
+        assert_eq!(cm.total(), 100);
+        let class0: u64 = (0..4).map(|p| cm.count(0, p)).sum();
+        assert_eq!(cm.accuracy(), class0 as f64 / 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn out_of_range_label_panics() {
+        let mut cm = ConfusionMatrix::new(2);
+        cm.record(2, 0);
+    }
+}

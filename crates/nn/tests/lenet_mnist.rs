@@ -1,0 +1,50 @@
+//! LeNet on the MNIST-like dataset: engine + metrics smoke coverage for the
+//! second topology family.
+
+use adaflow_model::prelude::*;
+use adaflow_nn::prelude::*;
+use adaflow_nn::{evaluate_confusion, ConvStrategy};
+
+#[test]
+fn lenet_runs_on_mnist_like_samples() {
+    let graph = topology::lenet(QuantSpec::w2a2(), 10).expect("builds");
+    let data = SyntheticDataset::new(DatasetSpec::mnist_like(), 7);
+    let engine = Engine::new(&graph).expect("engine");
+    let labels = engine
+        .run_batch(data.batch(0, 8).iter().map(|s| &s.image))
+        .expect("batch");
+    assert_eq!(labels.len(), 8);
+    assert!(labels.iter().all(|&l| l < 10));
+}
+
+#[test]
+fn lenet_strategies_agree_on_dataset_samples() {
+    let graph = topology::lenet(QuantSpec::w1a2(), 10).expect("builds");
+    let data = SyntheticDataset::new(DatasetSpec::mnist_like(), 11);
+    let direct = Engine::new(&graph).expect("engine");
+    let gemm = Engine::new(&graph)
+        .expect("engine")
+        .with_strategy(ConvStrategy::Im2col);
+    for sample in data.batch(0, 6) {
+        assert_eq!(
+            direct.run(&sample.image).expect("direct"),
+            gemm.run(&sample.image).expect("im2col")
+        );
+    }
+}
+
+#[test]
+fn confusion_matrix_over_lenet_predictions() {
+    let graph = topology::lenet(QuantSpec::w2a2(), 10).expect("builds");
+    let data = SyntheticDataset::new(DatasetSpec::mnist_like(), 13);
+    let engine = Engine::new(&graph).expect("engine");
+    let cm = evaluate_confusion(&data, 0, 40, |img| {
+        engine.run(img).map(|r| r.label).unwrap_or(0)
+    });
+    assert_eq!(cm.total(), 40);
+    assert_eq!(cm.classes(), 10);
+    // Untrained random weights: no accuracy claim, but the bookkeeping must
+    // be consistent.
+    assert!(cm.accuracy() <= 1.0);
+    assert!(cm.macro_recall() <= 1.0);
+}

@@ -1,0 +1,102 @@
+//! Property-based tests on the inference engine and datasets.
+
+use adaflow_model::prelude::*;
+use adaflow_nn::prelude::*;
+use proptest::prelude::*;
+
+fn random_image(shape: TensorShape, seed: u64) -> Activations {
+    let mut img = Activations::zeroed(shape);
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    for v in img.as_mut_slice() {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        *v = (state % 256) as u8;
+    }
+    img
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The engine is a pure function: identical inputs give identical
+    /// outputs, across strategies.
+    #[test]
+    fn engine_is_deterministic(classes in 2usize..8, seed in 0u64..1000) {
+        let graph = topology::tiny(QuantSpec::w2a2(), classes).expect("builds");
+        let img = random_image(graph.input_shape(), seed);
+        let direct = Engine::new(&graph).expect("engine");
+        let gemm = Engine::new(&graph).expect("engine").with_strategy(ConvStrategy::Im2col);
+        let a = direct.run(&img).expect("runs");
+        let b = direct.run(&img).expect("runs");
+        let c = gemm.run(&img).expect("runs");
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(&a, &c);
+        prop_assert!(a.label < classes);
+        prop_assert_eq!(a.logits.len(), classes);
+    }
+
+    /// The predicted label always maximizes the logits.
+    #[test]
+    fn label_is_argmax_of_logits(seed in 0u64..500) {
+        let graph = topology::tiny(QuantSpec::w1a2(), 6).expect("builds");
+        let engine = Engine::new(&graph).expect("engine");
+        let result = engine.run(&random_image(graph.input_shape(), seed)).expect("runs");
+        let max = result.logits.iter().max().copied().expect("nonempty");
+        prop_assert_eq!(result.logits[result.label], max);
+    }
+
+    /// Dataset samples: labels in range, pixels defined, deterministic in
+    /// (seed, index), distinct across indices with overwhelming likelihood.
+    #[test]
+    fn dataset_sample_invariants(
+        classes in 1usize..16,
+        seed in 0u64..1000,
+        index in 0u64..10_000,
+    ) {
+        let data = SyntheticDataset::new(DatasetSpec::tiny(classes), seed);
+        let a = data.sample(index);
+        let b = data.sample(index);
+        prop_assert_eq!(&a, &b);
+        prop_assert!(a.label < classes);
+        prop_assert_eq!(a.image.shape(), TensorShape::new(1, 12, 12));
+    }
+
+    /// The analytical accuracy model is monotone non-increasing and bounded
+    /// between chance and its base, for every calibrated combination.
+    #[test]
+    fn accuracy_model_bounded_monotone(p1 in 0.0f64..1.0, p2 in 0.0f64..1.0) {
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        for dataset in DatasetKind::all() {
+            for quant in [QuantSpec::w2a2(), QuantSpec::w1a2()] {
+                let m = AccuracyModel::calibrated(dataset, quant);
+                prop_assert!(m.accuracy_at(lo) >= m.accuracy_at(hi));
+                prop_assert!(m.accuracy_at(hi) >= 100.0 / dataset.classes() as f64 - 1e-9);
+                prop_assert!(m.accuracy_at(lo) <= m.base + 1e-9);
+            }
+        }
+    }
+
+    /// `max_pruning_for_loss` inverts `drop_at` within the curve's range.
+    #[test]
+    fn threshold_inversion(points in 0.1f64..30.0) {
+        let m = AccuracyModel::calibrated(DatasetKind::Cifar10, QuantSpec::w2a2());
+        let p = m.max_pruning_for_loss(points);
+        prop_assert!(m.drop_at(p) <= points + 1e-6);
+        if p < 1.0 {
+            // One more step would exceed the budget.
+            prop_assert!(m.drop_at((p + 1e-6).min(1.0)) >= points - 1e-3);
+        }
+    }
+
+    /// Flexible execution reports full occupancy exactly when nothing is
+    /// pruned.
+    #[test]
+    fn flexible_occupancy_of_self_is_full(classes in 2usize..8) {
+        let graph = topology::tiny(QuantSpec::w2a2(), classes).expect("builds");
+        let fabric = FlexibleExecutor::new(graph.clone());
+        let occ = fabric.occupancy(&graph);
+        prop_assert!(occ.iter().all(|o| o.idle_unit_fraction.abs() < 1e-12));
+        prop_assert!(occ.iter().all(|o| o.iteration_saving.abs() < 1e-12));
+    }
+}

@@ -1,0 +1,305 @@
+//! FINN folding configuration.
+//!
+//! FINN configures each MVTU with a number of processing elements (PE) and
+//! SIMD lanes (paper Fig. 2b). The user supplies these through a
+//! configuration file; this module is that file's in-memory form, plus the
+//! constraint checks FINN imposes:
+//!
+//! * `PE` must divide the layer's filter/neuron count (full output
+//!   parallelism, no idle PEs);
+//! * `SIMD` must divide the layer's input channel count (full input
+//!   parallelism, no idle lanes).
+
+use crate::error::PruneError;
+use adaflow_model::{CnnGraph, Layer, LayerId};
+use serde::{Deserialize, Serialize};
+
+/// PE/SIMD folding of one MVTU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Folding {
+    /// Processing elements — output-channel parallelism.
+    pub pe: usize,
+    /// SIMD lanes — input-channel parallelism.
+    pub simd: usize,
+}
+
+impl Folding {
+    /// Creates a folding pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either value is zero.
+    #[must_use]
+    pub fn new(pe: usize, simd: usize) -> Self {
+        assert!(pe > 0 && simd > 0, "folding parameters must be nonzero");
+        Self { pe, simd }
+    }
+}
+
+/// Folding assignment for every MVTU layer of a graph, in dataflow order.
+///
+/// The entry order matches the order of [`Layer::Conv2d`]/[`Layer::Dense`]
+/// layers in the graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FinnConfig {
+    entries: Vec<(LayerId, Folding)>,
+}
+
+impl FinnConfig {
+    /// Builds a config from explicit per-MVTU foldings (in dataflow order)
+    /// and validates it against the graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PruneError::ConfigMismatch`] if the count differs from the
+    /// graph's MVTU count, or [`PruneError::InvalidFolding`] if a constraint
+    /// is violated.
+    pub fn new(graph: &CnnGraph, foldings: Vec<Folding>) -> Result<Self, PruneError> {
+        let mvtus: Vec<LayerId> = graph
+            .iter()
+            .filter(|n| n.layer.is_mvtu())
+            .map(|n| n.id)
+            .collect();
+        if mvtus.len() != foldings.len() {
+            return Err(PruneError::ConfigMismatch(format!(
+                "graph has {} MVTU layers, config provides {}",
+                mvtus.len(),
+                foldings.len()
+            )));
+        }
+        let config = Self {
+            entries: mvtus.into_iter().zip(foldings).collect(),
+        };
+        config.validate(graph)?;
+        Ok(config)
+    }
+
+    /// The reference folding used throughout this reproduction for the CNV
+    /// topology, mirroring the spirit of the FINN-examples CNV folding while
+    /// keeping pruning granularity useful (see DESIGN.md §3):
+    ///
+    /// | layer | PE | SIMD |
+    /// |---|---|---|
+    /// | conv1 (3→64)    | 16 | 3 |
+    /// | conv2 (64→64)   | 16 | 8 |
+    /// | conv3 (64→128)  | 16 | 8 |
+    /// | conv4 (128→128) | 16 | 8 |
+    /// | conv5 (128→256) | 8  | 8 |
+    /// | conv6 (256→256) | 8  | 8 |
+    /// | fc1             | 4  | 8 |
+    /// | fc2             | 4  | 8 |
+    /// | fc3             | 1  | 4 |
+    ///
+    /// For non-CNV graphs, falls back to [`FinnConfig::auto`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation errors (cannot occur for graphs built by
+    /// [`adaflow_model::topology::cnv`]).
+    pub fn cnv_reference(graph: &CnnGraph) -> Result<Self, PruneError> {
+        let mvtu_count = graph.iter().filter(|n| n.layer.is_mvtu()).count();
+        if mvtu_count != 9 {
+            return Self::auto(graph);
+        }
+        let foldings = vec![
+            Folding::new(16, 3),
+            Folding::new(16, 8),
+            Folding::new(16, 8),
+            Folding::new(16, 8),
+            Folding::new(8, 8),
+            Folding::new(8, 8),
+            Folding::new(4, 8),
+            Folding::new(4, 8),
+            Folding::new(1, 4),
+        ];
+        match Self::new(graph, foldings) {
+            Ok(cfg) => Ok(cfg),
+            // Non-CNV nine-MVTU graph: derive automatically instead.
+            Err(_) => Self::auto(graph),
+        }
+    }
+
+    /// Derives a legal folding automatically: the largest `PE ≤ 16` dividing
+    /// each layer's output count and the largest `SIMD ≤ 8` dividing its
+    /// input channel count. Both are additionally capped at a quarter of
+    /// their dimension so the pruning constraints keep a useful granularity
+    /// (a PE equal to the filter count would forbid any removal).
+    ///
+    /// # Errors
+    ///
+    /// Never fails for a valid graph; the `Result` mirrors [`FinnConfig::new`].
+    pub fn auto(graph: &CnnGraph) -> Result<Self, PruneError> {
+        let cap = |dim: usize, max: usize| largest_divisor_at_most(dim, max.min((dim / 4).max(1)));
+        let foldings = graph
+            .iter()
+            .filter_map(|n| match &n.layer {
+                Layer::Conv2d(c) => {
+                    Some(Folding::new(cap(c.out_channels, 16), cap(c.in_channels, 8)))
+                }
+                Layer::Dense(d) => {
+                    Some(Folding::new(cap(d.out_features, 16), cap(d.in_features, 8)))
+                }
+                _ => None,
+            })
+            .collect();
+        Self::new(graph, foldings)
+    }
+
+    /// Validates every folding constraint against `graph`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PruneError::InvalidFolding`] naming the first violating
+    /// layer, or [`PruneError::ConfigMismatch`] if an entry references a
+    /// non-MVTU layer.
+    pub fn validate(&self, graph: &CnnGraph) -> Result<(), PruneError> {
+        for &(id, folding) in &self.entries {
+            let node = graph.node(id).map_err(PruneError::Model)?;
+            let (out, inp) = match &node.layer {
+                Layer::Conv2d(c) => (c.out_channels, c.in_channels),
+                Layer::Dense(d) => (d.out_features, d.in_features),
+                other => {
+                    return Err(PruneError::ConfigMismatch(format!(
+                        "layer {id} is {}, not an MVTU",
+                        other.kind()
+                    )));
+                }
+            };
+            if out % folding.pe != 0 {
+                return Err(PruneError::InvalidFolding {
+                    layer: node.name.clone(),
+                    reason: format!("PE {} does not divide {} filters/neurons", folding.pe, out),
+                });
+            }
+            if inp % folding.simd != 0 {
+                return Err(PruneError::InvalidFolding {
+                    layer: node.name.clone(),
+                    reason: format!(
+                        "SIMD {} does not divide {} input channels",
+                        folding.simd, inp
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Folding of the MVTU at `id`, if configured.
+    #[must_use]
+    pub fn folding(&self, id: LayerId) -> Option<Folding> {
+        self.entries.iter().find(|(l, _)| *l == id).map(|&(_, f)| f)
+    }
+
+    /// All `(layer, folding)` entries in dataflow order.
+    #[must_use]
+    pub fn entries(&self) -> &[(LayerId, Folding)] {
+        &self.entries
+    }
+
+    /// Folding of the first MVTU *after* `id` in dataflow order (the
+    /// `SIMD_{i+1}` of the pruning constraint).
+    #[must_use]
+    pub fn next_folding_after(&self, id: LayerId) -> Option<Folding> {
+        self.entries
+            .iter()
+            .find(|(l, _)| l.0 > id.0)
+            .map(|&(_, f)| f)
+    }
+}
+
+/// Largest divisor of `n` that is at most `cap` (at least 1).
+fn largest_divisor_at_most(n: usize, cap: usize) -> usize {
+    (1..=cap.min(n))
+        .rev()
+        .find(|d| n.is_multiple_of(*d))
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaflow_model::prelude::*;
+
+    #[test]
+    fn cnv_reference_validates() {
+        let g = topology::cnv_w2a2_cifar10().expect("builds");
+        let cfg = FinnConfig::cnv_reference(&g).expect("valid");
+        assert_eq!(cfg.entries().len(), 9);
+        // First conv: PE 16, SIMD 3 (matches 3 input channels).
+        let first = cfg.entries()[0].1;
+        assert_eq!((first.pe, first.simd), (16, 3));
+    }
+
+    #[test]
+    fn auto_config_is_always_legal() {
+        for graph in [
+            topology::cnv_w2a2_cifar10().expect("builds"),
+            topology::tiny(QuantSpec::w2a2(), 7).expect("builds"),
+            topology::cnv_w1a2_gtsrb().expect("builds"),
+        ] {
+            let cfg = FinnConfig::auto(&graph).expect("auto");
+            assert!(cfg.validate(&graph).is_ok());
+        }
+    }
+
+    #[test]
+    fn wrong_entry_count_rejected() {
+        let g = topology::tiny(QuantSpec::w2a2(), 4).expect("builds");
+        let err = FinnConfig::new(&g, vec![Folding::new(1, 1)]).unwrap_err();
+        assert!(matches!(err, PruneError::ConfigMismatch(_)));
+    }
+
+    #[test]
+    fn pe_constraint_enforced() {
+        let g = topology::tiny(QuantSpec::w2a2(), 4).expect("builds");
+        // tiny has convs 1→8, 8→16 and fc 144→4: PE 3 does not divide 8.
+        let err = FinnConfig::new(
+            &g,
+            vec![Folding::new(3, 1), Folding::new(4, 8), Folding::new(1, 4)],
+        )
+        .unwrap_err();
+        assert!(matches!(err, PruneError::InvalidFolding { .. }));
+    }
+
+    #[test]
+    fn simd_constraint_enforced() {
+        let g = topology::tiny(QuantSpec::w2a2(), 4).expect("builds");
+        // conv2 has 8 input channels: SIMD 5 illegal.
+        let err = FinnConfig::new(
+            &g,
+            vec![Folding::new(8, 1), Folding::new(4, 5), Folding::new(1, 4)],
+        )
+        .unwrap_err();
+        assert!(matches!(err, PruneError::InvalidFolding { .. }));
+    }
+
+    #[test]
+    fn next_folding_lookup() {
+        let g = topology::cnv_w2a2_cifar10().expect("builds");
+        let cfg = FinnConfig::cnv_reference(&g).expect("valid");
+        let convs = g.conv_ids();
+        // After conv1 comes conv2 with SIMD 8.
+        let next = cfg.next_folding_after(convs[0]).expect("exists");
+        assert_eq!(next.simd, 8);
+        // After the last MVTU (fc3) there is nothing.
+        let last_mvtu = cfg.entries().last().expect("entries").0;
+        assert_eq!(cfg.next_folding_after(last_mvtu), None);
+    }
+
+    #[test]
+    fn largest_divisor_helper() {
+        assert_eq!(largest_divisor_at_most(64, 16), 16);
+        assert_eq!(largest_divisor_at_most(10, 16), 10);
+        assert_eq!(largest_divisor_at_most(7, 4), 1);
+        assert_eq!(largest_divisor_at_most(12, 8), 6);
+    }
+
+    #[test]
+    fn folding_lookup_by_layer() {
+        let g = topology::cnv_w2a2_cifar10().expect("builds");
+        let cfg = FinnConfig::cnv_reference(&g).expect("valid");
+        let convs = g.conv_ids();
+        assert!(cfg.folding(convs[0]).is_some());
+        assert!(cfg.folding(LayerId(1)).is_none()); // threshold layer
+    }
+}

@@ -1,0 +1,48 @@
+//! Error types for pruning.
+
+use adaflow_model::ModelError;
+use thiserror::Error;
+
+/// Errors produced by folding configuration or the pruning transform.
+#[derive(Debug, Clone, PartialEq, Error)]
+#[non_exhaustive]
+pub enum PruneError {
+    /// The folding configuration does not match the graph's MVTU layers.
+    #[error("folding config mismatch: {0}")]
+    ConfigMismatch(String),
+
+    /// A folding parameter violates a FINN constraint (PE must divide the
+    /// filter/neuron count; SIMD must divide the input channel count).
+    #[error("invalid folding for {layer}: {reason}")]
+    InvalidFolding {
+        /// Name of the offending layer.
+        layer: String,
+        /// Violated constraint.
+        reason: String,
+    },
+
+    /// The requested pruning rate is outside `[0, 1)`.
+    #[error("pruning rate {0} outside [0, 1)")]
+    RateOutOfRange(f64),
+
+    /// Graph transformation failed.
+    #[error(transparent)]
+    Model(#[from] ModelError),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PruneError>();
+    }
+
+    #[test]
+    fn messages_are_lowercase() {
+        let e = PruneError::RateOutOfRange(1.5);
+        assert_eq!(e.to_string(), "pruning rate 1.5 outside [0, 1)");
+    }
+}

@@ -1,0 +1,50 @@
+//! # adaflow-pruning — dataflow-aware filter pruning
+//!
+//! Implements the paper's §IV-A1: filter pruning that respects the folding
+//! constraints of the target FINN dataflow so every pruned model remains
+//! loadable by its accelerator with no idle PEs or SIMD lanes.
+//!
+//! For every convolution layer `i` with `ch_out` filters and requested
+//! removal `r_i`, the pruner enforces
+//!
+//! ```text
+//! (ch_out_i − r_i) mod PE_i       == 0
+//! (ch_out_i − r_i) mod SIMD_{i+1} == 0
+//! ```
+//!
+//! decreasing `r_i` until both hold (`PE_i` is the layer's own MVTU
+//! parallelism, `SIMD_{i+1}` the *next* MVTU's input parallelism). Filters
+//! are selected by ascending ℓ1-norm, following Li et al. (ICLR'17), and the
+//! removal is propagated structurally: the following threshold table loses
+//! the same channels, the next convolution loses input channels, and a
+//! following dense layer loses the corresponding flattened features.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use adaflow_model::prelude::*;
+//! use adaflow_pruning::{DataflowAwarePruner, FinnConfig};
+//!
+//! let graph = topology::cnv_w2a2_cifar10()?;
+//! let folding = FinnConfig::cnv_reference(&graph)?;
+//! let pruner = DataflowAwarePruner::new(folding);
+//! let pruned = pruner.prune(&graph, 0.25)?;
+//! assert!(pruned.achieved_rate() > 0.0);
+//! assert!(pruned.graph.total_macs() < graph.total_macs());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod error;
+pub mod prune;
+pub mod retrain;
+pub mod selection;
+
+pub use config::{FinnConfig, Folding};
+pub use error::PruneError;
+pub use prune::{DataflowAwarePruner, LayerPrune, PrunedModel};
+pub use retrain::{retrain, RetrainOutcome, RetrainPolicy};
+pub use selection::select_filters_l1;

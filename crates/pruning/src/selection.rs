@@ -1,0 +1,98 @@
+//! ℓ1-norm filter selection.
+//!
+//! AdaFlow reuses the filter-importance criterion of Li et al., "Pruning
+//! filters for efficient convnets" (ICLR'17): a filter's importance is the
+//! sum of the absolute values of its weights; the least important filters
+//! are removed first.
+
+use adaflow_model::ConvWeights;
+
+/// Selects the `count` least-important filters of `weights` by ascending
+/// ℓ1-norm. Ties are broken by filter index (lower index pruned first) so
+/// selection is deterministic. The result is sorted ascending, ready for
+/// [`ConvWeights::without_filters`].
+///
+/// # Panics
+///
+/// Panics if `count >= weights.out_channels()` — removing every filter (or
+/// more) is never legal.
+///
+/// ```
+/// use adaflow_model::ConvWeights;
+/// use adaflow_pruning::select_filters_l1;
+///
+/// let mut w = ConvWeights::zeroed(3, 1, 1);
+/// w.set(0, 0, 0, 0, 5); // strongest
+/// w.set(1, 0, 0, 0, 1); // weakest
+/// w.set(2, 0, 0, 0, 3);
+/// assert_eq!(select_filters_l1(&w, 2), vec![1, 2]);
+/// ```
+#[must_use]
+pub fn select_filters_l1(weights: &ConvWeights, count: usize) -> Vec<usize> {
+    assert!(
+        count < weights.out_channels(),
+        "cannot remove {count} of {} filters",
+        weights.out_channels()
+    );
+    let norms = weights.filter_l1_norms();
+    let mut order: Vec<usize> = (0..norms.len()).collect();
+    order.sort_by_key(|&i| (norms[i], i));
+    let mut selected: Vec<usize> = order.into_iter().take(count).collect();
+    selected.sort_unstable();
+    selected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn weights_with_norms(norms: &[i8]) -> ConvWeights {
+        let mut w = ConvWeights::zeroed(norms.len(), 1, 1);
+        for (i, &n) in norms.iter().enumerate() {
+            w.set(i, 0, 0, 0, n);
+        }
+        w
+    }
+
+    #[test]
+    fn selects_lowest_norm_filters() {
+        let w = weights_with_norms(&[4, 1, 3, 2]);
+        assert_eq!(select_filters_l1(&w, 1), vec![1]);
+        assert_eq!(select_filters_l1(&w, 2), vec![1, 3]);
+        assert_eq!(select_filters_l1(&w, 3), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn zero_count_selects_nothing() {
+        let w = weights_with_norms(&[1, 2]);
+        assert!(select_filters_l1(&w, 0).is_empty());
+    }
+
+    #[test]
+    fn ties_break_by_index() {
+        let w = weights_with_norms(&[2, 2, 2, 2]);
+        assert_eq!(select_filters_l1(&w, 2), vec![0, 1]);
+    }
+
+    #[test]
+    fn uses_absolute_values() {
+        let w = weights_with_norms(&[-5, 1, -2]);
+        // |−5| = 5 strongest; weakest are 1 and |−2| = 2.
+        assert_eq!(select_filters_l1(&w, 2), vec![1, 2]);
+    }
+
+    #[test]
+    fn result_is_sorted() {
+        let w = weights_with_norms(&[1, 9, 0, 8, 2]);
+        let sel = select_filters_l1(&w, 3);
+        assert!(sel.windows(2).all(|p| p[0] < p[1]));
+        assert_eq!(sel, vec![0, 2, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot remove")]
+    fn removing_all_filters_panics() {
+        let w = weights_with_norms(&[1, 2]);
+        let _ = select_filters_l1(&w, 2);
+    }
+}

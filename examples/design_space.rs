@@ -1,0 +1,76 @@
+//! Design-space exploration: inspect the accuracy/throughput/resource/energy
+//! trade-off the Library Generator produces, and export the library table.
+//!
+//! ```text
+//! cargo run --release -p adaflow-bench --example design_space
+//! ```
+
+use adaflow::prelude::*;
+use adaflow_model::prelude::*;
+use adaflow_nn::DatasetKind;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let library = LibraryGenerator::default_edge_setup()
+        .generate(topology::cnv_w2a2_cifar10()?, DatasetKind::Cifar10)?;
+
+    println!(
+        "Design space of {} ({} models):\n",
+        library.initial_model,
+        library.entries().len()
+    );
+    println!(
+        "{:>6} {:>9} {:>9} {:>10} {:>8} {:>8} {:>12}",
+        "rate%", "accuracy", "FPS", "LUT", "BRAM", "E (mJ)", "channels[0]"
+    );
+    for e in library.entries() {
+        let energy_mj = e
+            .fixed
+            .power
+            .energy_per_inference_j(e.fixed.throughput_fps, 1.0)
+            * 1e3;
+        println!(
+            "{:>6.0} {:>9.2} {:>9.0} {:>10} {:>8} {:>8.3} {:>12}",
+            e.requested_rate * 100.0,
+            e.accuracy,
+            e.fixed.throughput_fps,
+            e.fixed.resources.lut,
+            e.fixed.resources.bram36,
+            energy_mj,
+            e.conv_channels[0]
+        );
+    }
+
+    // Models an operator could select under different accuracy budgets.
+    println!("\nAccuracy-threshold cuts:");
+    for threshold in [2.0, 5.0, 10.0, 20.0] {
+        let candidates = library.within_threshold(threshold);
+        let fastest = candidates
+            .iter()
+            .max_by(|a, b| {
+                a.fixed
+                    .throughput_fps
+                    .partial_cmp(&b.fixed.throughput_fps)
+                    .expect("finite")
+            })
+            .expect("unpruned always qualifies");
+        println!(
+            "  threshold {threshold:>4.1} pts -> {} candidates, fastest {:.0} FPS ({})",
+            candidates.len(),
+            fastest.fixed.throughput_fps,
+            fastest.name
+        );
+    }
+
+    // Export the library table the way AdaFlow's design step would persist it.
+    let json = library.to_json()?;
+    let path = std::env::temp_dir().join("adaflow_library_cnv_w2a2_cifar10.json");
+    std::fs::write(&path, &json)?;
+    println!(
+        "\nlibrary table exported to {} ({} bytes)",
+        path.display(),
+        json.len()
+    );
+    let reloaded = Library::from_json(&json)?;
+    assert_eq!(reloaded.entries().len(), library.entries().len());
+    Ok(())
+}

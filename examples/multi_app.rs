@@ -1,0 +1,73 @@
+//! Multi-application Edge server: one designed artifact (a
+//! [`adaflow::LibrarySuite`]) serving several CNN applications, each with
+//! its own Runtime Manager — the paper's "initial CNN models" (plural) user
+//! input taken to its deployment conclusion.
+//!
+//! ```text
+//! cargo run --release -p adaflow-bench --example multi_app
+//! ```
+
+use adaflow::prelude::*;
+use adaflow_model::prelude::*;
+use adaflow_nn::DatasetKind;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Design time: generate one library per application with a shared
+    // generator configuration.
+    let generator = LibraryGenerator::default_edge_setup();
+    let suite = LibrarySuite::generate(
+        &generator,
+        [
+            (
+                "object-classification".to_string(),
+                topology::cnv_w2a2_cifar10()?,
+                DatasetKind::Cifar10,
+            ),
+            (
+                "traffic-signs".to_string(),
+                topology::cnv_w2a2_gtsrb()?,
+                DatasetKind::Gtsrb,
+            ),
+            (
+                "low-power-classification".to_string(),
+                topology::cnv_w1a2_cifar10()?,
+                DatasetKind::Cifar10,
+            ),
+        ],
+    )?;
+    println!(
+        "suite holds {} applications: {:?}\n",
+        suite.len(),
+        suite.applications()
+    );
+
+    // Run time: each application gets its own manager over the shared suite;
+    // a scheduler upstream would time-multiplex the FPGA between them.
+    for app in suite.applications() {
+        let library = suite.library(app).expect("registered");
+        let mut manager = suite.manager_for(app, RuntimeConfig::default())?;
+        let base = library.unpruned();
+        println!(
+            "{app}: base model {} ({:.1}% top-1, {:.0} FPS)",
+            base.name, base.accuracy, base.fixed.throughput_fps
+        );
+        for (t, fps) in [(0.0, 300.0), (2.0, 750.0)] {
+            let d = manager.decide(t, fps);
+            println!(
+                "  t={t:.0}s workload={fps:.0} -> {} on {} ({:.0} FPS)",
+                d.model_name, d.accelerator, d.throughput_fps
+            );
+        }
+        println!();
+    }
+
+    // The whole designed artifact round-trips through its JSON form.
+    let json = suite.to_json()?;
+    let restored = LibrarySuite::from_json(&json)?;
+    assert_eq!(suite, restored);
+    println!(
+        "suite artifact: {} bytes of JSON, round-trips losslessly",
+        json.len()
+    );
+    Ok(())
+}

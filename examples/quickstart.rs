@@ -1,0 +1,51 @@
+//! Quickstart: build an AdaFlow library and drive the Runtime Manager.
+//!
+//! ```text
+//! cargo run --release -p adaflow-bench --example quickstart
+//! ```
+
+use adaflow::prelude::*;
+use adaflow_model::prelude::*;
+use adaflow_nn::DatasetKind;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Design time: the initial CNN (CNVW2A2 adapted to CIFAR-10) goes
+    //    through the Library Generator: pruning sweep, accuracy scoring and
+    //    accelerator synthesis (fixed per model + one flexible).
+    let initial = topology::cnv_w2a2_cifar10()?;
+    println!(
+        "initial model: {} ({} MACs)",
+        initial.name(),
+        initial.total_macs()
+    );
+
+    let library = LibraryGenerator::default_edge_setup().generate(initial, DatasetKind::Cifar10)?;
+    println!(
+        "library: {} models, baseline {:.0} FPS @ {:.2} W, flexible fabric {} LUTs",
+        library.entries().len(),
+        library.baseline.throughput_fps,
+        library.baseline.power.power(1.0, 1.0).total_w,
+        library.flexible.resources.lut
+    );
+
+    // 2. Run time: react to workload changes under a 10% accuracy threshold.
+    let mut manager = RuntimeManager::new(&library, RuntimeConfig::default());
+    for (t, fps) in [
+        (0.0, 300.0),
+        (5.0, 700.0),
+        (5.5, 250.0),
+        (6.0, 800.0),
+        (6.5, 400.0),
+    ] {
+        let d = manager.decide(t, fps);
+        println!(
+            "t={t:>4.1}s workload={fps:>5.0} -> {} on {} ({:.0} FPS, {:.1}% acc, stall {:.1} ms)",
+            d.model_name,
+            d.accelerator,
+            d.throughput_fps,
+            d.accuracy,
+            d.stall_s * 1e3
+        );
+    }
+    Ok(())
+}

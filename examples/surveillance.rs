@@ -1,0 +1,53 @@
+//! Smart video surveillance at the Edge — the paper's motivating workload.
+//!
+//! Twenty cameras stream frames to an FPGA Edge server for CNN inference.
+//! This example runs the full serving simulation for CNVW2A2/GTSRB (traffic
+//! sign recognition, the surveillance-adjacent dataset) under all three
+//! scenarios and compares AdaFlow with the static FINN baseline.
+//!
+//! ```text
+//! cargo run --release -p adaflow-bench --example surveillance
+//! ```
+
+use adaflow::prelude::*;
+use adaflow_edge::prelude::*;
+use adaflow_model::prelude::*;
+use adaflow_nn::DatasetKind;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let library = LibraryGenerator::default_edge_setup()
+        .generate(topology::cnv_w2a2_gtsrb()?, DatasetKind::Gtsrb)?;
+    println!("Edge server: ZCU104, CNVW2A2/GTSRB, 20 cameras x 30 FPS, 25 s, 25 runs\n");
+
+    for scenario in [
+        Scenario::Stable,
+        Scenario::Unpredictable,
+        Scenario::Shifting,
+    ] {
+        let experiment = Experiment::new(&library, WorkloadSpec::paper_edge(scenario)).runs(25);
+        let ada = experiment.run_adaflow(RuntimeConfig::default());
+        let finn = experiment.run_original_finn();
+        println!("{}:", scenario.name());
+        println!(
+            "  AdaFlow: loss {:>5.2}%  QoE {:>5.2}  power {:.2} W  \
+             {:.0} inf/J  switches {:.1} (reconf {:.1}, flexible {:.1})",
+            ada.frame_loss_pct,
+            ada.qoe_pct,
+            ada.avg_power_w,
+            ada.inferences_per_joule,
+            ada.model_switches,
+            ada.reconfigurations,
+            ada.flexible_switches
+        );
+        println!(
+            "  FINN:    loss {:>5.2}%  QoE {:>5.2}  power {:.2} W  {:.0} inf/J",
+            finn.frame_loss_pct, finn.qoe_pct, finn.avg_power_w, finn.inferences_per_joule
+        );
+        println!(
+            "  -> {:.2}x more inferences processed, {:.2}x power efficiency\n",
+            ada.processed / finn.processed,
+            ada.inferences_per_joule / finn.inferences_per_joule
+        );
+    }
+    Ok(())
+}
