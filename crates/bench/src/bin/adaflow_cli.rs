@@ -7,6 +7,8 @@
 //! adaflow_cli inspect  --library library.json               # print the library table
 //! adaflow_cli simulate --library library.json --scenario 2 \
 //!                      --policy adaflow --runs 100          # serving experiment
+//! adaflow_cli trace    --library library.json --scenario 2 \
+//!                      --out run                            # traced single run
 //! adaflow_cli explore  --model cnv-w2a2 --target-fps 600    # folding search
 //! ```
 //!
@@ -18,6 +20,9 @@ use adaflow_hls::FpgaDevice;
 use adaflow_model::prelude::*;
 use adaflow_model::GraphSummary;
 use adaflow_nn::DatasetKind;
+use adaflow_telemetry::{
+    chrome_trace_json, events_to_jsonl, to_prometheus, SinkHandle, TraceSummary,
+};
 use std::collections::HashMap;
 use std::process::ExitCode;
 use std::time::Duration;
@@ -43,6 +48,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "generate" => cmd_generate(&flags),
         "inspect" => cmd_inspect(&flags),
         "simulate" => cmd_simulate(&flags),
+        "trace" => cmd_trace(&flags),
         "explore" => cmd_explore(&flags),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
@@ -59,6 +65,8 @@ fn usage() -> String {
      \x20 generate --model <name> --dataset <d> [--rates a,b,..] [--out file]\n\
      \x20 inspect  --library <file>                print a generated library table\n\
      \x20 simulate --library <file> [--scenario 1|2|1+2] [--policy adaflow|finn|reconf:<ms>] [--runs N]\n\
+     \x20 trace    --library <file> [--scenario 1|2|1+2] [--policy ...] [--seed N] [--out prefix]\n\
+     \x20          writes <prefix>.trace.json (Perfetto), <prefix>.jsonl, <prefix>.prom\n\
      \x20 explore  --model <name> [--target-fps F] [--cap 0.7]\n\
      models: cnv-w2a2, cnv-w1a2, lenet-w2a2, lenet-w1a2, tiny-w2a2; datasets: cifar10, gtsrb"
         .to_string()
@@ -224,6 +232,105 @@ fn cmd_simulate(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Builds a serving policy by name, attaching a telemetry sink.
+fn build_policy<'l>(
+    name: &str,
+    library: &'l Library,
+    sink: &SinkHandle,
+) -> Result<Box<dyn ServerPolicy + 'l>, String> {
+    match name {
+        "adaflow" => Ok(Box::new(
+            AdaFlowPolicy::new(library, RuntimeConfig::default()).with_sink(sink.clone()),
+        )),
+        "finn" => Ok(Box::new(
+            OriginalFinnPolicy::new(library).with_sink(sink.clone()),
+        )),
+        other => match other.strip_prefix("reconf:") {
+            Some(ms) => {
+                let ms: u64 = ms.parse().map_err(|e| format!("bad reconf time: {e}"))?;
+                Ok(Box::new(
+                    PruningReconfPolicy::new(library, Duration::from_millis(ms))
+                        .with_sink(sink.clone()),
+                ))
+            }
+            None => Err(format!("unknown policy `{other}`")),
+        },
+    }
+}
+
+/// One fully-traced serving run: records every telemetry event, prints a
+/// summary and (with `--out prefix`) writes the Chrome trace, JSONL and
+/// Prometheus exports.
+fn cmd_trace(flags: &HashMap<String, String>) -> Result<(), String> {
+    let library = load_library(flags)?;
+    let scenario = parse_scenario(flags.get("scenario").map_or("2", String::as_str))?;
+    let seed: u64 = flags
+        .get("seed")
+        .map_or(Ok(1), |s| s.parse().map_err(|e| format!("bad --seed: {e}")))?;
+    let policy_name = flags.get("policy").map_or("adaflow", String::as_str);
+
+    let (sink, recorder) = SinkHandle::recorder(1 << 18);
+    let mut policy = build_policy(policy_name, &library, &sink)?;
+    let segments = WorkloadSpec::paper_edge(scenario).generate(seed);
+    let sim = EdgeSim::new(SimConfig::default()).with_sink(sink);
+    let (metrics, _) = sim.run(policy.as_mut(), &segments);
+
+    let events = recorder.drain();
+    let summary = TraceSummary::from_events(&events);
+    println!(
+        "{policy_name} under {} (seed {seed}): {} events over {:.1} s{}",
+        scenario.name(),
+        events.len(),
+        summary.horizon_s,
+        if recorder.overwritten() > 0 {
+            format!(
+                " ({} overwritten — raise the ring capacity)",
+                recorder.overwritten()
+            )
+        } else {
+            String::new()
+        }
+    );
+    println!(
+        "  frames: {:.0} arrived, {:.1} dropped (run lost {:.1}, {:.2}%)",
+        summary.frames_arrived, summary.frames_dropped, metrics.lost, metrics.frame_loss_pct
+    );
+    println!(
+        "  control: {} decisions, {} reconfigurations, {} model switches ({} flexible), stall {:.3} s",
+        summary.decisions,
+        summary.reconfigurations,
+        summary.model_switches,
+        summary.flexible_switches,
+        summary.stall_s
+    );
+    println!(
+        "  latency: mean {:.1} ms, p50 {:.1} ms, p95 {:.1} ms, p99 {:.1} ms",
+        metrics.mean_latency_ms,
+        metrics.latency_p50_ms,
+        metrics.latency_p95_ms,
+        metrics.latency_p99_ms
+    );
+    println!(
+        "  queue depth: p50 {:.1}, p95 {:.1}, p99 {:.1} frames",
+        summary.queue_depth.p50(),
+        summary.queue_depth.p95(),
+        summary.queue_depth.p99()
+    );
+
+    if let Some(prefix) = flags.get("out") {
+        let write = |suffix: &str, contents: String| -> Result<(), String> {
+            let path = format!("{prefix}.{suffix}");
+            std::fs::write(&path, &contents).map_err(|e| format!("writing {path}: {e}"))?;
+            println!("  wrote {path} ({} bytes)", contents.len());
+            Ok(())
+        };
+        write("trace.json", chrome_trace_json(&events))?;
+        write("jsonl", events_to_jsonl(&events))?;
+        write("prom", to_prometheus(&summary))?;
+    }
+    Ok(())
+}
+
 fn cmd_explore(flags: &HashMap<String, String>) -> Result<(), String> {
     let graph = build_model(required(flags, "model")?, None)?;
     let target_fps: f64 = flags.get("target-fps").map_or(Ok(600.0), |v| {
@@ -326,6 +433,38 @@ mod tests {
         ]))
         .expect("simulate reconf");
         let _ = std::fs::remove_file(out);
+    }
+
+    #[test]
+    fn trace_command_writes_exports() {
+        let lib_path = std::env::temp_dir().join("adaflow_cli_trace_test_library.json");
+        let lib_str = lib_path.to_string_lossy().to_string();
+        cmd_generate(&flags(&[
+            ("model", "cnv-w2a2"),
+            ("dataset", "cifar10"),
+            ("rates", "0,0.25,0.5"),
+            ("out", &lib_str),
+        ]))
+        .expect("generate");
+        let prefix = std::env::temp_dir().join("adaflow_cli_trace_test_run");
+        let prefix_str = prefix.to_string_lossy().to_string();
+        cmd_trace(&flags(&[
+            ("library", &lib_str),
+            ("scenario", "2"),
+            ("out", &prefix_str),
+        ]))
+        .expect("trace");
+        let chrome = std::fs::read_to_string(format!("{prefix_str}.trace.json")).expect("chrome");
+        assert!(chrome.trim_start().starts_with('['));
+        assert!(chrome.contains("decision_made"));
+        let prom = std::fs::read_to_string(format!("{prefix_str}.prom")).expect("prom");
+        assert!(prom.contains("adaflow_decisions_total"));
+        let jsonl = std::fs::read_to_string(format!("{prefix_str}.jsonl")).expect("jsonl");
+        assert!(jsonl.lines().count() > 10);
+        let _ = std::fs::remove_file(lib_path);
+        for suffix in ["trace.json", "jsonl", "prom"] {
+            let _ = std::fs::remove_file(format!("{prefix_str}.{suffix}"));
+        }
     }
 
     #[test]

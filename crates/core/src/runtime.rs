@@ -18,6 +18,7 @@
 use crate::library::Library;
 use adaflow_dataflow::AcceleratorKind;
 use adaflow_hls::ReconfigurationModel;
+use adaflow_telemetry::{EventKind, SinkHandle};
 use serde::{Deserialize, Serialize};
 
 /// Default weight-bus bandwidth for flexible model switches (DMA over the
@@ -63,6 +64,18 @@ pub enum SwitchKind {
     Reconfiguration,
 }
 
+impl SwitchKind {
+    /// Stable telemetry label for this switch kind.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            SwitchKind::None => "none",
+            SwitchKind::FlexibleModelSwitch => "flexible-switch",
+            SwitchKind::Reconfiguration => "reconfiguration",
+        }
+    }
+}
+
 /// The outcome of one Runtime Manager invocation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Decision {
@@ -92,6 +105,9 @@ pub struct RuntimeManager<'l> {
     /// Exponentially-weighted estimate of the inter-switch interval — the
     /// "intervals at which models need to be switched" of §IV-B2.
     switch_interval_ewma: Option<f64>,
+    /// Telemetry sink; every applied decision is emitted as a
+    /// [`EventKind::DecisionMade`] stamped with the decision's `now_s`.
+    sink: SinkHandle,
 }
 
 impl<'l> RuntimeManager<'l> {
@@ -104,7 +120,17 @@ impl<'l> RuntimeManager<'l> {
             current: None,
             last_model_switch: None,
             switch_interval_ewma: None,
+            sink: SinkHandle::default(),
         }
+    }
+
+    /// Attaches a telemetry sink; each call to [`RuntimeManager::decide`]
+    /// then emits a [`EventKind::DecisionMade`] event with the applied
+    /// decision and its stall accounting.
+    #[must_use]
+    pub fn with_sink(mut self, sink: SinkHandle) -> Self {
+        self.sink = sink;
+        self
     }
 
     /// The library being managed.
@@ -297,7 +323,7 @@ impl<'l> RuntimeManager<'l> {
         }
         self.current = Some((idx, kind));
 
-        Decision {
+        let decision = Decision {
             entry_index: idx,
             model_name: entry.name.clone(),
             accelerator: kind,
@@ -305,7 +331,20 @@ impl<'l> RuntimeManager<'l> {
             stall_s,
             throughput_fps: self.throughput_of(entry, kind),
             accuracy: entry.accuracy,
+        };
+        if self.sink.enabled() {
+            self.sink.emit(
+                now_s,
+                EventKind::DecisionMade {
+                    model: decision.model_name.clone(),
+                    accelerator: decision.accelerator.short_name().to_string(),
+                    switch: decision.switch.label().to_string(),
+                    stall_s: decision.stall_s,
+                    incoming_fps,
+                },
+            );
         }
+        decision
     }
 }
 

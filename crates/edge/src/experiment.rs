@@ -2,7 +2,7 @@
 //!
 //! The paper executes every evaluation 100 times and reports the average.
 //! [`Experiment`] runs seeded workload realizations in parallel (one thread
-//! per core via crossbeam scoped threads) and averages the metrics.
+//! per core via `std::thread::scope`) and averages the metrics.
 
 use crate::metrics::{RunMetrics, TracePoint};
 use crate::policy::{AdaFlowPolicy, OriginalFinnPolicy, PruningReconfPolicy, ServerPolicy};
@@ -68,12 +68,12 @@ impl<'l> Experiment<'l> {
             .min(seeds.len());
         let chunks: Vec<&[u64]> = seeds.chunks(seeds.len().div_ceil(threads)).collect();
         let mut all = Vec::with_capacity(self.runs);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let handles: Vec<_> = chunks
                 .into_iter()
                 .map(|chunk| {
                     let make_policy = &make_policy;
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         chunk
                             .iter()
                             .map(|&seed| {
@@ -89,9 +89,8 @@ impl<'l> Experiment<'l> {
             for h in handles {
                 all.extend(h.join().expect("simulation thread panicked"));
             }
-        })
-        .expect("crossbeam scope");
-        RunMetrics::mean(&all)
+        });
+        RunMetrics::mean(&all).expect("at least one run")
     }
 
     /// Averaged metrics of the AdaFlow policy.

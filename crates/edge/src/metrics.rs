@@ -38,17 +38,22 @@ pub struct RunMetrics {
     /// Mean sojourn time of a processed frame (queueing delay by Little's
     /// law plus one service time), milliseconds.
     pub mean_latency_ms: f64,
+    /// Median frame sojourn time over the run, milliseconds (from the
+    /// per-step latency histogram; 0 when nothing was processed).
+    pub latency_p50_ms: f64,
+    /// 95th-percentile frame sojourn time, milliseconds.
+    pub latency_p95_ms: f64,
+    /// 99th-percentile frame sojourn time, milliseconds.
+    pub latency_p99_ms: f64,
 }
 
 impl RunMetrics {
-    /// Element-wise mean of several runs.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `runs` is empty.
+    /// Element-wise mean of several runs, or `None` for an empty slice.
     #[must_use]
-    pub fn mean(runs: &[RunMetrics]) -> RunMetrics {
-        assert!(!runs.is_empty(), "need at least one run");
+    pub fn mean(runs: &[RunMetrics]) -> Option<RunMetrics> {
+        if runs.is_empty() {
+            return None;
+        }
         let n = runs.len() as f64;
         let mut m = RunMetrics::default();
         for r in runs {
@@ -67,6 +72,9 @@ impl RunMetrics {
             m.flexible_switches += r.flexible_switches;
             m.mean_queue_frames += r.mean_queue_frames;
             m.mean_latency_ms += r.mean_latency_ms;
+            m.latency_p50_ms += r.latency_p50_ms;
+            m.latency_p95_ms += r.latency_p95_ms;
+            m.latency_p99_ms += r.latency_p99_ms;
         }
         m.offered /= n;
         m.processed /= n;
@@ -82,7 +90,10 @@ impl RunMetrics {
         m.flexible_switches /= n;
         m.mean_queue_frames /= n;
         m.mean_latency_ms /= n;
-        m
+        m.latency_p50_ms /= n;
+        m.latency_p95_ms /= n;
+        m.latency_p99_ms /= n;
+        Some(m)
     }
 }
 
@@ -146,7 +157,7 @@ mod tests {
             qoe_pct: 60.0,
             ..RunMetrics::default()
         };
-        let m = RunMetrics::mean(&[a, b]);
+        let m = RunMetrics::mean(&[a, b]).expect("nonempty");
         assert!((m.frame_loss_pct - 15.0).abs() < 1e-12);
         assert!((m.qoe_pct - 70.0).abs() < 1e-12);
     }
@@ -161,13 +172,13 @@ mod tests {
             max_accuracy_drop: 7.0,
             ..RunMetrics::default()
         };
-        assert_eq!(RunMetrics::mean(&[a, b]).max_accuracy_drop, 7.0);
+        let m = RunMetrics::mean(&[a, b]).expect("nonempty");
+        assert_eq!(m.max_accuracy_drop, 7.0);
     }
 
     #[test]
-    #[should_panic(expected = "need at least one run")]
-    fn mean_of_nothing_panics() {
-        let _ = RunMetrics::mean(&[]);
+    fn mean_of_nothing_is_none() {
+        assert_eq!(RunMetrics::mean(&[]), None);
     }
 
     #[test]

@@ -312,6 +312,103 @@ mod tests {
     }
 
     #[test]
+    fn window_eviction_boundary_is_exclusive() {
+        let mut m = FpsMonitor::new(1.0, 0.1);
+        m.observe(0.0, 999.0);
+        m.observe(1.0, 1.0);
+        // The t=0 sample is exactly window_s old: eviction is strict `>`,
+        // so it stays to anchor the span and its frames are excluded.
+        assert!((m.estimate(1.0) - 1.0).abs() < 1e-9, "{}", m.estimate(1.0));
+        // One step past the window it is gone; the estimate now spans only
+        // the newer samples: (1 + 1 - 1) frames over 0.5 s.
+        m.observe(1.5, 1.0);
+        assert!((m.estimate(1.5) - 2.0).abs() < 1e-9, "{}", m.estimate(1.5));
+    }
+
+    #[test]
+    fn hysteresis_boundary_is_exclusive() {
+        // Window long enough that nothing is evicted; the estimate is then
+        // exactly controllable through the observed frame counts.
+        let mut m = FpsMonitor::new(10.0, 0.1);
+        // Single sample: estimate = 50 / 10 s = 5.0, first observation flags.
+        assert_eq!(m.observe(0.0, 50.0), Some(5.0));
+        // Estimate moves to exactly 5.5 = +10.0 %: NOT flagged (strict `>`).
+        assert_eq!(m.observe(1.0, 5.5), None);
+        assert_eq!(m.last_flagged(), Some(5.0));
+        // Estimate moves to ~5.6 = +12 % over the flagged level: flagged.
+        let flagged = m.observe(2.0, 5.7).expect("12 % move flags");
+        assert!((flagged - 5.6).abs() < 1e-9, "{flagged}");
+    }
+
+    #[test]
+    fn idle_gap_flags_zero_rate_once() {
+        let mut m = FpsMonitor::new(0.5, 0.1);
+        for i in 0..5 {
+            m.observe(i as f64 * 0.1, 60.0);
+        }
+        assert!(m.estimate(0.4) > 0.0);
+        // A long idle gap evicts the whole window; the zero observation
+        // flags the collapse to 0 FPS exactly once.
+        assert_eq!(m.observe(10.0, 0.0), Some(0.0));
+        assert_eq!(m.estimate(10.0), 0.0);
+        assert!(m.observe(10.1, 0.0).is_none(), "steady zero re-flagged");
+        // Recovery from zero is flagged again (relative move from 0 is
+        // treated as infinite).
+        assert!(m.observe(10.2, 60.0).is_some());
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Feeding a constant offered rate in fixed steps converges the
+            /// windowed estimate to that rate (equally-spaced samples make
+            /// the span arithmetic exact, so only float error remains).
+            #[test]
+            fn estimate_converges_to_constant_rate(
+                rate in 10.0f64..2000.0,
+                dt in 0.01f64..0.2,
+            ) {
+                let mut m = FpsMonitor::new(0.5, 0.1);
+                let steps = (2.0 / dt).ceil() as usize;
+                let mut t = 0.0;
+                for _ in 0..steps {
+                    t += dt;
+                    m.observe(t, rate * dt);
+                }
+                let est = m.estimate(t);
+                prop_assert!(
+                    (est - rate).abs() <= rate * 0.05 + 1e-6,
+                    "estimate {} for offered rate {}", est, rate
+                );
+            }
+
+            /// The monitor never flags while successive estimates stay
+            /// within the hysteresis band of the last flagged level.
+            #[test]
+            fn no_flags_inside_hysteresis_band(
+                rate in 50.0f64..1000.0,
+                wiggle in 0.0f64..0.05,
+            ) {
+                let mut m = FpsMonitor::new(0.5, 0.2);
+                let dt = 0.05;
+                let mut flags = 0;
+                for i in 0..60u32 {
+                    let t = f64::from(i) * dt;
+                    let f = rate * dt * (1.0 + if i % 2 == 0 { wiggle } else { -wiggle });
+                    if m.observe(t, f).is_some() {
+                        flags += 1;
+                    }
+                }
+                // The first observation always flags; the ±5 % wiggle stays
+                // inside the 20 % band thereafter (allow one settling flag).
+                prop_assert!(flags <= 2, "flagged {} times", flags);
+            }
+        }
+    }
+
+    #[test]
     fn rate_monitor_converges_to_level() {
         let mut m = RateMonitor::new(0.25, 0.1);
         m.observe_rate(0.0, 600.0);

@@ -3,6 +3,7 @@
 use adaflow::{Library, RuntimeConfig, RuntimeManager, SwitchKind};
 use adaflow_dataflow::AcceleratorKind;
 use adaflow_hls::PowerModel;
+use adaflow_telemetry::{EventKind, SinkHandle};
 use std::time::Duration;
 
 /// The serving state a policy establishes after a workload change.
@@ -29,6 +30,42 @@ pub struct ServingState {
     pub reconfigured: bool,
 }
 
+/// Emits the telemetry events implied by a freshly-established serving
+/// state: a [`EventKind::ModelSwitch`] when the model changed, and a
+/// [`EventKind::ReconfigStart`]/[`EventKind::ReconfigEnd`] pair spanning the
+/// stall when the FPGA was reconfigured.
+fn emit_switch_events(sink: &SinkHandle, now_s: f64, from: &str, state: &ServingState) {
+    if !sink.enabled() {
+        return;
+    }
+    if state.model_switched {
+        sink.emit(
+            now_s,
+            EventKind::ModelSwitch {
+                from: from.to_string(),
+                to: state.model.clone(),
+                flexible: !state.reconfigured
+                    && state.accelerator == AcceleratorKind::FlexiblePruning,
+            },
+        );
+    }
+    if state.reconfigured {
+        sink.emit(
+            now_s,
+            EventKind::ReconfigStart {
+                model: state.model.clone(),
+            },
+        );
+        sink.emit(
+            now_s + state.stall_s,
+            EventKind::ReconfigEnd {
+                model: state.model.clone(),
+                stall_s: state.stall_s,
+            },
+        );
+    }
+}
+
 /// A serving policy driven by workload-change events.
 pub trait ServerPolicy {
     /// Policy display name.
@@ -44,6 +81,7 @@ pub trait ServerPolicy {
 pub struct OriginalFinnPolicy<'l> {
     library: &'l Library,
     loaded: bool,
+    sink: SinkHandle,
 }
 
 impl<'l> OriginalFinnPolicy<'l> {
@@ -54,7 +92,16 @@ impl<'l> OriginalFinnPolicy<'l> {
         Self {
             library,
             loaded: false,
+            sink: SinkHandle::default(),
         }
+    }
+
+    /// Attaches a telemetry sink (the static baseline never switches, so it
+    /// only ever emits the shared switch/reconfiguration events vacuously).
+    #[must_use]
+    pub fn with_sink(mut self, sink: SinkHandle) -> Self {
+        self.sink = sink;
+        self
     }
 }
 
@@ -63,10 +110,10 @@ impl ServerPolicy for OriginalFinnPolicy<'_> {
         "original-finn"
     }
 
-    fn on_workload_change(&mut self, _now_s: f64, _incoming_fps: f64) -> ServingState {
+    fn on_workload_change(&mut self, now_s: f64, _incoming_fps: f64) -> ServingState {
         self.loaded = true;
         let baseline = &self.library.baseline;
-        ServingState {
+        let state = ServingState {
             throughput_fps: baseline.throughput_fps,
             stall_s: 0.0, // assumed resident before the evaluation window
             accuracy: self.library.base_accuracy(),
@@ -76,7 +123,9 @@ impl ServerPolicy for OriginalFinnPolicy<'_> {
             accelerator: AcceleratorKind::Finn,
             model_switched: false,
             reconfigured: false,
-        }
+        };
+        emit_switch_events(&self.sink, now_s, &self.library.initial_model, &state);
+        state
     }
 }
 
@@ -88,6 +137,7 @@ pub struct PruningReconfPolicy<'l> {
     manager: RuntimeManager<'l>,
     reconfiguration_time: Duration,
     current: Option<usize>,
+    sink: SinkHandle,
 }
 
 impl<'l> PruningReconfPolicy<'l> {
@@ -100,7 +150,16 @@ impl<'l> PruningReconfPolicy<'l> {
             manager: RuntimeManager::new(library, RuntimeConfig::default()),
             reconfiguration_time,
             current: None,
+            sink: SinkHandle::default(),
         }
+    }
+
+    /// Attaches a telemetry sink; model switches and their reconfiguration
+    /// spans are emitted at decision time on the simulation clock.
+    #[must_use]
+    pub fn with_sink(mut self, sink: SinkHandle) -> Self {
+        self.sink = sink;
+        self
     }
 }
 
@@ -109,7 +168,7 @@ impl ServerPolicy for PruningReconfPolicy<'_> {
         "pruning-reconf"
     }
 
-    fn on_workload_change(&mut self, _now_s: f64, incoming_fps: f64) -> ServingState {
+    fn on_workload_change(&mut self, now_s: f64, incoming_fps: f64) -> ServingState {
         let idx = self
             .manager
             .select_model(incoming_fps, AcceleratorKind::FixedPruning);
@@ -122,8 +181,12 @@ impl ServerPolicy for PruningReconfPolicy<'_> {
         } else {
             0.0
         };
+        let from = self.current.map_or_else(
+            || entry.name.clone(),
+            |i| self.library.entries()[i].name.clone(),
+        );
         self.current = Some(idx);
-        ServingState {
+        let state = ServingState {
             throughput_fps: entry.fixed.throughput_fps,
             stall_s,
             accuracy: entry.accuracy,
@@ -133,7 +196,9 @@ impl ServerPolicy for PruningReconfPolicy<'_> {
             accelerator: AcceleratorKind::FixedPruning,
             model_switched: switched,
             reconfigured: switched && stall_s > 0.0,
-        }
+        };
+        emit_switch_events(&self.sink, now_s, &from, &state);
+        state
     }
 }
 
@@ -147,6 +212,7 @@ pub struct AdaFlowPolicy<'l> {
     /// time; applied before the decision at the first event at or past the
     /// scheduled instant (the paper's user-driven threshold events).
     threshold_schedule: Vec<(f64, f64)>,
+    sink: SinkHandle,
 }
 
 impl<'l> AdaFlowPolicy<'l> {
@@ -158,7 +224,18 @@ impl<'l> AdaFlowPolicy<'l> {
             manager: RuntimeManager::new(library, config),
             first: true,
             threshold_schedule: Vec::new(),
+            sink: SinkHandle::default(),
         }
+    }
+
+    /// Attaches a telemetry sink to both the policy (model-switch and
+    /// reconfiguration-span events) and its [`RuntimeManager`]
+    /// (`DecisionMade` events with stall accounting).
+    #[must_use]
+    pub fn with_sink(mut self, sink: SinkHandle) -> Self {
+        self.manager = self.manager.with_sink(sink.clone());
+        self.sink = sink;
+        self
     }
 
     /// Schedules accuracy-threshold changes over the run: each `(t, points)`
@@ -192,6 +269,10 @@ impl ServerPolicy for AdaFlowPolicy<'_> {
                 break;
             }
         }
+        let from = self
+            .manager
+            .current()
+            .map(|(i, _)| self.library.entries()[i].name.clone());
         let decision = self.manager.decide(now_s, incoming_fps);
         let entry = &self.library.entries()[decision.entry_index];
         let (power, activity) = match decision.accelerator {
@@ -206,7 +287,7 @@ impl ServerPolicy for AdaFlowPolicy<'_> {
         let reconfigured = !self.first && decision.switch == SwitchKind::Reconfiguration;
         let model_switched = !self.first && decision.switch != SwitchKind::None;
         self.first = false;
-        ServingState {
+        let state = ServingState {
             throughput_fps: decision.throughput_fps,
             stall_s,
             accuracy: decision.accuracy,
@@ -216,7 +297,10 @@ impl ServerPolicy for AdaFlowPolicy<'_> {
             accelerator: decision.accelerator,
             model_switched,
             reconfigured,
-        }
+        };
+        let from = from.unwrap_or_else(|| state.model.clone());
+        emit_switch_events(&self.sink, now_s, &from, &state);
+        state
     }
 }
 

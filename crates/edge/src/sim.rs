@@ -5,6 +5,7 @@ use crate::metrics::{RunMetrics, TracePoint};
 use crate::policy::{ServerPolicy, ServingState};
 use crate::workload::WorkloadSegment;
 use adaflow_dataflow::AcceleratorKind;
+use adaflow_telemetry::{EventKind, LogHistogram, SinkHandle};
 
 /// Simulation parameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -32,13 +33,27 @@ impl Default for SimConfig {
 #[derive(Debug, Clone, Default)]
 pub struct EdgeSim {
     config: SimConfig,
+    sink: SinkHandle,
 }
 
 impl EdgeSim {
     /// Creates a simulator with the given configuration.
     #[must_use]
     pub fn new(config: SimConfig) -> Self {
-        Self { config }
+        Self {
+            config,
+            sink: SinkHandle::default(),
+        }
+    }
+
+    /// Attaches a telemetry sink; the simulator emits frame-arrival,
+    /// frame-drop, queue-depth and stall-span events stamped with the
+    /// simulation clock. With the default [`SinkHandle::null`] the
+    /// instrumentation reduces to a branch per step.
+    #[must_use]
+    pub fn with_sink(mut self, sink: SinkHandle) -> Self {
+        self.sink = sink;
+        self
     }
 
     /// Runs one serving simulation of `policy` against a piecewise-constant
@@ -71,6 +86,8 @@ impl EdgeSim {
         let mut reconfigs = 0.0;
         let mut flex_switches = 0.0;
         let mut trace = Vec::new();
+        let mut latency_hist = LogHistogram::latency_s();
+        let telemetry = self.sink.enabled();
 
         let mut stall_until = 0.0f64;
         for segment in segments {
@@ -90,6 +107,20 @@ impl EdgeSim {
             acc_max = acc_max.max(state.accuracy);
             if state.stall_s > 0.0 {
                 stall_until = segment.start_s + state.stall_s;
+                if telemetry {
+                    self.sink.emit(
+                        segment.start_s,
+                        EventKind::SpanBegin {
+                            name: "stall".to_string(),
+                        },
+                    );
+                    self.sink.emit(
+                        stall_until,
+                        EventKind::SpanEnd {
+                            name: "stall".to_string(),
+                        },
+                    );
+                }
             }
 
             // Integrate the segment in fixed steps, with exact fluid
@@ -119,6 +150,30 @@ impl EdgeSim {
                     dropped += overflow;
                     queue_time_integral += 0.5 * (q + q1) * phase_dt;
                     service_rate_integral += mu * phase_dt;
+                    if served > 0.0 && mu > 0.0 {
+                        // Sojourn estimate for frames served in this phase:
+                        // mean queueing delay at the phase's average depth
+                        // plus one service time, weighted by frames served.
+                        let sojourn_s = 0.5 * (q + q1) / mu + 1.0 / mu;
+                        latency_hist.record_weighted(sojourn_s, served);
+                    }
+                    if telemetry {
+                        self.sink.emit(
+                            t,
+                            EventKind::FrameArrived {
+                                count: lambda * phase_dt,
+                            },
+                        );
+                        if overflow > 1e-12 {
+                            self.sink.emit(
+                                t,
+                                EventKind::FrameDropped {
+                                    count: overflow,
+                                    queue_frames: q1,
+                                },
+                            );
+                        }
+                    }
                     q = q1;
                     qoe_num += served * state.accuracy;
                     if served > 0.0 {
@@ -133,6 +188,9 @@ impl EdgeSim {
                 }
 
                 t += dt;
+                if telemetry {
+                    self.sink.emit(t, EventKind::QueueDepth { frames: q });
+                }
                 if self.config.record_trace {
                     let loss_so_far = dropped / offered.max(1e-12) * 100.0;
                     trace.push(TracePoint {
@@ -187,6 +245,9 @@ impl EdgeSim {
             flexible_switches: flex_switches,
             mean_queue_frames: mean_queue,
             mean_latency_ms: mean_latency_s * 1e3,
+            latency_p50_ms: latency_hist.p50() * 1e3,
+            latency_p95_ms: latency_hist.p95() * 1e3,
+            latency_p99_ms: latency_hist.p99() * 1e3,
         };
         (metrics, trace)
     }

@@ -50,4 +50,4 @@ pub use power::{PowerModel, PowerReport};
 pub use reconfig::{Bitstream, ReconfigurationModel};
 pub use report::{UtilizationReport, UtilizationRow};
 pub use resources::{estimate_accelerator, estimate_module, ResourceEstimate};
-pub use synth::{synthesize, SynthesizedAccelerator};
+pub use synth::{synthesize, synthesize_traced, SynthesizedAccelerator};

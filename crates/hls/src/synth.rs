@@ -6,6 +6,7 @@ use crate::power::PowerModel;
 use crate::reconfig::Bitstream;
 use crate::resources::{estimate_accelerator, ResourceEstimate};
 use adaflow_dataflow::DataflowAccelerator;
+use adaflow_telemetry::{EventKind, SinkHandle};
 use serde::{Deserialize, Serialize};
 
 /// Unloaded fabric Fmax in MHz (sparse design, short routes).
@@ -53,18 +54,53 @@ pub fn synthesize(
     accel: &DataflowAccelerator,
     device: &FpgaDevice,
 ) -> Result<SynthesizedAccelerator, HlsError> {
+    synthesize_traced(accel, device, &SinkHandle::default())
+}
+
+/// [`synthesize`] with telemetry: one [`EventKind::SynthReport`] event is
+/// emitted per attempt, successful or not (`fits: false` when the design is
+/// rejected for resources or timing). Synthesis happens at design time, so
+/// events are stamped at `t = 0`.
+///
+/// # Errors
+///
+/// Same contract as [`synthesize`].
+pub fn synthesize_traced(
+    accel: &DataflowAccelerator,
+    device: &FpgaDevice,
+    sink: &SinkHandle,
+) -> Result<SynthesizedAccelerator, HlsError> {
+    let report = |fmax_mhz: f64, res: Option<&ResourceEstimate>, fits: bool| {
+        if sink.enabled() {
+            sink.emit(
+                0.0,
+                EventKind::SynthReport {
+                    accelerator: accel.name().to_string(),
+                    fmax_mhz,
+                    lut: res.map_or(0, |r| r.lut),
+                    bram36: res.map_or(0, |r| r.bram36),
+                    fits,
+                },
+            );
+        }
+    };
     let resources = estimate_accelerator(accel)?;
-    check_fit(&resources, device)?;
+    if let Err(e) = check_fit(&resources, device) {
+        report(0.0, Some(&resources), false);
+        return Err(e);
+    }
 
     let lut_util = resources.lut as f64 / device.lut as f64;
     let fmax_mhz = BASE_FMAX_MHZ * (1.0 - FMAX_CONGESTION_SLOPE * lut_util);
     let clock_mhz = accel.clock_hz() as f64 / 1e6;
     if fmax_mhz < clock_mhz {
+        report(fmax_mhz, Some(&resources), false);
         return Err(HlsError::TimingFailure {
             fmax_mhz,
             target_mhz: clock_mhz,
         });
     }
+    report(fmax_mhz, Some(&resources), true);
 
     Ok(SynthesizedAccelerator {
         name: accel.name().to_string(),

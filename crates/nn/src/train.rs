@@ -381,15 +381,32 @@ impl Trainer {
     /// Returns [`NnError::InvalidConfig`] for degenerate hyper-parameters,
     /// or engine errors from evaluation.
     pub fn train(
+        self,
+        data: &SyntheticDataset,
+        config: &TrainingConfig,
+    ) -> Result<(CnnGraph, TrainingReport), NnError> {
+        self.train_observed(data, config, |_, _| {})
+    }
+
+    /// Like [`Trainer::train`], invoking `observer(epoch, mean_loss)` after
+    /// every epoch. This keeps `adaflow-nn` free of any telemetry
+    /// dependency: callers adapt the callback to their own event sink.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] for degenerate hyper-parameters,
+    /// or engine errors from evaluation.
+    pub fn train_observed(
         mut self,
         data: &SyntheticDataset,
         config: &TrainingConfig,
+        mut observer: impl FnMut(usize, f64),
     ) -> Result<(CnnGraph, TrainingReport), NnError> {
         config.validate()?;
         let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0x5EED);
         let mut lr = config.learning_rate;
         let mut final_loss = 0.0;
-        for _epoch in 0..config.epochs {
+        for epoch in 0..config.epochs {
             let mut order: Vec<u64> = (0..config.train_samples as u64).collect();
             // Fisher-Yates shuffle.
             for i in (1..order.len()).rev() {
@@ -410,6 +427,7 @@ impl Trainer {
                 batches += 1;
             }
             final_loss = epoch_loss / batches.max(1) as f64;
+            observer(epoch, final_loss);
             lr *= config.lr_decay;
         }
         let eval_start = config.train_samples as u64 + 10_000;

@@ -46,5 +46,5 @@ pub mod selection;
 pub use config::{FinnConfig, Folding};
 pub use error::PruneError;
 pub use prune::{DataflowAwarePruner, LayerPrune, PrunedModel};
-pub use retrain::{retrain, RetrainOutcome, RetrainPolicy};
+pub use retrain::{retrain, retrain_traced, RetrainOutcome, RetrainPolicy};
 pub use selection::select_filters_l1;

@@ -12,6 +12,7 @@
 
 use crate::prune::PrunedModel;
 use adaflow_nn::{AccuracyModel, NnError, SyntheticDataset, Trainer, TrainingConfig};
+use adaflow_telemetry::{EventKind, SinkHandle};
 
 /// How to obtain post-retrain accuracy for a pruned model.
 #[derive(Debug, Clone)]
@@ -47,6 +48,22 @@ pub struct RetrainOutcome {
 ///
 /// Propagates trainer errors (invalid config, non-executable graph).
 pub fn retrain(model: PrunedModel, policy: &RetrainPolicy) -> Result<RetrainOutcome, NnError> {
+    retrain_traced(model, policy, &SinkHandle::default())
+}
+
+/// [`retrain`] with telemetry: under [`RetrainPolicy::Sgd`] one
+/// [`EventKind::RetrainEpoch`] event is emitted per epoch (the epoch ordinal
+/// doubles as the event timestamp — retraining happens at design time,
+/// outside the serving clock). The analytical policy emits nothing.
+///
+/// # Errors
+///
+/// Propagates trainer errors (invalid config, non-executable graph).
+pub fn retrain_traced(
+    model: PrunedModel,
+    policy: &RetrainPolicy,
+    sink: &SinkHandle,
+) -> Result<RetrainOutcome, NnError> {
     match policy {
         RetrainPolicy::Analytical(curve) => {
             let accuracy = curve.accuracy_at(model.achieved_rate());
@@ -54,8 +71,20 @@ pub fn retrain(model: PrunedModel, policy: &RetrainPolicy) -> Result<RetrainOutc
         }
         RetrainPolicy::Sgd { dataset, config } => {
             let trainer = Trainer::new(&model.graph, config.seed)?;
-            let (graph, report) = trainer.train(dataset, config)?;
             let name = model.graph.name().to_string();
+            let telemetry = sink.enabled();
+            let (graph, report) = trainer.train_observed(dataset, config, |epoch, loss| {
+                if telemetry {
+                    sink.emit(
+                        epoch as f64,
+                        EventKind::RetrainEpoch {
+                            model: name.clone(),
+                            epoch: epoch as u64,
+                            loss,
+                        },
+                    );
+                }
+            })?;
             let mut model = model;
             model.graph = graph.renamed(name);
             Ok(RetrainOutcome {

@@ -1,0 +1,143 @@
+//! The typed event model.
+//!
+//! Events carry plain strings and numbers rather than crate types so that
+//! `adaflow-telemetry` sits at the bottom of the workspace dependency graph:
+//! every other crate can emit events without cycles.
+
+use serde::{Deserialize, Serialize};
+
+/// One telemetry event, stamped with the simulation clock.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    /// Simulation time in seconds (or a stage-local ordinal for design-time
+    /// events such as retraining epochs).
+    pub t_s: f64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl Event {
+    #[must_use]
+    pub fn new(t_s: f64, kind: EventKind) -> Self {
+        Event { t_s, kind }
+    }
+}
+
+/// Everything the stack reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// Frames offered by the workload during one simulation step. `count`
+    /// is fractional: the fluid model offers `rate × dt` frames per step.
+    FrameArrived { count: f64 },
+    /// Frames lost to buffer overflow during one simulation step.
+    FrameDropped { count: f64, queue_frames: f64 },
+    /// Periodic queue-occupancy sample.
+    QueueDepth { frames: f64 },
+    /// The Runtime Manager chose a serving configuration.
+    DecisionMade {
+        model: String,
+        accelerator: String,
+        /// `"none"`, `"flexible-switch"` or `"reconfiguration"`.
+        switch: String,
+        /// Serving stall charged to this decision, seconds.
+        stall_s: f64,
+        /// Incoming workload that triggered the decision, FPS.
+        incoming_fps: f64,
+    },
+    /// An FPGA reconfiguration began (serving stalls until `ReconfigEnd`).
+    ReconfigStart { model: String },
+    /// The matching end of a reconfiguration stall.
+    ReconfigEnd { model: String, stall_s: f64 },
+    /// A CNN model switch (flexible switches don't stall the fabric).
+    ModelSwitch {
+        from: String,
+        to: String,
+        flexible: bool,
+    },
+    /// One epoch of a retraining run (design time; `t_s` is the epoch
+    /// ordinal).
+    RetrainEpoch {
+        model: String,
+        epoch: u64,
+        loss: f64,
+    },
+    /// Outcome of synthesizing one accelerator (design time).
+    SynthReport {
+        accelerator: String,
+        fmax_mhz: f64,
+        lut: u64,
+        bram36: u64,
+        fits: bool,
+    },
+    /// Start of a named interval (pairs with `SpanEnd` of the same name).
+    SpanBegin { name: String },
+    /// End of a named interval.
+    SpanEnd { name: String },
+}
+
+impl EventKind {
+    /// Short stable label, used as the Chrome trace event name and the
+    /// Prometheus counter key.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            EventKind::FrameArrived { .. } => "frame_arrived",
+            EventKind::FrameDropped { .. } => "frame_dropped",
+            EventKind::QueueDepth { .. } => "queue_depth",
+            EventKind::DecisionMade { .. } => "decision_made",
+            EventKind::ReconfigStart { .. } => "reconfig",
+            EventKind::ReconfigEnd { .. } => "reconfig",
+            EventKind::ModelSwitch { .. } => "model_switch",
+            EventKind::RetrainEpoch { .. } => "retrain_epoch",
+            EventKind::SynthReport { .. } => "synth_report",
+            EventKind::SpanBegin { .. } => "span",
+            EventKind::SpanEnd { .. } => "span",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_round_trip_through_json() {
+        let events = vec![
+            Event::new(0.25, EventKind::FrameArrived { count: 6.0 }),
+            Event::new(
+                0.5,
+                EventKind::DecisionMade {
+                    model: "cnv_p25".into(),
+                    accelerator: "flexible".into(),
+                    switch: "flexible-switch".into(),
+                    stall_s: 0.0,
+                    incoming_fps: 612.5,
+                },
+            ),
+            Event::new(
+                1.0,
+                EventKind::ReconfigStart {
+                    model: "cnv".into(),
+                },
+            ),
+            Event::new(
+                1.145,
+                EventKind::ReconfigEnd {
+                    model: "cnv".into(),
+                    stall_s: 0.145,
+                },
+            ),
+        ];
+        for e in &events {
+            let text = serde_json::to_string(e).expect("serializes");
+            let back: Event = serde_json::from_str(&text).expect("parses");
+            assert_eq!(*e, back);
+        }
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(EventKind::QueueDepth { frames: 1.0 }.label(), "queue_depth");
+        assert_eq!(EventKind::SpanBegin { name: "x".into() }.label(), "span");
+    }
+}

@@ -1,0 +1,484 @@
+//! Trace exporters: JSONL, Chrome trace-event JSON and Prometheus text.
+
+use crate::event::{Event, EventKind};
+use crate::histogram::LogHistogram;
+use serde::{Deserialize, Serialize, Value};
+use std::collections::BTreeMap;
+
+// ---------------------------------------------------------------------------
+// JSONL
+// ---------------------------------------------------------------------------
+
+/// Serializes events as JSON Lines: one compact object per line.
+#[must_use]
+pub fn events_to_jsonl(events: &[Event]) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&serde_json::to_string(e).expect("event serializes"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a JSONL trace back into events. Blank lines are skipped.
+pub fn events_from_jsonl(text: &str) -> Result<Vec<Event>, serde_json::Error> {
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(serde_json::from_str)
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace-event format
+// ---------------------------------------------------------------------------
+
+/// One Chrome trace event, per the Trace Event Format spec. Loadable in
+/// Perfetto (<https://ui.perfetto.dev>) and `chrome://tracing` when exported
+/// as a JSON array.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChromeTraceEvent {
+    /// Event name shown on the timeline.
+    pub name: String,
+    /// Category (comma-separated tags).
+    pub cat: String,
+    /// Phase: `"i"` instant, `"B"`/`"E"` span begin/end, `"C"` counter.
+    pub ph: String,
+    /// Timestamp in **microseconds** (simulation clock × 10⁶).
+    pub ts: f64,
+    /// Process id; the whole simulation is process 1.
+    pub pid: u64,
+    /// Thread id, used to group lanes (1 = serving, 2 = control, 3 =
+    /// design-time).
+    pub tid: u64,
+    /// Free-form payload.
+    pub args: BTreeMap<String, Value>,
+}
+
+const LANE_SERVING: u64 = 1;
+const LANE_CONTROL: u64 = 2;
+const LANE_DESIGN: u64 = 3;
+
+fn micros(t_s: f64) -> f64 {
+    t_s * 1e6
+}
+
+fn args1(key: &str, value: Value) -> BTreeMap<String, Value> {
+    let mut m = BTreeMap::new();
+    m.insert(key.to_string(), value);
+    m
+}
+
+/// Lowers typed events to Chrome trace events.
+///
+/// `FrameArrived` events are aggregated away (they would flood the
+/// timeline); arrivals are visible through the `queue_depth` counter track
+/// instead. Everything else maps one-to-one: drops and decisions become
+/// instants, reconfigurations and explicit spans become `B`/`E` pairs, and
+/// queue samples become a counter series.
+#[must_use]
+pub fn to_chrome_trace(events: &[Event]) -> Vec<ChromeTraceEvent> {
+    let mut out = Vec::new();
+    for e in events {
+        let ts = micros(e.t_s);
+        match &e.kind {
+            EventKind::FrameArrived { .. } => {}
+            EventKind::FrameDropped {
+                count,
+                queue_frames,
+            } => {
+                let mut args = args1("count", Value::F64(*count));
+                args.insert("queue_frames".into(), Value::F64(*queue_frames));
+                out.push(ChromeTraceEvent {
+                    name: "frame_dropped".into(),
+                    cat: "serving".into(),
+                    ph: "i".into(),
+                    ts,
+                    pid: 1,
+                    tid: LANE_SERVING,
+                    args,
+                });
+            }
+            EventKind::QueueDepth { frames } => out.push(ChromeTraceEvent {
+                name: "queue_depth".into(),
+                cat: "serving".into(),
+                ph: "C".into(),
+                ts,
+                pid: 1,
+                tid: LANE_SERVING,
+                args: args1("frames", Value::F64(*frames)),
+            }),
+            EventKind::DecisionMade {
+                model,
+                accelerator,
+                switch,
+                stall_s,
+                incoming_fps,
+            } => {
+                let mut args = args1("model", Value::Str(model.clone()));
+                args.insert("accelerator".into(), Value::Str(accelerator.clone()));
+                args.insert("switch".into(), Value::Str(switch.clone()));
+                args.insert("stall_s".into(), Value::F64(*stall_s));
+                args.insert("incoming_fps".into(), Value::F64(*incoming_fps));
+                out.push(ChromeTraceEvent {
+                    name: "decision_made".into(),
+                    cat: "control".into(),
+                    ph: "i".into(),
+                    ts,
+                    pid: 1,
+                    tid: LANE_CONTROL,
+                    args,
+                });
+            }
+            EventKind::ReconfigStart { model } => out.push(ChromeTraceEvent {
+                name: "reconfiguration".into(),
+                cat: "control".into(),
+                ph: "B".into(),
+                ts,
+                pid: 1,
+                tid: LANE_CONTROL,
+                args: args1("model", Value::Str(model.clone())),
+            }),
+            EventKind::ReconfigEnd { model, stall_s } => {
+                let mut args = args1("model", Value::Str(model.clone()));
+                args.insert("stall_s".into(), Value::F64(*stall_s));
+                out.push(ChromeTraceEvent {
+                    name: "reconfiguration".into(),
+                    cat: "control".into(),
+                    ph: "E".into(),
+                    ts,
+                    pid: 1,
+                    tid: LANE_CONTROL,
+                    args,
+                });
+            }
+            EventKind::ModelSwitch { from, to, flexible } => {
+                let mut args = args1("from", Value::Str(from.clone()));
+                args.insert("to".into(), Value::Str(to.clone()));
+                args.insert("flexible".into(), Value::Bool(*flexible));
+                out.push(ChromeTraceEvent {
+                    name: "model_switch".into(),
+                    cat: "control".into(),
+                    ph: "i".into(),
+                    ts,
+                    pid: 1,
+                    tid: LANE_CONTROL,
+                    args,
+                });
+            }
+            EventKind::RetrainEpoch { model, epoch, loss } => {
+                let mut args = args1("model", Value::Str(model.clone()));
+                args.insert("epoch".into(), Value::U64(*epoch));
+                args.insert("loss".into(), Value::F64(*loss));
+                out.push(ChromeTraceEvent {
+                    name: "retrain_epoch".into(),
+                    cat: "design".into(),
+                    ph: "i".into(),
+                    ts,
+                    pid: 1,
+                    tid: LANE_DESIGN,
+                    args,
+                });
+            }
+            EventKind::SynthReport {
+                accelerator,
+                fmax_mhz,
+                lut,
+                bram36,
+                fits,
+            } => {
+                let mut args = args1("accelerator", Value::Str(accelerator.clone()));
+                args.insert("fmax_mhz".into(), Value::F64(*fmax_mhz));
+                args.insert("lut".into(), Value::U64(*lut));
+                args.insert("bram36".into(), Value::U64(*bram36));
+                args.insert("fits".into(), Value::Bool(*fits));
+                out.push(ChromeTraceEvent {
+                    name: "synth_report".into(),
+                    cat: "design".into(),
+                    ph: "i".into(),
+                    ts,
+                    pid: 1,
+                    tid: LANE_DESIGN,
+                    args,
+                });
+            }
+            EventKind::SpanBegin { name } => out.push(ChromeTraceEvent {
+                name: name.clone(),
+                cat: "span".into(),
+                ph: "B".into(),
+                ts,
+                pid: 1,
+                tid: LANE_SERVING,
+                args: BTreeMap::new(),
+            }),
+            EventKind::SpanEnd { name } => out.push(ChromeTraceEvent {
+                name: name.clone(),
+                cat: "span".into(),
+                ph: "E".into(),
+                ts,
+                pid: 1,
+                tid: LANE_SERVING,
+                args: BTreeMap::new(),
+            }),
+        }
+    }
+    out
+}
+
+/// Renders events as a Chrome trace JSON array (the file Perfetto loads).
+#[must_use]
+pub fn chrome_trace_json(events: &[Event]) -> String {
+    serde_json::to_string_pretty(&to_chrome_trace(events)).expect("trace serializes")
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus text exposition + summary
+// ---------------------------------------------------------------------------
+
+/// Aggregate view of a trace, used by the Prometheus exporter and the CLI.
+#[derive(Debug, Clone)]
+pub struct TraceSummary {
+    pub frames_arrived: f64,
+    pub frames_dropped: f64,
+    pub decisions: u64,
+    pub reconfigurations: u64,
+    pub model_switches: u64,
+    pub flexible_switches: u64,
+    pub retrain_epochs: u64,
+    pub synth_reports: u64,
+    pub stall_s: f64,
+    /// Distribution of sampled queue depths.
+    pub queue_depth: LogHistogram,
+    /// Largest event timestamp, seconds.
+    pub horizon_s: f64,
+}
+
+impl TraceSummary {
+    /// Folds a trace into totals and distributions.
+    #[must_use]
+    pub fn from_events(events: &[Event]) -> Self {
+        let mut s = TraceSummary {
+            frames_arrived: 0.0,
+            frames_dropped: 0.0,
+            decisions: 0,
+            reconfigurations: 0,
+            model_switches: 0,
+            flexible_switches: 0,
+            retrain_epochs: 0,
+            synth_reports: 0,
+            stall_s: 0.0,
+            queue_depth: LogHistogram::queue_frames(),
+            horizon_s: 0.0,
+        };
+        for e in events {
+            s.horizon_s = s.horizon_s.max(e.t_s);
+            match &e.kind {
+                EventKind::FrameArrived { count } => s.frames_arrived += count,
+                EventKind::FrameDropped { count, .. } => s.frames_dropped += count,
+                EventKind::QueueDepth { frames } => s.queue_depth.record(*frames),
+                EventKind::DecisionMade { stall_s, .. } => {
+                    s.decisions += 1;
+                    s.stall_s += stall_s;
+                }
+                EventKind::ReconfigStart { .. } => s.reconfigurations += 1,
+                EventKind::ReconfigEnd { .. } => {}
+                EventKind::ModelSwitch { flexible, .. } => {
+                    s.model_switches += 1;
+                    if *flexible {
+                        s.flexible_switches += 1;
+                    }
+                }
+                EventKind::RetrainEpoch { .. } => s.retrain_epochs += 1,
+                EventKind::SynthReport { .. } => s.synth_reports += 1,
+                EventKind::SpanBegin { .. } | EventKind::SpanEnd { .. } => {}
+            }
+        }
+        s
+    }
+}
+
+/// Renders a summary in the Prometheus text exposition format.
+#[must_use]
+pub fn to_prometheus(summary: &TraceSummary) -> String {
+    let mut out = String::new();
+    let mut metric = |name: &str, kind: &str, help: &str, value: String| {
+        out.push_str(&format!(
+            "# HELP {name} {help}\n# TYPE {name} {kind}\n{name} {value}\n"
+        ));
+    };
+    metric(
+        "adaflow_frames_arrived_total",
+        "counter",
+        "Frames offered by the workload.",
+        format!("{}", summary.frames_arrived),
+    );
+    metric(
+        "adaflow_frames_dropped_total",
+        "counter",
+        "Frames lost to buffer overflow.",
+        format!("{}", summary.frames_dropped),
+    );
+    metric(
+        "adaflow_decisions_total",
+        "counter",
+        "Runtime Manager decisions.",
+        format!("{}", summary.decisions),
+    );
+    metric(
+        "adaflow_reconfigurations_total",
+        "counter",
+        "FPGA reconfigurations.",
+        format!("{}", summary.reconfigurations),
+    );
+    metric(
+        "adaflow_model_switches_total",
+        "counter",
+        "CNN model switches (any kind).",
+        format!("{}", summary.model_switches),
+    );
+    metric(
+        "adaflow_flexible_switches_total",
+        "counter",
+        "Fast model switches on the flexible accelerator.",
+        format!("{}", summary.flexible_switches),
+    );
+    metric(
+        "adaflow_stall_seconds_total",
+        "counter",
+        "Serving stall charged by decisions.",
+        format!("{}", summary.stall_s),
+    );
+    metric(
+        "adaflow_retrain_epochs_total",
+        "counter",
+        "Design-time retraining epochs.",
+        format!("{}", summary.retrain_epochs),
+    );
+    metric(
+        "adaflow_synth_reports_total",
+        "counter",
+        "Design-time synthesis reports.",
+        format!("{}", summary.synth_reports),
+    );
+    for (q, label) in [(0.5, "0.5"), (0.95, "0.95"), (0.99, "0.99")] {
+        metric(
+            &format!("adaflow_queue_depth_frames{{quantile=\"{label}\"}}"),
+            "gauge",
+            "Sampled queue depth quantile.",
+            format!("{}", summary.queue_depth.quantile(q)),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event::new(0.01, EventKind::FrameArrived { count: 6.0 }),
+            Event::new(0.02, EventKind::QueueDepth { frames: 3.0 }),
+            Event::new(
+                0.5,
+                EventKind::DecisionMade {
+                    model: "cnv_p25".into(),
+                    accelerator: "flexible".into(),
+                    switch: "flexible-switch".into(),
+                    stall_s: 0.0,
+                    incoming_fps: 612.0,
+                },
+            ),
+            Event::new(
+                0.5,
+                EventKind::ModelSwitch {
+                    from: "cnv".into(),
+                    to: "cnv_p25".into(),
+                    flexible: true,
+                },
+            ),
+            Event::new(
+                1.0,
+                EventKind::ReconfigStart {
+                    model: "cnv".into(),
+                },
+            ),
+            Event::new(
+                1.145,
+                EventKind::ReconfigEnd {
+                    model: "cnv".into(),
+                    stall_s: 0.145,
+                },
+            ),
+            Event::new(
+                1.2,
+                EventKind::FrameDropped {
+                    count: 2.5,
+                    queue_frames: 64.0,
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let events = sample_events();
+        let text = events_to_jsonl(&events);
+        assert_eq!(text.lines().count(), events.len());
+        let back = events_from_jsonl(&text).expect("parses");
+        assert_eq!(events, back);
+    }
+
+    #[test]
+    fn chrome_trace_round_trips_through_serde() {
+        let trace = to_chrome_trace(&sample_events());
+        let json = serde_json::to_string_pretty(&trace).expect("serializes");
+        let back: Vec<ChromeTraceEvent> = serde_json::from_str(&json).expect("parses");
+        assert_eq!(trace, back);
+    }
+
+    #[test]
+    fn chrome_trace_has_spans_and_instants() {
+        let trace = to_chrome_trace(&sample_events());
+        // FrameArrived is aggregated away.
+        assert!(!trace.iter().any(|e| e.name == "frame_arrived"));
+        let begins = trace.iter().filter(|e| e.ph == "B").count();
+        let ends = trace.iter().filter(|e| e.ph == "E").count();
+        assert_eq!(begins, 1);
+        assert_eq!(ends, 1);
+        assert!(trace
+            .iter()
+            .any(|e| e.name == "decision_made" && e.ph == "i"));
+        let counter = trace
+            .iter()
+            .find(|e| e.ph == "C")
+            .expect("queue counter present");
+        assert_eq!(counter.ts, 0.02 * 1e6);
+    }
+
+    #[test]
+    fn summary_counts_everything() {
+        let s = TraceSummary::from_events(&sample_events());
+        assert_eq!(s.frames_arrived, 6.0);
+        assert_eq!(s.frames_dropped, 2.5);
+        assert_eq!(s.decisions, 1);
+        assert_eq!(s.reconfigurations, 1);
+        assert_eq!(s.model_switches, 1);
+        assert_eq!(s.flexible_switches, 1);
+        assert!((s.horizon_s - 1.2).abs() < 1e-12);
+        assert!(!s.queue_depth.is_empty());
+    }
+
+    #[test]
+    fn prometheus_text_exposition_shape() {
+        let s = TraceSummary::from_events(&sample_events());
+        let text = to_prometheus(&s);
+        assert!(text.contains("# TYPE adaflow_frames_dropped_total counter"));
+        assert!(text.contains("adaflow_frames_dropped_total 2.5"));
+        assert!(text.contains("adaflow_queue_depth_frames{quantile=\"0.95\"}"));
+        // Every non-comment line is `name value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            assert_eq!(line.split_whitespace().count(), 2, "line: {line}");
+        }
+    }
+}

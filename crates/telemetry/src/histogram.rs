@@ -1,0 +1,244 @@
+//! Log-bucketed histograms with percentile extraction.
+
+/// A histogram over positive values with geometrically growing buckets.
+///
+/// Bucket `i` covers `[min · g^i, min · g^(i+1))`; values below `min` land
+/// in bucket 0 and values beyond the last bound in the final bucket, so
+/// recording never fails. Counts are `f64` weights: the fluid-queue
+/// simulator records each step's latency estimate weighted by the number of
+/// frames served in that step.
+#[derive(Debug, Clone)]
+pub struct LogHistogram {
+    min: f64,
+    inv_log_growth: f64,
+    log_growth: f64,
+    counts: Vec<f64>,
+    total: f64,
+    weighted_sum: f64,
+    min_seen: f64,
+    max_seen: f64,
+}
+
+impl LogHistogram {
+    /// Creates a histogram starting at `min` with `buckets` buckets growing
+    /// by factor `growth`.
+    #[must_use]
+    pub fn new(min: f64, growth: f64, buckets: usize) -> Self {
+        assert!(min > 0.0, "histogram min must be positive");
+        assert!(growth > 1.0, "bucket growth must exceed 1");
+        assert!(buckets > 0, "need at least one bucket");
+        LogHistogram {
+            min,
+            inv_log_growth: 1.0 / growth.ln(),
+            log_growth: growth.ln(),
+            counts: vec![0.0; buckets],
+            total: 0.0,
+            weighted_sum: 0.0,
+            min_seen: f64::INFINITY,
+            max_seen: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Latency histogram: 1 µs to ~1.2 h in quarter-octave buckets (~9 %
+    /// relative resolution), values in seconds.
+    #[must_use]
+    pub fn latency_s() -> Self {
+        LogHistogram::new(1e-6, 2f64.powf(0.25), 128)
+    }
+
+    /// Queue-depth histogram: 0.01 to ~10⁵ frames in half-octave buckets.
+    #[must_use]
+    pub fn queue_frames() -> Self {
+        LogHistogram::new(0.01, 2f64.powf(0.5), 48)
+    }
+
+    /// Records one observation with weight 1.
+    pub fn record(&mut self, value: f64) {
+        self.record_weighted(value, 1.0);
+    }
+
+    /// Records an observation carrying `weight` samples (e.g. frames).
+    /// Non-positive or NaN weights are ignored.
+    pub fn record_weighted(&mut self, value: f64, weight: f64) {
+        if weight <= 0.0 || weight.is_nan() || value.is_nan() {
+            return;
+        }
+        let idx = self.bucket_index(value);
+        self.counts[idx] += weight;
+        self.total += weight;
+        self.weighted_sum += value * weight;
+        self.min_seen = self.min_seen.min(value);
+        self.max_seen = self.max_seen.max(value);
+    }
+
+    fn bucket_index(&self, value: f64) -> usize {
+        if value <= self.min {
+            return 0;
+        }
+        let idx = ((value / self.min).ln() * self.inv_log_growth).floor();
+        (idx as usize).min(self.counts.len() - 1)
+    }
+
+    /// Total recorded weight.
+    #[must_use]
+    pub fn count(&self) -> f64 {
+        self.total
+    }
+
+    /// Whether nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.total <= 0.0
+    }
+
+    /// Weighted mean of the recorded values (exact, not bucketed).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.total > 0.0 {
+            self.weighted_sum / self.total
+        } else {
+            0.0
+        }
+    }
+
+    /// The value at quantile `q ∈ [0, 1]`, estimated as the geometric
+    /// midpoint of the bucket containing the quantile and clamped to the
+    /// observed value range. Returns 0 for an empty histogram.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        if self.is_empty() {
+            return 0.0;
+        }
+        let target = q * self.total;
+        let mut cumulative = 0.0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= target && c > 0.0 {
+                let lower = self.min * (self.log_growth * i as f64).exp();
+                let upper = self.min * (self.log_growth * (i + 1) as f64).exp();
+                let mid = (lower * upper).sqrt();
+                return mid.clamp(self.min_seen, self.max_seen);
+            }
+        }
+        self.max_seen
+    }
+
+    /// Convenience accessors for the standard reporting percentiles.
+    #[must_use]
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    #[must_use]
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    #[must_use]
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// Merges another histogram with identical bucketing into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bucket layouts differ.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        assert_eq!(self.counts.len(), other.counts.len(), "bucket count");
+        assert!(
+            (self.min - other.min).abs() < 1e-12
+                && (self.log_growth - other.log_growth).abs() < 1e-12,
+            "bucket layout mismatch"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.weighted_sum += other.weighted_sum;
+        self.min_seen = self.min_seen.min(other.min_seen);
+        self.max_seen = self.max_seen.max(other.max_seen);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LogHistogram::latency_s();
+        assert!(h.is_empty());
+        assert_eq!(h.p50(), 0.0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn single_value_is_every_percentile() {
+        let mut h = LogHistogram::latency_s();
+        h.record(0.010);
+        // Quarter-octave buckets: ±9 % relative error at worst.
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            let v = h.quantile(q);
+            assert!((v - 0.010).abs() / 0.010 < 0.10, "q{q}: {v}");
+        }
+        assert!((h.mean() - 0.010).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles_order_and_bracket() {
+        let mut h = LogHistogram::latency_s();
+        // 90 fast observations, 10 slow ones.
+        for _ in 0..90 {
+            h.record(0.001);
+        }
+        for _ in 0..10 {
+            h.record(0.1);
+        }
+        let (p50, p95, p99) = (h.p50(), h.p95(), h.p99());
+        assert!(p50 <= p95 && p95 <= p99);
+        assert!(p50 < 0.002, "p50 = {p50}");
+        assert!(p95 > 0.05, "p95 = {p95}");
+    }
+
+    #[test]
+    fn weights_shift_the_median() {
+        let mut h = LogHistogram::latency_s();
+        h.record_weighted(0.001, 1.0);
+        h.record_weighted(0.5, 100.0);
+        assert!(h.p50() > 0.4, "p50 = {}", h.p50());
+        assert!((h.count() - 101.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_range_values_clamp() {
+        let mut h = LogHistogram::new(1.0, 2.0, 4);
+        h.record(1e-9);
+        h.record(1e9);
+        assert_eq!(h.count(), 2.0);
+        assert!(h.quantile(0.0) >= 1e-9);
+        assert!(h.quantile(1.0) <= 1e9);
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = LogHistogram::queue_frames();
+        let mut b = LogHistogram::queue_frames();
+        a.record(2.0);
+        b.record(64.0);
+        b.record(64.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3.0);
+        assert!(a.p99() > 30.0);
+    }
+
+    #[test]
+    fn zero_and_negative_weight_ignored() {
+        let mut h = LogHistogram::latency_s();
+        h.record_weighted(0.01, 0.0);
+        h.record_weighted(0.01, -5.0);
+        h.record_weighted(f64::NAN, 1.0);
+        assert!(h.is_empty());
+    }
+}

@@ -1,0 +1,33 @@
+//! Structured telemetry for the AdaFlow serving stack.
+//!
+//! The paper's Runtime Manager is driven by "performance monitors added to
+//! the software in charge of the incoming inferences" (§IV-B2); this crate
+//! is the reproduction's equivalent. It provides:
+//!
+//! * a typed [`Event`] model stamped with the **simulation clock** (seconds
+//!   since run start), never wall time, so traces are deterministic in the
+//!   workload seed;
+//! * recording behind the [`TelemetrySink`] trait — [`NullSink`] is a
+//!   statically-known no-op whose `enabled()` lets hot paths skip building
+//!   event payloads entirely, [`Recorder`] is a bounded ring buffer;
+//! * log-bucketed [`LogHistogram`]s with p50/p95/p99 extraction for latency
+//!   and queue-depth distributions;
+//! * exporters in [`export`]: JSONL, Chrome trace-event JSON (loadable in
+//!   Perfetto / `chrome://tracing`) and Prometheus-style text exposition.
+//!
+//! Design-time stages (retraining, synthesis) have no simulation clock; they
+//! stamp events with a stage-local ordinal clock (e.g. the epoch index),
+//! which keeps traces ordered without inventing a fake wall time.
+
+pub mod event;
+pub mod export;
+pub mod histogram;
+pub mod sink;
+
+pub use event::{Event, EventKind};
+pub use export::{
+    chrome_trace_json, events_from_jsonl, events_to_jsonl, to_prometheus, ChromeTraceEvent,
+    TraceSummary,
+};
+pub use histogram::LogHistogram;
+pub use sink::{NullSink, Recorder, SinkHandle, TelemetrySink};

@@ -1,0 +1,270 @@
+//! Recording sinks.
+
+use crate::event::{Event, EventKind};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Where emitted events go.
+///
+/// Implementations must be cheap: `record` sits on the simulator's inner
+/// loop. Call [`TelemetrySink::enabled`] before building an event payload so
+/// disabled sinks cost a branch, not an allocation.
+pub trait TelemetrySink {
+    /// Whether this sink actually stores events. Hot paths should skip
+    /// event construction when `false`.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Records one event.
+    fn record(&self, event: Event);
+}
+
+/// The no-op sink: `enabled()` is `false` and `record` does nothing, so
+/// instrumented code compiled against it reduces to a branch.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl TelemetrySink for NullSink {
+    #[inline]
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    #[inline]
+    fn record(&self, _event: Event) {}
+}
+
+/// A bounded ring-buffer sink.
+///
+/// Recording pushes into a preallocated ring under a mutex whose critical
+/// section is a couple of index updates and one move — effectively
+/// uncontended in the single-writer simulation loop, and safe under the
+/// multi-threaded experiment driver. When full, the oldest event is
+/// overwritten and counted in [`Recorder::overwritten`].
+pub struct Recorder {
+    ring: Mutex<Ring>,
+    overwritten: AtomicU64,
+}
+
+struct Ring {
+    slots: Vec<Option<Event>>,
+    /// Index of the oldest event.
+    head: usize,
+    len: usize,
+}
+
+impl Recorder {
+    /// Creates a recorder holding at most `capacity` events.
+    #[must_use]
+    pub fn new(capacity: usize) -> Arc<Recorder> {
+        assert!(capacity > 0, "recorder capacity must be positive");
+        Arc::new(Recorder {
+            ring: Mutex::new(Ring {
+                slots: (0..capacity).map(|_| None).collect(),
+                head: 0,
+                len: 0,
+            }),
+            overwritten: AtomicU64::new(0),
+        })
+    }
+
+    /// Events currently buffered, oldest first.
+    #[must_use]
+    pub fn events(&self) -> Vec<Event> {
+        let ring = self.ring.lock().expect("recorder poisoned");
+        let cap = ring.slots.len();
+        (0..ring.len)
+            .filter_map(|i| ring.slots[(ring.head + i) % cap].clone())
+            .collect()
+    }
+
+    /// Number of buffered events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ring.lock().expect("recorder poisoned").len
+    }
+
+    /// Whether nothing has been recorded (or everything was drained).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// How many events were lost to ring overflow.
+    #[must_use]
+    pub fn overwritten(&self) -> u64 {
+        self.overwritten.load(Ordering::Relaxed)
+    }
+
+    /// Removes and returns all buffered events, oldest first.
+    pub fn drain(&self) -> Vec<Event> {
+        let mut ring = self.ring.lock().expect("recorder poisoned");
+        let cap = ring.slots.len();
+        let mut out = Vec::with_capacity(ring.len);
+        for i in 0..ring.len {
+            let idx = (ring.head + i) % cap;
+            if let Some(e) = ring.slots[idx].take() {
+                out.push(e);
+            }
+        }
+        ring.head = 0;
+        ring.len = 0;
+        out
+    }
+}
+
+impl TelemetrySink for Recorder {
+    fn record(&self, event: Event) {
+        let mut ring = self.ring.lock().expect("recorder poisoned");
+        let cap = ring.slots.len();
+        if ring.len == cap {
+            let head = ring.head;
+            ring.slots[head] = Some(event);
+            ring.head = (head + 1) % cap;
+            drop(ring);
+            self.overwritten.fetch_add(1, Ordering::Relaxed);
+        } else {
+            let idx = (ring.head + ring.len) % cap;
+            ring.slots[idx] = Some(event);
+            ring.len += 1;
+        }
+    }
+}
+
+impl fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Recorder")
+            .field("len", &self.len())
+            .field("overwritten", &self.overwritten())
+            .finish()
+    }
+}
+
+/// A shared, cloneable handle to a sink.
+///
+/// Wrapping the `Arc<dyn TelemetrySink>` in a newtype gives it `Debug`,
+/// `Default` (the null sink) and pointer-identity `PartialEq`, so structs
+/// that `#[derive(Debug, Clone, PartialEq)]` can carry a sink field without
+/// hand-written impls.
+#[derive(Clone)]
+pub struct SinkHandle(Arc<dyn TelemetrySink + Send + Sync>);
+
+impl SinkHandle {
+    /// Wraps any sink.
+    pub fn new(sink: Arc<dyn TelemetrySink + Send + Sync>) -> Self {
+        SinkHandle(sink)
+    }
+
+    /// The disabled sink.
+    #[must_use]
+    pub fn null() -> Self {
+        SinkHandle(Arc::new(NullSink))
+    }
+
+    /// A fresh ring-buffer recorder plus its handle.
+    #[must_use]
+    pub fn recorder(capacity: usize) -> (Self, Arc<Recorder>) {
+        let recorder = Recorder::new(capacity);
+        (SinkHandle(recorder.clone()), recorder)
+    }
+
+    /// Whether emitting through this handle stores anything.
+    #[inline]
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.0.enabled()
+    }
+
+    /// Records `kind` at simulation time `t_s` (no-op when disabled).
+    #[inline]
+    pub fn emit(&self, t_s: f64, kind: EventKind) {
+        if self.0.enabled() {
+            self.0.record(Event::new(t_s, kind));
+        }
+    }
+}
+
+impl Default for SinkHandle {
+    fn default() -> Self {
+        SinkHandle::null()
+    }
+}
+
+impl fmt::Debug for SinkHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SinkHandle")
+            .field("enabled", &self.enabled())
+            .finish()
+    }
+}
+
+impl PartialEq for SinkHandle {
+    /// Pointer identity: two handles are equal when they share a sink.
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn depth(frames: f64) -> EventKind {
+        EventKind::QueueDepth { frames }
+    }
+
+    #[test]
+    fn null_sink_is_disabled() {
+        let sink = SinkHandle::default();
+        assert!(!sink.enabled());
+        sink.emit(0.0, depth(1.0));
+    }
+
+    #[test]
+    fn recorder_keeps_order() {
+        let (sink, recorder) = SinkHandle::recorder(8);
+        for i in 0..5 {
+            sink.emit(i as f64, depth(i as f64));
+        }
+        let events = recorder.events();
+        assert_eq!(events.len(), 5);
+        assert!(events.windows(2).all(|w| w[0].t_s < w[1].t_s));
+        assert_eq!(recorder.overwritten(), 0);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest() {
+        let (sink, recorder) = SinkHandle::recorder(4);
+        for i in 0..10 {
+            sink.emit(i as f64, depth(0.0));
+        }
+        let events = recorder.events();
+        assert_eq!(events.len(), 4);
+        assert_eq!(events[0].t_s, 6.0);
+        assert_eq!(events[3].t_s, 9.0);
+        assert_eq!(recorder.overwritten(), 6);
+    }
+
+    #[test]
+    fn drain_empties_the_ring() {
+        let (sink, recorder) = SinkHandle::recorder(4);
+        sink.emit(1.0, depth(2.0));
+        sink.emit(2.0, depth(3.0));
+        let drained = recorder.drain();
+        assert_eq!(drained.len(), 2);
+        assert!(recorder.is_empty());
+        assert!(recorder.events().is_empty());
+    }
+
+    #[test]
+    fn handles_share_a_sink() {
+        let (sink, recorder) = SinkHandle::recorder(16);
+        let clone = sink.clone();
+        assert_eq!(sink, clone);
+        assert_ne!(sink, SinkHandle::null());
+        clone.emit(0.5, depth(1.0));
+        assert_eq!(recorder.len(), 1);
+    }
+}

@@ -1,0 +1,405 @@
+//! Offline stand-in for `thiserror`.
+//!
+//! The real crate is a normal library that re-exports a derive from
+//! `thiserror-impl`; since `use thiserror::Error;` only ever names the
+//! macro, this stand-in is the proc-macro crate itself. It supports the
+//! subset this workspace uses, on enums:
+//!
+//! * `#[error("format string")]` with `{named}` captures, positional `{0}`
+//!   references (rewritten to bound identifiers) and format specs
+//!   (`{fmax_mhz:.1}`),
+//! * `#[error(transparent)]`, which forwards `Display` and `source()` to the
+//!   single inner error,
+//! * `#[from]` on a variant's only field, generating a `From` impl and a
+//!   `source()` arm.
+//!
+//! Structs and generic enums are not supported and produce a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `std::fmt::Display`, `std::error::Error` and `From` impls.
+#[proc_macro_derive(Error, attributes(error, from, source, backtrace))]
+pub fn derive_error(input: TokenStream) -> TokenStream {
+    match expand(input) {
+        Ok(code) => code.parse().expect("generated impl parses"),
+        Err(message) => format!("compile_error!({message:?});")
+            .parse()
+            .expect("compile_error parses"),
+    }
+}
+
+struct EnumVariant {
+    name: String,
+    display: DisplayKind,
+    fields: FieldsKind,
+}
+
+enum DisplayKind {
+    /// Raw source text of the format string literal, quotes included.
+    Format(String),
+    Transparent,
+}
+
+enum FieldsKind {
+    Unit,
+    Tuple(Vec<Field>),
+    Named(Vec<Field>),
+}
+
+struct Field {
+    name: Option<String>,
+    ty: String,
+    from: bool,
+}
+
+fn expand(input: TokenStream) -> Result<String, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_outer_attrs_and_vis(&tokens, &mut i);
+
+    match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {}
+        other => {
+            return Err(format!(
+                "thiserror stand-in: only enums are supported, found {other:?}"
+            ))
+        }
+    }
+    i += 1;
+    let enum_name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected enum name, found {other:?}")),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "thiserror stand-in: generic enum `{enum_name}` is not supported"
+        ));
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => return Err(format!("expected enum body, found {other:?}")),
+    };
+    let variants = parse_variants(body)?;
+    Ok(generate(&enum_name, &variants))
+}
+
+fn skip_outer_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if matches!(tokens.get(*i + 1), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    *i += 2;
+                } else {
+                    return;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_variants(body: TokenStream) -> Result<Vec<EnumVariant>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut display = None;
+        // Collect variant attributes, looking for #[error(...)].
+        while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            let group = match tokens.get(i + 1) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g.clone(),
+                other => return Err(format!("malformed attribute: {other:?}")),
+            };
+            i += 2;
+            let attr: Vec<TokenTree> = group.stream().into_iter().collect();
+            if matches!(attr.first(), Some(TokenTree::Ident(id)) if id.to_string() == "error") {
+                let args = match attr.get(1) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        g.stream().into_iter().collect::<Vec<_>>()
+                    }
+                    other => return Err(format!("malformed #[error]: {other:?}")),
+                };
+                display = Some(match args.first() {
+                    Some(TokenTree::Ident(id)) if id.to_string() == "transparent" => {
+                        DisplayKind::Transparent
+                    }
+                    Some(TokenTree::Literal(lit)) => DisplayKind::Format(lit.to_string()),
+                    other => {
+                        return Err(format!(
+                            "thiserror stand-in: unsupported #[error] argument: {other:?}"
+                        ))
+                    }
+                });
+            }
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                FieldsKind::Tuple(parse_fields(g.stream(), false)?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                FieldsKind::Named(parse_fields(g.stream(), true)?)
+            }
+            _ => FieldsKind::Unit,
+        };
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        let display = display.ok_or_else(|| {
+            format!("thiserror stand-in: variant `{name}` is missing #[error(...)]")
+        })?;
+        variants.push(EnumVariant {
+            name,
+            display,
+            fields,
+        });
+    }
+    Ok(variants)
+}
+
+/// Parses fields of a tuple (`named = false`) or braced (`named = true`) body.
+fn parse_fields(stream: TokenStream, named: bool) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut from = false;
+        while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                if g.delimiter() == Delimiter::Bracket {
+                    if matches!(
+                        g.stream().into_iter().next(),
+                        Some(TokenTree::Ident(id)) if id.to_string() == "from"
+                    ) {
+                        from = true;
+                    }
+                    i += 2;
+                    continue;
+                }
+            }
+            return Err("malformed field attribute".to_string());
+        }
+        if i >= tokens.len() {
+            break;
+        }
+        // Optional `pub` visibility.
+        if matches!(tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        let name = if named {
+            let field_name = match tokens.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => return Err(format!("expected field name, found {other:?}")),
+            };
+            i += 1;
+            match tokens.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+                other => return Err(format!("expected `:`, found {other:?}")),
+            }
+            Some(field_name)
+        } else {
+            None
+        };
+        // Capture type tokens until a top-level comma. Adjacent idents and
+        // literals need a separating space; punctuation (e.g. the two halves
+        // of `::`) must stay glued.
+        let mut ty = String::new();
+        let mut angle_depth = 0i32;
+        let mut prev_wordlike = false;
+        while let Some(token) = tokens.get(i) {
+            if let TokenTree::Punct(p) = token {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            let wordlike = matches!(token, TokenTree::Ident(_) | TokenTree::Literal(_));
+            if prev_wordlike && wordlike {
+                ty.push(' ');
+            }
+            ty.push_str(&token.to_string());
+            prev_wordlike = wordlike;
+            i += 1;
+        }
+        fields.push(Field { name, ty, from });
+    }
+    Ok(fields)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn generate(enum_name: &str, variants: &[EnumVariant]) -> String {
+    let mut display_arms = String::new();
+    let mut source_arms = String::new();
+    let mut from_impls = String::new();
+
+    for v in variants {
+        let vname = &v.name;
+        let (pattern, bindings): (String, Vec<String>) = match &v.fields {
+            FieldsKind::Unit => (format!("{enum_name}::{vname}"), Vec::new()),
+            FieldsKind::Tuple(fields) => {
+                let binds: Vec<String> = (0..fields.len()).map(|k| format!("_f{k}")).collect();
+                (format!("{enum_name}::{vname}({})", binds.join(", ")), binds)
+            }
+            FieldsKind::Named(fields) => {
+                let names: Vec<String> = fields
+                    .iter()
+                    .map(|f| f.name.clone().unwrap_or_default())
+                    .collect();
+                (
+                    format!("{enum_name}::{vname} {{ {} }}", names.join(", ")),
+                    names,
+                )
+            }
+        };
+
+        match &v.display {
+            DisplayKind::Format(lit) => {
+                let rewritten = rewrite_positional(lit);
+                display_arms.push_str(&format!(
+                    "            {pattern} => {{ \
+                     let _ = (&{binds_tuple}); \
+                     ::std::write!(__f, {rewritten}) }}\n",
+                    binds_tuple = if bindings.is_empty() {
+                        "()".to_string()
+                    } else {
+                        format!("({},)", bindings.join(", "))
+                    },
+                ));
+            }
+            DisplayKind::Transparent => {
+                let inner = bindings.first().cloned().unwrap_or_default();
+                display_arms.push_str(&format!(
+                    "            {pattern} => ::std::fmt::Display::fmt({inner}, __f),\n"
+                ));
+            }
+        }
+
+        // source(): transparent forwards to the inner error's source; a
+        // #[from] field is itself the source.
+        let wildcard = match &v.fields {
+            FieldsKind::Unit => format!("{enum_name}::{vname}"),
+            FieldsKind::Tuple(_) => format!("{enum_name}::{vname}(..)"),
+            FieldsKind::Named(_) => format!("{enum_name}::{vname} {{ .. }}"),
+        };
+        let source_arm = match (&v.display, &v.fields) {
+            (DisplayKind::Transparent, FieldsKind::Tuple(fields)) if fields.len() == 1 => {
+                format!(
+                    "            {enum_name}::{vname}(_f0) => ::std::error::Error::source(_f0),\n"
+                )
+            }
+            (DisplayKind::Transparent, FieldsKind::Named(fields)) if fields.len() == 1 => {
+                let fname = fields[0].name.clone().unwrap_or_default();
+                format!(
+                    "            {enum_name}::{vname} {{ {fname} }} => ::std::error::Error::source({fname}),\n"
+                )
+            }
+            (_, FieldsKind::Tuple(fields)) if fields.len() == 1 && fields[0].from => format!(
+                "            {enum_name}::{vname}(_f0) => ::std::option::Option::Some(_f0 as &(dyn ::std::error::Error + 'static)),\n"
+            ),
+            (_, FieldsKind::Named(fields)) if fields.len() == 1 && fields[0].from => {
+                let fname = fields[0].name.clone().unwrap_or_default();
+                format!(
+                    "            {enum_name}::{vname} {{ {fname} }} => ::std::option::Option::Some({fname} as &(dyn ::std::error::Error + 'static)),\n"
+                )
+            }
+            _ => format!("            {wildcard} => ::std::option::Option::None,\n"),
+        };
+        source_arms.push_str(&source_arm);
+
+        // From impl for a single #[from] field.
+        match &v.fields {
+            FieldsKind::Tuple(fields) if fields.len() == 1 && fields[0].from => {
+                let ty = &fields[0].ty;
+                from_impls.push_str(&format!(
+                    "impl ::std::convert::From<{ty}> for {enum_name} {{\n    \
+                     fn from(source: {ty}) -> Self {{ {enum_name}::{vname}(source) }}\n}}\n"
+                ));
+            }
+            FieldsKind::Named(fields) if fields.len() == 1 && fields[0].from => {
+                let ty = &fields[0].ty;
+                let fname = fields[0].name.clone().unwrap_or_default();
+                from_impls.push_str(&format!(
+                    "impl ::std::convert::From<{ty}> for {enum_name} {{\n    \
+                     fn from(source: {ty}) -> Self {{ {enum_name}::{vname} {{ {fname}: source }} }}\n}}\n"
+                ));
+            }
+            _ => {}
+        }
+    }
+
+    format!(
+        "impl ::std::fmt::Display for {enum_name} {{\n    \
+         fn fmt(&self, __f: &mut ::std::fmt::Formatter<'_>) -> ::std::fmt::Result {{\n        \
+         match self {{\n{display_arms}        }}\n    }}\n}}\n\
+         impl ::std::error::Error for {enum_name} {{\n    \
+         fn source(&self) -> ::std::option::Option<&(dyn ::std::error::Error + 'static)> {{\n        \
+         match self {{\n{source_arms}        }}\n    }}\n}}\n\
+         {from_impls}"
+    )
+}
+
+/// Rewrites positional format references (`{0}`, `{1:.2}`) in a format
+/// string literal's source text to the tuple-binding names `_f0`, `_f1`…
+/// Escaped braces (`{{`) are left alone.
+fn rewrite_positional(literal: &str) -> String {
+    let chars: Vec<char> = literal.chars().collect();
+    let mut out = String::with_capacity(literal.len());
+    let mut i = 0;
+    while i < chars.len() {
+        if chars[i] == '{' {
+            if chars.get(i + 1) == Some(&'{') {
+                out.push_str("{{");
+                i += 2;
+                continue;
+            }
+            let mut j = i + 1;
+            let mut digits = String::new();
+            while j < chars.len() && chars[j].is_ascii_digit() {
+                digits.push(chars[j]);
+                j += 1;
+            }
+            if !digits.is_empty() && matches!(chars.get(j), Some('}') | Some(':')) {
+                out.push('{');
+                out.push_str("_f");
+                out.push_str(&digits);
+                i = j;
+                continue;
+            }
+        }
+        out.push(chars[i]);
+        i += 1;
+    }
+    out
+}
