@@ -1,0 +1,154 @@
+//! Criterion bench: batched inference throughput of the integer engine.
+//!
+//! Compares three execution paths over the same image batch:
+//!
+//! 1. `baseline` — the pre-optimization default: direct convolution with a
+//!    fresh allocation set per image (`Engine::run` on `ConvStrategy::Direct`);
+//! 2. `scratch` — im2col + blocked integer GEMM with one reusable
+//!    [`EngineScratch`] arena (`run_with_scratch`, zero per-image allocation);
+//! 3. `batch_runner` — the same optimized path sharded across scoped worker
+//!    threads ([`BatchRunner`] with one scratch per worker).
+//!
+//! All three paths are asserted bit-identical before any timing starts.
+//!
+//! Set `ADAFLOW_BENCH_SMOKE=1` to run a fast configuration (tiny topology,
+//! batch 8, short measurement window) — used as the CI smoke check. The
+//! default full mode measures CNV-W2A2 on a CIFAR-10-like batch of 64.
+
+use adaflow_model::prelude::*;
+use adaflow_nn::prelude::*;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn smoke_mode() -> bool {
+    std::env::var("ADAFLOW_BENCH_SMOKE").is_ok_and(|v| v == "1")
+}
+
+struct Setup {
+    graph: CnnGraph,
+    images: Vec<Activations>,
+    tag: &'static str,
+}
+
+fn setup() -> Setup {
+    if smoke_mode() {
+        let graph = topology::tiny(QuantSpec::w2a2(), 4).expect("builds");
+        let data = SyntheticDataset::new(DatasetSpec::tiny(4), 42);
+        let images = data.batch(0, 8).into_iter().map(|s| s.image).collect();
+        Setup {
+            graph,
+            images,
+            tag: "tiny_batch8",
+        }
+    } else {
+        let graph = topology::cnv_w2a2_cifar10().expect("builds");
+        let data = SyntheticDataset::new(DatasetSpec::cifar10_like(), 42);
+        let images = data.batch(0, 64).into_iter().map(|s| s.image).collect();
+        Setup {
+            graph,
+            images,
+            tag: "cnv_batch64",
+        }
+    }
+}
+
+/// The pre-optimization path: direct convolution, fresh allocations per run.
+fn baseline_labels(graph: &CnnGraph, images: &[Activations]) -> Vec<usize> {
+    let engine = Engine::new(graph).expect("engine");
+    images
+        .iter()
+        .map(|img| engine.run(img).expect("runs").label)
+        .collect()
+}
+
+/// Optimized serial path: im2col + blocked GEMM + one reused scratch arena.
+fn scratch_labels(graph: &CnnGraph, images: &[Activations]) -> Vec<usize> {
+    let engine = Engine::new(graph)
+        .expect("engine")
+        .with_strategy(ConvStrategy::Im2col);
+    let mut scratch = engine.scratch();
+    images
+        .iter()
+        .map(|img| {
+            engine
+                .run_with_scratch(img, &mut scratch)
+                .expect("runs")
+                .label
+        })
+        .collect()
+}
+
+fn bench_engine_throughput(c: &mut Criterion) {
+    let Setup { graph, images, tag } = setup();
+
+    // Bit-exactness gate: all three paths must agree before timing means
+    // anything.
+    let baseline = baseline_labels(&graph, &images);
+    let scratch = scratch_labels(&graph, &images);
+    assert_eq!(baseline, scratch, "scratch path diverged from baseline");
+    for threads in [1, 2, 0] {
+        let runner = BatchRunner::new(
+            Engine::new(&graph)
+                .expect("engine")
+                .with_strategy(ConvStrategy::Im2col),
+        )
+        .with_threads(threads);
+        let labels = runner.run(&images).expect("batch");
+        assert_eq!(
+            baseline, labels,
+            "batch runner with {threads} threads diverged from baseline"
+        );
+    }
+
+    c.bench_function(&format!("engine_baseline_direct_{tag}"), |b| {
+        b.iter(|| baseline_labels(black_box(&graph), black_box(&images)))
+    });
+
+    c.bench_function(&format!("engine_scratch_im2col_{tag}"), |b| {
+        let engine = Engine::new(&graph)
+            .expect("engine")
+            .with_strategy(ConvStrategy::Im2col);
+        let mut scratch = engine.scratch();
+        b.iter(|| {
+            black_box(&images)
+                .iter()
+                .map(|img| {
+                    engine
+                        .run_with_scratch(img, &mut scratch)
+                        .expect("runs")
+                        .label
+                })
+                .collect::<Vec<_>>()
+        })
+    });
+
+    c.bench_function(&format!("engine_batch_runner_{tag}"), |b| {
+        let runner = BatchRunner::new(
+            Engine::new(&graph)
+                .expect("engine")
+                .with_strategy(ConvStrategy::Im2col),
+        );
+        b.iter(|| runner.run(black_box(&images)).expect("batch"))
+    });
+}
+
+fn config() -> Criterion {
+    if smoke_mode() {
+        Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(20))
+            .measurement_time(Duration::from_millis(200))
+    } else {
+        Criterion::default()
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(500))
+            .measurement_time(Duration::from_secs(8))
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_engine_throughput
+}
+criterion_main!(benches);

@@ -2,7 +2,9 @@
 //! dataflow-aware pruning sweep and accuracy scoring.
 
 use adaflow_model::{topology, QuantSpec};
-use adaflow_nn::{AccuracyModel, DatasetKind};
+use adaflow_nn::{
+    AccuracyModel, BatchRunner, ConvStrategy, DatasetKind, DatasetSpec, Engine, SyntheticDataset,
+};
 use adaflow_pruning::{DataflowAwarePruner, FinnConfig};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
@@ -37,6 +39,21 @@ fn bench_pruning(c: &mut Criterion) {
             }
             acc
         })
+    });
+
+    // Batched inference over the pruned model: the design-time accuracy
+    // check a pruning sweep performs per candidate, now through the
+    // multi-threaded batch runner.
+    c.bench_function("pruned_cnv_batch16_inference", |b| {
+        let pruned = pruner.prune(&graph, 0.25).expect("prunes");
+        let data = SyntheticDataset::new(DatasetSpec::cifar10_like(), 7);
+        let images: Vec<_> = data.batch(0, 16).into_iter().map(|s| s.image).collect();
+        let runner = BatchRunner::new(
+            Engine::new(&pruned.graph)
+                .expect("engine")
+                .with_strategy(ConvStrategy::Im2col),
+        );
+        b.iter(|| runner.run(black_box(&images)).expect("batch"))
     });
 }
 

@@ -58,37 +58,20 @@ impl<'l> Experiment<'l> {
 
     /// Runs the experiment with a policy factory (one fresh policy per run)
     /// and returns the averaged metrics.
+    ///
+    /// Runs are sharded over scoped worker threads (one per available core)
+    /// through the order-preserving [`adaflow_nn::parallel`] helper, so the
+    /// averaged metrics are identical to a serial sweep over the seeds.
     pub fn run_with<F>(&self, make_policy: F) -> RunMetrics
     where
         F: Fn() -> Box<dyn ServerPolicy + 'l> + Sync,
     {
         let seeds: Vec<u64> = (0..self.runs as u64).map(|i| self.base_seed + i).collect();
-        let threads = std::thread::available_parallelism()
-            .map_or(4, |n| n.get())
-            .min(seeds.len());
-        let chunks: Vec<&[u64]> = seeds.chunks(seeds.len().div_ceil(threads)).collect();
-        let mut all = Vec::with_capacity(self.runs);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = chunks
-                .into_iter()
-                .map(|chunk| {
-                    let make_policy = &make_policy;
-                    scope.spawn(move || {
-                        chunk
-                            .iter()
-                            .map(|&seed| {
-                                let segments = self.workload.generate(seed);
-                                let mut policy = make_policy();
-                                let sim = EdgeSim::new(self.sim.clone());
-                                sim.run(policy.as_mut(), &segments).0
-                            })
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            for h in handles {
-                all.extend(h.join().expect("simulation thread panicked"));
-            }
+        let all = adaflow_nn::parallel::par_map(&seeds, 0, |&seed| {
+            let segments = self.workload.generate(seed);
+            let mut policy = make_policy();
+            let sim = EdgeSim::new(self.sim.clone());
+            sim.run(policy.as_mut(), &segments).0
         });
         RunMetrics::mean(&all).expect("at least one run")
     }

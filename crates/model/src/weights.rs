@@ -501,12 +501,16 @@ impl ThresholdTable {
     /// Applies the threshold activation: number of thresholds `acc` meets or
     /// exceeds, i.e. the quantized activation value in `0..=levels`.
     ///
+    /// Rows are monotone by construction, so the thresholds `acc` meets form
+    /// a prefix of the row; a binary search over the row replaces the linear
+    /// scan (this sits on the inference engine's per-element hot path).
+    ///
     /// # Panics
     ///
     /// Panics if `channel` is out of range.
     #[must_use]
     pub fn apply(&self, channel: usize, acc: i32) -> u8 {
-        self.row(channel).iter().filter(|&&t| acc >= t).count() as u8
+        self.row(channel).partition_point(|&t| t <= acc) as u8
     }
 
     /// Returns a copy keeping only the channels NOT listed in `remove`
@@ -657,6 +661,44 @@ mod tests {
         assert_eq!(t.apply(0, -1), 1);
         assert_eq!(t.apply(0, 3), 2);
         assert_eq!(t.apply(0, 100), 3);
+    }
+
+    #[test]
+    fn threshold_apply_matches_linear_scan_on_i32_edges() {
+        // The binary search must agree with the definitional linear scan
+        // ("count of thresholds met") across the full i32 domain edges,
+        // duplicated thresholds, and saturated rows.
+        let rows = vec![
+            vec![i32::MIN, -1, 0, 1, i32::MAX],
+            vec![i32::MIN, i32::MIN, i32::MIN, i32::MIN, i32::MIN],
+            vec![i32::MAX, i32::MAX, i32::MAX, i32::MAX, i32::MAX],
+            vec![-7, -7, -7, 0, 0],
+            vec![0, 0, 0, 0, 0],
+        ];
+        let t = ThresholdTable::from_rows(rows.clone()).expect("table");
+        let probes = [
+            i32::MIN,
+            i32::MIN + 1,
+            -8,
+            -7,
+            -6,
+            -1,
+            0,
+            1,
+            2,
+            i32::MAX - 1,
+            i32::MAX,
+        ];
+        for (c, row) in rows.iter().enumerate() {
+            for &acc in &probes {
+                let linear = row.iter().filter(|&&t| acc >= t).count() as u8;
+                assert_eq!(
+                    t.apply(c, acc),
+                    linear,
+                    "channel {c} diverged from linear scan at acc={acc}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -6,10 +6,33 @@
 //! accumulators to low-precision unsigned activations, max-pooling operates
 //! directly on quantized activations, and the final label-select picks the
 //! arg-max class. There is no floating point anywhere on the datapath.
+//!
+//! ## Throughput layers
+//!
+//! The engine is the hot path under accuracy evaluation, threshold
+//! calibration and the pruning retrain loop, so it is built in three
+//! performance levels, each bit-identical to the plain path:
+//!
+//! 1. **Scratch-arena reuse** — [`EngineScratch`] holds the im2col window
+//!    matrix, the accumulator buffer and two ping-pong activation buffers,
+//!    sized once from the graph's maximum layer footprint.
+//!    [`Engine::run_with_scratch`] allocates nothing per call beyond the
+//!    returned logits.
+//! 2. **Blocked integer GEMM** — im2col convolution and dense layers share
+//!    one cache-blocked `i8 × u8 → i32` micro-kernel (4×4 register tile,
+//!    inner loop unrolled over the window dimension), selected automatically
+//!    when a layer is wide enough to profit. Integer accumulation is
+//!    order-independent, so tiling cannot change a single bit of the result.
+//! 3. **Parallel batch evaluation** — [`BatchRunner`] shards an image set
+//!    across scoped worker threads, one scratch arena per worker, preserving
+//!    input order.
 
 use crate::error::NnError;
+use crate::parallel;
 use crate::tensor::Activations;
 use adaflow_model::{CnnGraph, Layer, TensorShape};
+use adaflow_telemetry::SinkHandle;
+use std::time::Instant;
 
 /// Result of one inference.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -28,7 +51,8 @@ pub struct InferenceResult {
 /// * [`ConvStrategy::Im2col`] lowers each convolution to a dense
 ///   matrix-matrix product over an explicit window matrix — the classic GEMM
 ///   lowering, faster for wide layers at the cost of `out_pixels x k^2 x
-///   ch_in` scratch bytes.
+///   ch_in` scratch bytes, and the only strategy that engages the blocked
+///   micro-kernel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ConvStrategy {
     /// In-place direct convolution.
@@ -38,12 +62,56 @@ pub enum ConvStrategy {
     Im2col,
 }
 
-/// Value flowing between layers: quantized activations or raw MVTU
-/// accumulators awaiting thresholding.
+/// Reusable scratch memory for [`Engine::run_with_scratch`].
+///
+/// Sized once from the graph's largest layer footprint; repeated inferences
+/// through the same scratch allocate nothing. One scratch serves exactly one
+/// in-flight inference — use one per worker thread (see [`BatchRunner`]).
 #[derive(Debug, Clone)]
-enum Flow {
-    Quant(Activations),
-    Accum { shape: TensorShape, data: Vec<i32> },
+pub struct EngineScratch {
+    /// im2col window matrix of the widest convolution.
+    cols: Vec<u8>,
+    /// MVTU accumulators of the widest conv/dense layer.
+    accum: Vec<i32>,
+    /// Ping-pong quantized-activation buffers.
+    act_a: Vec<u8>,
+    act_b: Vec<u8>,
+}
+
+impl EngineScratch {
+    /// Allocates scratch buffers covering every layer of `graph`.
+    #[must_use]
+    pub fn for_graph(graph: &CnnGraph) -> Self {
+        let mut act = graph.input_shape().elements();
+        let mut accum = 0usize;
+        let mut cols = 0usize;
+        for node in graph.iter() {
+            match &node.layer {
+                Layer::Conv2d(c) => {
+                    accum = accum.max(node.output_shape.elements());
+                    let window = c.kernel * c.kernel * c.in_channels;
+                    cols = cols.max(node.output_shape.spatial() * window);
+                }
+                Layer::Dense(_) => accum = accum.max(node.output_shape.elements()),
+                Layer::MultiThreshold(_) | Layer::MaxPool2d(_) => {
+                    act = act.max(node.output_shape.elements());
+                }
+                Layer::LabelSelect(_) => {}
+            }
+        }
+        Self {
+            cols: vec![0; cols],
+            accum: vec![0; accum],
+            act_a: vec![0; act],
+            act_b: vec![0; act],
+        }
+    }
+
+    /// Total scratch bytes held (diagnostics / capacity planning).
+    #[must_use]
+    pub fn bytes(&self) -> usize {
+        self.cols.len() + self.act_a.len() + self.act_b.len() + 4 * self.accum.len()
+    }
 }
 
 /// The inference engine, borrowing the graph it executes.
@@ -63,6 +131,7 @@ enum Flow {
 pub struct Engine<'g> {
     graph: &'g CnnGraph,
     strategy: ConvStrategy,
+    sink: SinkHandle,
 }
 
 impl<'g> Engine<'g> {
@@ -119,6 +188,7 @@ impl<'g> Engine<'g> {
         Ok(Self {
             graph,
             strategy: ConvStrategy::Direct,
+            sink: SinkHandle::null(),
         })
     }
 
@@ -129,13 +199,31 @@ impl<'g> Engine<'g> {
         self
     }
 
+    /// Returns this engine with a telemetry sink. When the sink is enabled,
+    /// every inference emits one `SpanBegin`/`SpanEnd` pair per layer, with
+    /// timestamps in wall-clock seconds relative to the inference start.
+    #[must_use]
+    pub fn with_sink(mut self, sink: SinkHandle) -> Self {
+        self.sink = sink;
+        self
+    }
+
     /// The graph this engine executes.
     #[must_use]
-    pub fn graph(&self) -> &CnnGraph {
+    pub fn graph(&self) -> &'g CnnGraph {
         self.graph
     }
 
-    /// Runs one inference.
+    /// A scratch arena sized for this engine's graph.
+    #[must_use]
+    pub fn scratch(&self) -> EngineScratch {
+        EngineScratch::for_graph(self.graph)
+    }
+
+    /// Runs one inference, allocating fresh intermediate buffers.
+    ///
+    /// Convenience wrapper over [`Engine::run_with_scratch`]; hot loops
+    /// should hold a scratch arena (or use [`BatchRunner`]) instead.
     ///
     /// # Errors
     ///
@@ -143,51 +231,120 @@ impl<'g> Engine<'g> {
     /// input shape, or [`NnError::Unsupported`] if the graph does not end in
     /// a label-select.
     pub fn run(&self, input: &Activations) -> Result<InferenceResult, NnError> {
+        self.run_with_scratch(input, &mut self.scratch())
+    }
+
+    /// Runs one inference through a reusable scratch arena. Apart from the
+    /// returned logits vector, no memory is allocated.
+    ///
+    /// Bit-identical to [`Engine::run`] for every input and strategy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InputShape`] if `input` does not match the graph's
+    /// input shape, or [`NnError::Unsupported`] if the graph does not end in
+    /// a label-select.
+    pub fn run_with_scratch(
+        &self,
+        input: &Activations,
+        scratch: &mut EngineScratch,
+    ) -> Result<InferenceResult, NnError> {
         if input.shape() != self.graph.input_shape() {
             return Err(NnError::InputShape {
                 expected: self.graph.input_shape(),
                 found: input.shape(),
             });
         }
-        let mut flow = Flow::Quant(input.clone());
+        let timing = self.sink.enabled();
+        let started = Instant::now();
+
+        // Value state machine: the current value is either quantized
+        // activations living in one of the two ping-pong buffers, or raw
+        // accumulators living in `scratch.accum`.
+        #[derive(Clone, Copy, PartialEq)]
+        enum Kind {
+            ActA,
+            ActB,
+            Accum,
+        }
+        let n_in = input.shape().elements();
+        scratch.act_a[..n_in].copy_from_slice(input.as_slice());
+        let mut kind = Kind::ActA;
+        let mut shape = input.shape();
         let mut result = None;
+
         for node in self.graph.iter() {
-            flow = match (&node.layer, flow) {
-                (Layer::Conv2d(c), Flow::Quant(acts)) => {
-                    let out_shape = node.output_shape;
-                    let data = match self.strategy {
-                        ConvStrategy::Direct => conv_forward(c, &acts, out_shape),
-                        ConvStrategy::Im2col => conv_forward_im2col(c, &acts, out_shape),
+            let t_begin = if timing {
+                started.elapsed().as_secs_f64()
+            } else {
+                0.0
+            };
+            let out_shape = node.output_shape;
+            match (&node.layer, kind) {
+                (Layer::Conv2d(c), Kind::ActA | Kind::ActB) => {
+                    let src = if kind == Kind::ActA {
+                        &scratch.act_a[..shape.elements()]
+                    } else {
+                        &scratch.act_b[..shape.elements()]
                     };
-                    Flow::Accum {
-                        shape: out_shape,
-                        data,
+                    let out = &mut scratch.accum[..out_shape.elements()];
+                    match self.strategy {
+                        ConvStrategy::Direct => conv_direct_into(c, src, shape, out_shape, out),
+                        ConvStrategy::Im2col => {
+                            let window = c.kernel * c.kernel * c.in_channels;
+                            let cols = &mut scratch.cols[..out_shape.spatial() * window];
+                            im2col_into(c, src, shape, out_shape, cols);
+                            gemm_i32(
+                                c.weights.as_slice(),
+                                cols,
+                                c.out_channels,
+                                out_shape.spatial(),
+                                window,
+                                out,
+                            );
+                        }
                     }
+                    kind = Kind::Accum;
                 }
-                (Layer::Dense(d), Flow::Quant(acts)) => {
-                    let data = dense_forward(d, acts.as_slice());
-                    Flow::Accum {
-                        shape: node.output_shape,
-                        data,
-                    }
+                (Layer::Dense(d), Kind::ActA | Kind::ActB) => {
+                    let src = if kind == Kind::ActA {
+                        &scratch.act_a[..shape.elements()]
+                    } else {
+                        &scratch.act_b[..shape.elements()]
+                    };
+                    let out = &mut scratch.accum[..d.out_features];
+                    gemm_i32(
+                        d.weights.as_slice(),
+                        src,
+                        d.out_features,
+                        1,
+                        d.in_features,
+                        out,
+                    );
+                    kind = Kind::Accum;
                 }
-                (Layer::MultiThreshold(t), Flow::Accum { shape, data }) => {
-                    let quant = threshold_forward(t, shape, &data);
-                    Flow::Quant(quant)
+                (Layer::MultiThreshold(t), Kind::Accum) => {
+                    let accums = &scratch.accum[..out_shape.elements()];
+                    let out = &mut scratch.act_a[..out_shape.elements()];
+                    threshold_into(t, out_shape, accums, out);
+                    kind = Kind::ActA;
                 }
-                (Layer::MaxPool2d(p), Flow::Quant(acts)) => {
-                    Flow::Quant(pool_forward(p.kernel, p.stride, &acts, node.output_shape))
+                (Layer::MaxPool2d(p), Kind::ActA) => {
+                    let src = &scratch.act_a[..shape.elements()];
+                    let out = &mut scratch.act_b[..out_shape.elements()];
+                    pool_into(p.kernel, p.stride, src, shape, out_shape, out);
+                    kind = Kind::ActB;
                 }
-                (Layer::LabelSelect(_), Flow::Accum { data, .. }) => {
-                    let label = argmax(&data);
-                    result = Some(InferenceResult {
-                        label,
-                        logits: data.clone(),
-                    });
-                    Flow::Accum {
-                        shape: node.output_shape,
-                        data,
-                    }
+                (Layer::MaxPool2d(p), Kind::ActB) => {
+                    let src = &scratch.act_b[..shape.elements()];
+                    let out = &mut scratch.act_a[..out_shape.elements()];
+                    pool_into(p.kernel, p.stride, src, shape, out_shape, out);
+                    kind = Kind::ActA;
+                }
+                (Layer::LabelSelect(_), Kind::Accum) => {
+                    let logits = scratch.accum[..shape.elements()].to_vec();
+                    let label = argmax(&logits);
+                    result = Some(InferenceResult { label, logits });
                 }
                 (layer, _) => {
                     // `new` validated the chain; reaching here means the graph
@@ -197,37 +354,236 @@ impl<'g> Engine<'g> {
                         layer.kind()
                     )));
                 }
-            };
+            }
+            shape = out_shape;
+            if timing {
+                self.sink
+                    .emit_span(t_begin, started.elapsed().as_secs_f64(), &node.name);
+            }
         }
         result.ok_or_else(|| NnError::Unsupported("graph has no label-select output".into()))
     }
 
-    /// Classifies a batch, returning the predicted label per sample.
+    /// Classifies a batch serially through one shared scratch arena,
+    /// returning the predicted label per sample. For multi-core batch
+    /// evaluation use [`BatchRunner`].
     ///
     /// # Errors
     ///
-    /// Propagates the first error from [`Engine::run`].
+    /// Propagates the first error from [`Engine::run_with_scratch`].
     pub fn run_batch<'a, I>(&self, inputs: I) -> Result<Vec<usize>, NnError>
     where
         I: IntoIterator<Item = &'a Activations>,
     {
+        let mut scratch = self.scratch();
         inputs
             .into_iter()
-            .map(|x| self.run(x).map(|r| r.label))
+            .map(|x| self.run_with_scratch(x, &mut scratch).map(|r| r.label))
             .collect()
     }
 }
 
-/// Direct convolution producing MVTU accumulators.
-fn conv_forward(
+/// Parallel batch evaluator: shards an image set across scoped worker
+/// threads, one [`EngineScratch`] per worker.
+///
+/// Labels (and full results) are returned in input order and are bit-exactly
+/// those of the serial path, independent of the thread count — integer
+/// inference is a pure per-image function and the sharding preserves order.
+///
+/// ```
+/// use adaflow_model::prelude::*;
+/// use adaflow_nn::{Activations, BatchRunner, Engine};
+///
+/// let graph = topology::tiny(QuantSpec::w2a2(), 4)?;
+/// let runner = BatchRunner::new(Engine::new(&graph)?);
+/// let images = vec![Activations::zeroed(graph.input_shape()); 8];
+/// let labels = runner.run(&images)?;
+/// assert_eq!(labels.len(), 8);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchRunner<'g> {
+    engine: Engine<'g>,
+    threads: usize,
+}
+
+impl<'g> BatchRunner<'g> {
+    /// Wraps an engine; uses one thread per available core by default.
+    #[must_use]
+    pub fn new(engine: Engine<'g>) -> Self {
+        Self { engine, threads: 0 }
+    }
+
+    /// Sets the worker-thread count (`0` = one per available core).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The wrapped engine.
+    #[must_use]
+    pub fn engine(&self) -> &Engine<'g> {
+        &self.engine
+    }
+
+    /// Classifies `images`, returning one label per image in input order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first engine error (e.g. a shape mismatch).
+    pub fn run(&self, images: &[Activations]) -> Result<Vec<usize>, NnError> {
+        self.map_batch(images, |r| r.label)
+    }
+
+    /// Runs full inference on `images`, returning logits and labels in input
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first engine error (e.g. a shape mismatch).
+    pub fn run_full(&self, images: &[Activations]) -> Result<Vec<InferenceResult>, NnError> {
+        self.map_batch(images, |r| r)
+    }
+
+    fn map_batch<R: Send>(
+        &self,
+        images: &[Activations],
+        project: impl Fn(InferenceResult) -> R + Sync,
+    ) -> Result<Vec<R>, NnError> {
+        parallel::par_map_init(
+            images,
+            self.threads,
+            || self.engine.scratch(),
+            |scratch, image| self.engine.run_with_scratch(image, scratch).map(&project),
+        )
+        .into_iter()
+        .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Integer kernels. All kernels are pure functions of their integer inputs;
+// accumulation order never changes the result, so every lowering below is
+// bit-identical to the naive triple loop.
+// ---------------------------------------------------------------------------
+
+/// Register tile height (output channels) of the blocked GEMM.
+const GEMM_MR: usize = 4;
+/// Register tile width (output pixels) of the blocked GEMM.
+const GEMM_NR: usize = 4;
+/// Minimum inner dimension for the blocked kernel to pay off.
+const GEMM_MIN_K: usize = 16;
+
+/// `out[i][j] = Σ_k a[i*k..][k'] · b[j*k..][k']` — both operands row-major
+/// over the shared inner dimension (filters × im2col windows, or dense
+/// weight rows × the input vector when `n == 1`).
+///
+/// Dispatches to the 4×4 register-blocked kernel when the problem is wide
+/// enough, else to the plain row-dot loop. Both paths produce identical
+/// bits.
+pub(crate) fn gemm_i32(a: &[i8], b: &[u8], m: usize, n: usize, k: usize, out: &mut [i32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(out.len(), m * n);
+    if m >= GEMM_MR && n >= GEMM_NR && k >= GEMM_MIN_K {
+        gemm_i32_blocked(a, b, m, n, k, out);
+    } else {
+        gemm_i32_naive(a, b, m, n, k, out);
+    }
+}
+
+/// Plain row-by-row dot products (fast for narrow layers; the compiler
+/// vectorizes the inner zip).
+fn gemm_i32_naive(a: &[i8], b: &[u8], m: usize, n: usize, k: usize, out: &mut [i32]) {
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        for j in 0..n {
+            let brow = &b[j * k..(j + 1) * k];
+            out[i * n + j] = dot_i32(arow, brow);
+        }
+    }
+}
+
+#[inline]
+fn dot_i32(w: &[i8], x: &[u8]) -> i32 {
+    w.iter()
+        .zip(x)
+        .map(|(&w, &x)| i32::from(w) * i32::from(x))
+        .sum()
+}
+
+/// Cache-blocked GEMM: 4×4 register tile, inner loop unrolled by 4 over the
+/// window dimension. Each loaded `a`/`b` value is reused across the whole
+/// tile, cutting memory traffic ~4× versus the naive row dots.
+fn gemm_i32_blocked(a: &[i8], b: &[u8], m: usize, n: usize, k: usize, out: &mut [i32]) {
+    let mut mb = 0;
+    while mb < m {
+        let mh = (m - mb).min(GEMM_MR);
+        let mut nb = 0;
+        while nb < n {
+            let nh = (n - nb).min(GEMM_NR);
+            let mut acc = [[0i32; GEMM_NR]; GEMM_MR];
+            let mut kk = 0;
+            while kk + 4 <= k {
+                // Widen the b-tile once, reuse it for every a-row.
+                let mut btile = [[0i32; 4]; GEMM_NR];
+                for (j, bt) in btile.iter_mut().enumerate().take(nh) {
+                    let br = &b[(nb + j) * k + kk..(nb + j) * k + kk + 4];
+                    *bt = [
+                        i32::from(br[0]),
+                        i32::from(br[1]),
+                        i32::from(br[2]),
+                        i32::from(br[3]),
+                    ];
+                }
+                for (i, accrow) in acc.iter_mut().enumerate().take(mh) {
+                    let ar = &a[(mb + i) * k + kk..(mb + i) * k + kk + 4];
+                    let (a0, a1, a2, a3) = (
+                        i32::from(ar[0]),
+                        i32::from(ar[1]),
+                        i32::from(ar[2]),
+                        i32::from(ar[3]),
+                    );
+                    for (j, cell) in accrow.iter_mut().enumerate().take(nh) {
+                        let bt = &btile[j];
+                        *cell += a0 * bt[0] + a1 * bt[1] + a2 * bt[2] + a3 * bt[3];
+                    }
+                }
+                kk += 4;
+            }
+            while kk < k {
+                for (i, accrow) in acc.iter_mut().enumerate().take(mh) {
+                    let av = i32::from(a[(mb + i) * k + kk]);
+                    for (j, cell) in accrow.iter_mut().enumerate().take(nh) {
+                        *cell += av * i32::from(b[(nb + j) * k + kk]);
+                    }
+                }
+                kk += 1;
+            }
+            for i in 0..mh {
+                for j in 0..nh {
+                    out[(mb + i) * n + nb + j] = acc[i][j];
+                }
+            }
+            nb += GEMM_NR;
+        }
+        mb += GEMM_MR;
+    }
+}
+
+/// Direct convolution writing MVTU accumulators into `out`.
+fn conv_direct_into(
     c: &adaflow_model::Conv2d,
-    input: &Activations,
+    input: &[u8],
+    in_shape: TensorShape,
     out_shape: TensorShape,
-) -> Vec<i32> {
-    let mut out = vec![0i32; out_shape.elements()];
+    out: &mut [i32],
+) {
     let k = c.kernel;
     let stride = c.stride as isize;
     let pad = c.padding as isize;
+    let (ih, iw) = (in_shape.height as isize, in_shape.width as isize);
     let (oh, ow) = (out_shape.height, out_shape.width);
     for o in 0..c.out_channels {
         let filter = c.weights.filter(o);
@@ -239,8 +595,17 @@ fn conv_forward(
                 for i in 0..c.in_channels {
                     let fplane = &filter[i * k * k..(i + 1) * k * k];
                     for ky in 0..k {
+                        let sy = base_y + ky as isize;
+                        if sy < 0 || sy >= ih {
+                            continue;
+                        }
+                        let in_row = (i as isize * ih + sy) * iw;
                         for kx in 0..k {
-                            let v = input.at_padded(i, base_y + ky as isize, base_x + kx as isize);
+                            let sx = base_x + kx as isize;
+                            if sx < 0 || sx >= iw {
+                                continue;
+                            }
+                            let v = input[(in_row + sx) as usize];
                             acc += i32::from(fplane[ky * k + kx]) * i32::from(v);
                         }
                     }
@@ -249,112 +614,173 @@ fn conv_forward(
             }
         }
     }
-    out
 }
 
-/// GEMM-lowered convolution: materializes the im2col window matrix
-/// (`[out_pixels][k^2 * ch_in]`, the exact stream the SWU produces in
-/// hardware), then multiplies it against the filter matrix.
-fn conv_forward_im2col(
+/// Materializes the im2col window matrix (`[out_pixels][k^2 * ch_in]`, the
+/// exact stream the SWU produces in hardware), channel-major within each row
+/// to match the filter layout `[in][kh][kw]`. In-bounds kernel rows are
+/// copied as contiguous runs; padding bytes are zero-filled.
+fn im2col_into(
     c: &adaflow_model::Conv2d,
-    input: &Activations,
+    input: &[u8],
+    in_shape: TensorShape,
     out_shape: TensorShape,
-) -> Vec<i32> {
+    cols: &mut [u8],
+) {
     let k = c.kernel;
     let window = k * k * c.in_channels;
-    let pixels = out_shape.spatial();
+    let (ih, iw) = (in_shape.height as isize, in_shape.width as isize);
     let (oh, ow) = (out_shape.height, out_shape.width);
-
-    // im2col: one row per output pixel, channel-major within the row to
-    // match the filter layout `[in][kh][kw]`.
-    let mut cols = vec![0u8; pixels * window];
     for y in 0..oh {
         for x in 0..ow {
             let base_y = (y * c.stride) as isize - c.padding as isize;
             let base_x = (x * c.stride) as isize - c.padding as isize;
             let row = &mut cols[(y * ow + x) * window..(y * ow + x + 1) * window];
-            let mut w = 0;
+            // Clip the kernel's x-extent against the input once per pixel.
+            let x_lo = base_x.max(0);
+            let x_hi = (base_x + k as isize).min(iw);
             for i in 0..c.in_channels {
                 for ky in 0..k {
-                    for kx in 0..k {
-                        row[w] = input.at_padded(i, base_y + ky as isize, base_x + kx as isize);
-                        w += 1;
+                    let sy = base_y + ky as isize;
+                    let dst = &mut row[(i * k + ky) * k..(i * k + ky + 1) * k];
+                    if sy < 0 || sy >= ih || x_lo >= x_hi {
+                        dst.fill(0);
+                        continue;
                     }
+                    let src_base = ((i as isize * ih + sy) * iw) as usize;
+                    let lead = (x_lo - base_x) as usize;
+                    let run = (x_hi - x_lo) as usize;
+                    dst[..lead].fill(0);
+                    dst[lead..lead + run].copy_from_slice(
+                        &input[src_base + x_lo as usize..src_base + x_hi as usize],
+                    );
+                    dst[lead + run..].fill(0);
                 }
             }
         }
     }
+}
 
-    // GEMM: filters (rows) x window matrix (columns).
-    let mut out = vec![0i32; c.out_channels * pixels];
-    for o in 0..c.out_channels {
-        let filter = c.weights.filter(o);
-        let out_row = &mut out[o * pixels..(o + 1) * pixels];
-        for (p, acc) in out_row.iter_mut().enumerate() {
-            let col = &cols[p * window..(p + 1) * window];
-            *acc = filter
-                .iter()
-                .zip(col)
-                .map(|(&w, &x)| i32::from(w) * i32::from(x))
-                .sum();
+/// Multi-threshold re-quantization into `out` (per-channel threshold rows).
+fn threshold_into(
+    t: &adaflow_model::MultiThreshold,
+    shape: TensorShape,
+    accums: &[i32],
+    out: &mut [u8],
+) {
+    let spatial = shape.spatial();
+    for ch in 0..shape.channels {
+        let row = &accums[ch * spatial..(ch + 1) * spatial];
+        let dst = &mut out[ch * spatial..(ch + 1) * spatial];
+        for (d, &acc) in dst.iter_mut().zip(row) {
+            *d = t.table.apply(ch, acc);
         }
     }
+}
+
+/// Max-pooling over quantized activations into `out`.
+///
+/// Windows are clamped to the input extent, so non-divisible spatial
+/// dimensions (an overhanging last window) pool over the in-bounds taps
+/// only. A window must still *start* in bounds.
+fn pool_into(
+    kernel: usize,
+    stride: usize,
+    input: &[u8],
+    in_shape: TensorShape,
+    out_shape: TensorShape,
+    out: &mut [u8],
+) {
+    let (ih, iw) = (in_shape.height, in_shape.width);
+    let (oh, ow) = (out_shape.height, out_shape.width);
+    for c in 0..out_shape.channels {
+        let plane = &input[c * ih * iw..(c + 1) * ih * iw];
+        for y in 0..oh {
+            for x in 0..ow {
+                let (sy, sx) = (y * stride, x * stride);
+                debug_assert!(
+                    sy < ih && sx < iw,
+                    "pool window ({y},{x}) starts outside the {ih}x{iw} input"
+                );
+                let mut best = 0u8;
+                for ky in 0..kernel.min(ih - sy) {
+                    let row = &plane[(sy + ky) * iw..];
+                    for kx in 0..kernel.min(iw - sx) {
+                        best = best.max(row[sx + kx]);
+                    }
+                }
+                out[(c * oh + y) * ow + x] = best;
+            }
+        }
+    }
+}
+
+// Vec-returning wrappers shared with the trainer's calibration pass and the
+// unit tests.
+
+/// Direct convolution producing MVTU accumulators.
+pub(crate) fn conv_forward(
+    c: &adaflow_model::Conv2d,
+    input: &Activations,
+    out_shape: TensorShape,
+) -> Vec<i32> {
+    let mut out = vec![0i32; out_shape.elements()];
+    conv_direct_into(c, input.as_slice(), input.shape(), out_shape, &mut out);
+    out
+}
+
+/// GEMM-lowered convolution via im2col (bit-identical to [`conv_forward`]).
+#[cfg(test)]
+pub(crate) fn conv_forward_im2col(
+    c: &adaflow_model::Conv2d,
+    input: &Activations,
+    out_shape: TensorShape,
+) -> Vec<i32> {
+    let window = c.kernel * c.kernel * c.in_channels;
+    let mut cols = vec![0u8; out_shape.spatial() * window];
+    im2col_into(c, input.as_slice(), input.shape(), out_shape, &mut cols);
+    let mut out = vec![0i32; c.out_channels * out_shape.spatial()];
+    gemm_i32(
+        c.weights.as_slice(),
+        &cols,
+        c.out_channels,
+        out_shape.spatial(),
+        window,
+        &mut out,
+    );
     out
 }
 
 /// Dense matrix-vector product producing MVTU accumulators.
-fn dense_forward(d: &adaflow_model::Dense, input: &[u8]) -> Vec<i32> {
-    (0..d.out_features)
-        .map(|o| {
-            d.weights
-                .row(o)
-                .iter()
-                .zip(input)
-                .map(|(&w, &x)| i32::from(w) * i32::from(x))
-                .sum()
-        })
-        .collect()
-}
-
-/// Multi-threshold re-quantization (per-channel threshold rows).
-fn threshold_forward(
-    t: &adaflow_model::MultiThreshold,
-    shape: TensorShape,
-    accums: &[i32],
-) -> Activations {
-    let mut out = Activations::zeroed(shape);
-    let spatial = shape.spatial();
-    let data = out.as_mut_slice();
-    for ch in 0..shape.channels {
-        for s in 0..spatial {
-            let idx = ch * spatial + s;
-            data[idx] = t.table.apply(ch, accums[idx]);
-        }
-    }
+pub(crate) fn dense_forward(d: &adaflow_model::Dense, input: &[u8]) -> Vec<i32> {
+    let mut out = vec![0i32; d.out_features];
+    gemm_i32(
+        d.weights.as_slice(),
+        input,
+        d.out_features,
+        1,
+        d.in_features,
+        &mut out,
+    );
     out
 }
 
 /// Max-pooling over quantized activations.
-fn pool_forward(
+pub(crate) fn pool_forward(
     kernel: usize,
     stride: usize,
     input: &Activations,
     out_shape: TensorShape,
 ) -> Activations {
     let mut out = Activations::zeroed(out_shape);
-    for c in 0..out_shape.channels {
-        for y in 0..out_shape.height {
-            for x in 0..out_shape.width {
-                let mut best = 0u8;
-                for ky in 0..kernel {
-                    for kx in 0..kernel {
-                        best = best.max(input.at(c, y * stride + ky, x * stride + kx));
-                    }
-                }
-                out.set(c, y, x, best);
-            }
-        }
-    }
+    pool_into(
+        kernel,
+        stride,
+        input.as_slice(),
+        input.shape(),
+        out_shape,
+        out.as_mut_slice(),
+    );
     out
 }
 
@@ -376,6 +802,18 @@ mod tests {
 
     fn tiny_graph() -> CnnGraph {
         topology::tiny(QuantSpec::w2a2(), 4).expect("builds")
+    }
+
+    fn random_image(shape: TensorShape, seed: u64) -> Activations {
+        let mut img = Activations::zeroed(shape);
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        for v in img.as_mut_slice() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            *v = (state % 256) as u8;
+        }
+        img
     }
 
     #[test]
@@ -478,6 +916,29 @@ mod tests {
     }
 
     #[test]
+    fn maxpool_clamps_overhanging_windows() {
+        // 1x3x3 input pooled 2x2/stride-2 into 1x2x2: the right/bottom
+        // windows overhang the input and must pool the in-bounds taps only.
+        let input =
+            Activations::from_vec(TensorShape::new(1, 3, 3), vec![1, 2, 7, 3, 4, 0, 5, 0, 6]);
+        let out = pool_forward(2, 2, &input, TensorShape::new(1, 2, 2));
+        // Windows: {1,2,3,4}, {7,0}, {5,0}, {6}.
+        assert_eq!(out.as_slice(), &[4, 7, 5, 6]);
+    }
+
+    #[test]
+    fn maxpool_handles_odd_input_with_floor_output() {
+        // 1x5x5, kernel 2, stride 2, floor output 1x2x2: windows all fit.
+        let mut data = vec![0u8; 25];
+        data[0] = 9; // (0,0)
+        data[3] = 8; // (0,3) -> window (0,1)
+        data[12] = 7; // (2,2) -> window (1,1)
+        let input = Activations::from_vec(TensorShape::new(1, 5, 5), data);
+        let out = pool_forward(2, 2, &input, TensorShape::new(1, 2, 2));
+        assert_eq!(out.as_slice(), &[9, 8, 0, 7]);
+    }
+
+    #[test]
     fn argmax_tie_breaks_to_lowest_index() {
         assert_eq!(argmax(&[3, 7, 7, 1]), 1);
         assert_eq!(argmax(&[-5, -5]), 0);
@@ -503,14 +964,7 @@ mod tests {
             .expect("engine")
             .with_strategy(ConvStrategy::Im2col);
         for seed in 0..8u64 {
-            let mut img = Activations::zeroed(g.input_shape());
-            let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
-            for v in img.as_mut_slice() {
-                state ^= state << 13;
-                state ^= state >> 7;
-                state ^= state << 17;
-                *v = (state % 256) as u8;
-            }
+            let img = random_image(g.input_shape(), seed);
             assert_eq!(
                 direct.run(&img).expect("direct"),
                 gemm.run(&img).expect("im2col"),
@@ -534,6 +988,130 @@ mod tests {
             conv_forward(&conv, &input, out_shape),
             conv_forward_im2col(&conv, &input, out_shape)
         );
+    }
+
+    #[test]
+    fn im2col_matches_direct_on_wide_layer() {
+        // Wide enough (window 72 >= 16, 36 pixels, 8 filters) to engage the
+        // blocked GEMM path.
+        let mut conv = Conv2d::new(8, 8, 3, 1, 1, QuantSpec::w2a2());
+        for (i, w) in conv.weights.as_mut_slice().iter_mut().enumerate() {
+            *w = ((i % 3) as i8) - 1;
+        }
+        let input = random_image(TensorShape::new(8, 6, 6), 5);
+        let out_shape = TensorShape::new(8, 6, 6);
+        assert_eq!(
+            conv_forward(&conv, &input, out_shape),
+            conv_forward_im2col(&conv, &input, out_shape)
+        );
+    }
+
+    #[test]
+    fn blocked_gemm_matches_naive_on_all_remainders() {
+        // Exercise every m/n remainder against the 4x4 tile and odd k
+        // against the 4-way unroll.
+        for &(m, n, k) in &[(4, 4, 16), (5, 7, 17), (6, 9, 19), (9, 5, 31), (4, 5, 16)] {
+            let a: Vec<i8> = (0..m * k).map(|i| ((i * 37 % 7) as i8) - 3).collect();
+            let b: Vec<u8> = (0..n * k).map(|i| (i * 101 % 251) as u8).collect();
+            let mut blocked = vec![0i32; m * n];
+            let mut naive = vec![0i32; m * n];
+            gemm_i32_blocked(&a, &b, m, n, k, &mut blocked);
+            gemm_i32_naive(&a, &b, m, n, k, &mut naive);
+            assert_eq!(blocked, naive, "diverged at m={m} n={n} k={k}");
+        }
+    }
+
+    #[test]
+    fn scratch_run_matches_fresh_run() {
+        let g = tiny_graph();
+        for strategy in [ConvStrategy::Direct, ConvStrategy::Im2col] {
+            let engine = Engine::new(&g).expect("engine").with_strategy(strategy);
+            let mut scratch = engine.scratch();
+            for seed in 0..12u64 {
+                let img = random_image(g.input_shape(), seed);
+                let fresh = engine.run(&img).expect("fresh");
+                let reused = engine
+                    .run_with_scratch(&img, &mut scratch)
+                    .expect("scratch");
+                assert_eq!(fresh, reused, "scratch diverged on seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_is_sized_for_the_graph() {
+        let g = topology::cnv_w2a2_cifar10().expect("builds");
+        let scratch = EngineScratch::for_graph(&g);
+        assert!(scratch.bytes() > 0);
+        // Must cover the input image itself.
+        assert!(scratch.act_a.len() >= g.input_shape().elements());
+        assert_eq!(scratch.act_a.len(), scratch.act_b.len());
+    }
+
+    #[test]
+    fn batch_runner_matches_serial_for_any_thread_count() {
+        let g = tiny_graph();
+        let engine = Engine::new(&g).expect("engine");
+        let images: Vec<Activations> = (0..17).map(|s| random_image(g.input_shape(), s)).collect();
+        let serial: Vec<usize> = images
+            .iter()
+            .map(|img| engine.run(img).expect("serial").label)
+            .collect();
+        for threads in [0usize, 1, 2, 3, 8, 32] {
+            let runner = BatchRunner::new(Engine::new(&g).expect("engine")).with_threads(threads);
+            assert_eq!(
+                runner.run(&images).expect("batch"),
+                serial,
+                "labels diverged with {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_runner_full_results_match_serial() {
+        let g = tiny_graph();
+        let engine = Engine::new(&g)
+            .expect("engine")
+            .with_strategy(ConvStrategy::Im2col);
+        let images: Vec<Activations> = (0..9)
+            .map(|s| random_image(g.input_shape(), 100 + s))
+            .collect();
+        let serial: Vec<InferenceResult> = images
+            .iter()
+            .map(|img| engine.run(img).expect("serial"))
+            .collect();
+        let runner = BatchRunner::new(engine).with_threads(3);
+        assert_eq!(runner.run_full(&images).expect("batch"), serial);
+    }
+
+    #[test]
+    fn batch_runner_propagates_shape_errors() {
+        let g = tiny_graph();
+        let runner = BatchRunner::new(Engine::new(&g).expect("engine"));
+        let bad = vec![Activations::zeroed(TensorShape::new(3, 12, 12))];
+        assert!(matches!(runner.run(&bad), Err(NnError::InputShape { .. })));
+    }
+
+    #[test]
+    fn engine_emits_per_layer_spans_when_sinked() {
+        use adaflow_telemetry::EventKind;
+        let g = tiny_graph();
+        let (sink, recorder) = SinkHandle::recorder(256);
+        let engine = Engine::new(&g).expect("engine").with_sink(sink);
+        engine
+            .run(&Activations::zeroed(g.input_shape()))
+            .expect("run");
+        let events = recorder.drain();
+        let begins = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::SpanBegin { .. }))
+            .count();
+        let ends = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::SpanEnd { .. }))
+            .count();
+        assert_eq!(begins, g.len());
+        assert_eq!(ends, g.len());
     }
 
     #[test]

@@ -6,7 +6,11 @@
 //!
 //! * a bit-accurate integer inference engine over
 //!   [`adaflow_model::CnnGraph`] (direct convolution, max-pool, FINN-style
-//!   multi-threshold activations, label select) — [`engine`];
+//!   multi-threshold activations, label select), with a reusable scratch
+//!   arena, a blocked integer GEMM and a multi-threaded [`BatchRunner`] —
+//!   [`engine`];
+//! * order-preserving scoped-thread helpers shared by the batch runner, the
+//!   trainer and the edge experiment driver — [`parallel`];
 //! * an emulation of the *flexible* accelerator's runtime-controllable
 //!   channel execution, with idle-lane accounting, used to prove functional
 //!   equivalence between pruned-fixed and flexible execution — [`flexible`];
@@ -40,15 +44,16 @@ pub mod engine;
 pub mod error;
 pub mod flexible;
 pub mod metrics;
+pub mod parallel;
 pub mod tensor;
 pub mod train;
 
 pub use accuracy::{AccuracyModel, DatasetKind};
 pub use dataset::{DatasetSpec, Sample, SyntheticDataset};
-pub use engine::{ConvStrategy, Engine, InferenceResult};
+pub use engine::{BatchRunner, ConvStrategy, Engine, EngineScratch, InferenceResult};
 pub use error::NnError;
 pub use flexible::{FlexibleExecution, FlexibleExecutor};
-pub use metrics::{evaluate_confusion, ConfusionMatrix};
+pub use metrics::{evaluate_confusion, evaluate_confusion_batched, ConfusionMatrix};
 pub use tensor::Activations;
 pub use train::{Trainer, TrainingConfig, TrainingReport};
 
@@ -56,10 +61,10 @@ pub use train::{Trainer, TrainingConfig, TrainingReport};
 pub mod prelude {
     pub use crate::accuracy::{AccuracyModel, DatasetKind};
     pub use crate::dataset::{DatasetSpec, Sample, SyntheticDataset};
-    pub use crate::engine::{ConvStrategy, Engine, InferenceResult};
+    pub use crate::engine::{BatchRunner, ConvStrategy, Engine, EngineScratch, InferenceResult};
     pub use crate::error::NnError;
     pub use crate::flexible::{FlexibleExecution, FlexibleExecutor};
-    pub use crate::metrics::{evaluate_confusion, ConfusionMatrix};
+    pub use crate::metrics::{evaluate_confusion, evaluate_confusion_batched, ConfusionMatrix};
     pub use crate::tensor::Activations;
     pub use crate::train::{Trainer, TrainingConfig, TrainingReport};
 }

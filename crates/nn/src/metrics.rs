@@ -140,6 +140,34 @@ where
     cm
 }
 
+/// Multi-threaded [`evaluate_confusion`]: materializes `len` samples and
+/// classifies them through `runner`, sharded across worker threads. The
+/// matrix is bit-identical to the serial per-image evaluation (labels are
+/// order-preserving and each inference is a pure function).
+///
+/// # Errors
+///
+/// Propagates the first engine error (e.g. a graph/input shape mismatch).
+pub fn evaluate_confusion_batched(
+    data: &crate::dataset::SyntheticDataset,
+    start: u64,
+    len: usize,
+    runner: &crate::engine::BatchRunner<'_>,
+) -> Result<ConfusionMatrix, crate::error::NnError> {
+    let classes = data.spec().classes;
+    let (images, labels): (Vec<_>, Vec<_>) = data
+        .batch(start, len)
+        .into_iter()
+        .map(|s| (s.image, s.label))
+        .unzip();
+    let preds = runner.run(&images)?;
+    let mut cm = ConfusionMatrix::new(classes);
+    for (truth, pred) in labels.into_iter().zip(preds) {
+        cm.record(truth, pred.min(classes - 1));
+    }
+    Ok(cm)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

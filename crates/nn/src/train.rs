@@ -14,8 +14,9 @@
 //! [`crate::accuracy`] model instead (see DESIGN.md §1).
 
 use crate::dataset::SyntheticDataset;
-use crate::engine::Engine;
+use crate::engine::{self, BatchRunner, Engine};
 use crate::error::NnError;
+use crate::parallel;
 use crate::tensor::Activations;
 use adaflow_model::{CnnGraph, Layer, QuantSpec, TensorShape, ThresholdTable};
 use rand::{Rng, SeedableRng};
@@ -389,8 +390,8 @@ impl Trainer {
     }
 
     /// Like [`Trainer::train`], invoking `observer(epoch, mean_loss)` after
-    /// every epoch. This keeps `adaflow-nn` free of any telemetry
-    /// dependency: callers adapt the callback to their own event sink.
+    /// every epoch. The trainer stays sink-agnostic: callers adapt the
+    /// callback to their own event sink.
     ///
     /// # Errors
     ///
@@ -431,15 +432,23 @@ impl Trainer {
             lr *= config.lr_decay;
         }
         let eval_start = config.train_samples as u64 + 10_000;
-        let float_accuracy = data.evaluate(eval_start, config.eval_samples, |img| {
+        // Held-out evaluation runs batched: samples are materialized once,
+        // the float net is mapped over worker threads, and the integer
+        // engine goes through the BatchRunner (one scratch arena per
+        // worker). Results are order-preserving, hence bit-identical to the
+        // serial per-image loop.
+        let eval_set = data.batch(eval_start, config.eval_samples);
+        let (images, labels): (Vec<Activations>, Vec<usize>) =
+            eval_set.into_iter().map(|s| (s.image, s.label)).unzip();
+        let float_preds = parallel::par_map(&images, 0, |img| {
             let (logits, _) = self.forward(img);
             argmax_f32(&logits)
         });
+        let float_accuracy = fraction_correct(&float_preds, &labels);
         let quantized = self.into_quantized_graph(data, config)?;
         let engine = Engine::new(&quantized)?;
-        let quantized_accuracy = data.evaluate(eval_start, config.eval_samples, |img| {
-            engine.run(img).map(|r| r.label).unwrap_or(0)
-        });
+        let quantized_preds = BatchRunner::new(engine).run(&images)?;
+        let quantized_accuracy = fraction_correct(&quantized_preds, &labels);
         Ok((
             quantized,
             TrainingReport {
@@ -486,6 +495,16 @@ impl Trainer {
     }
 }
 
+/// Top-1 accuracy of `preds` against `labels` (0.0 when empty, matching
+/// [`SyntheticDataset::evaluate`]).
+fn fraction_correct(preds: &[usize], labels: &[usize]) -> f64 {
+    if preds.is_empty() {
+        return 0.0;
+    }
+    let correct = preds.iter().zip(labels).filter(|(p, l)| p == l).count();
+    correct as f64 / preds.len() as f64
+}
+
 /// Quantizes float weights into the integer domain by max-abs scaling.
 fn quantize_into(w: &[f32], quant: QuantSpec, out: &mut [i8]) {
     let domain = quant.weight_domain();
@@ -511,11 +530,12 @@ fn calibrate_thresholds(graph: &CnnGraph, calib: &[Activations]) -> Result<CnnGr
     for (idx, node) in graph.iter().enumerate() {
         match &node.layer {
             Layer::Conv2d(_) | Layer::Dense(_) => {
-                // Run the MVTU on each sample; stash accumulators.
-                pending = state
-                    .iter()
-                    .map(|acts| mvtu_accumulate(&chain[idx].1, acts, node.output_shape))
-                    .collect();
+                // Run the MVTU on each sample (sharded over worker threads;
+                // the map preserves sample order); stash accumulators.
+                let layer = &chain[idx].1;
+                pending = parallel::par_map(&state, 0, |acts| {
+                    mvtu_accumulate(layer, acts, node.output_shape)
+                });
             }
             Layer::MultiThreshold(t) => {
                 let shape = node.input_shape;
@@ -568,7 +588,7 @@ fn calibrate_thresholds(graph: &CnnGraph, calib: &[Activations]) -> Result<CnnGr
             Layer::MaxPool2d(p) => {
                 state = state
                     .iter()
-                    .map(|acts| pool_u8(acts, p.kernel, p.stride, node.output_shape))
+                    .map(|acts| engine::pool_forward(p.kernel, p.stride, acts, node.output_shape))
                     .collect();
             }
             Layer::LabelSelect(_) => {}
@@ -577,70 +597,14 @@ fn calibrate_thresholds(graph: &CnnGraph, calib: &[Activations]) -> Result<CnnGr
     graph.with_layers(chain).map_err(NnError::Model)
 }
 
-/// Integer MVTU accumulation for calibration (mirrors `engine`).
+/// Integer MVTU accumulation for calibration — delegates to the engine's
+/// integer kernels, so calibration sees bit-exactly what inference will.
 fn mvtu_accumulate(layer: &Layer, input: &Activations, out_shape: TensorShape) -> Vec<i32> {
     match layer {
-        Layer::Conv2d(c) => {
-            let mut out = vec![0i32; out_shape.elements()];
-            let k = c.kernel;
-            let (oh, ow) = (out_shape.height, out_shape.width);
-            for o in 0..c.out_channels {
-                let filter = c.weights.filter(o);
-                for y in 0..oh {
-                    for x in 0..ow {
-                        let mut acc = 0i32;
-                        let by = (y * c.stride) as isize - c.padding as isize;
-                        let bx = (x * c.stride) as isize - c.padding as isize;
-                        for i in 0..c.in_channels {
-                            let fp = &filter[i * k * k..(i + 1) * k * k];
-                            for ky in 0..k {
-                                for kx in 0..k {
-                                    let v = input.at_padded(i, by + ky as isize, bx + kx as isize);
-                                    acc += i32::from(fp[ky * k + kx]) * i32::from(v);
-                                }
-                            }
-                        }
-                        out[(o * oh + y) * ow + x] = acc;
-                    }
-                }
-            }
-            out
-        }
-        Layer::Dense(d) => (0..d.out_features)
-            .map(|o| {
-                d.weights
-                    .row(o)
-                    .iter()
-                    .zip(input.as_slice())
-                    .map(|(&w, &x)| i32::from(w) * i32::from(x))
-                    .sum()
-            })
-            .collect(),
+        Layer::Conv2d(c) => engine::conv_forward(c, input, out_shape),
+        Layer::Dense(d) => engine::dense_forward(d, input.as_slice()),
         _ => Vec::new(),
     }
-}
-
-fn pool_u8(
-    input: &Activations,
-    kernel: usize,
-    stride: usize,
-    out_shape: TensorShape,
-) -> Activations {
-    let mut out = Activations::zeroed(out_shape);
-    for c in 0..out_shape.channels {
-        for y in 0..out_shape.height {
-            for x in 0..out_shape.width {
-                let mut best = 0u8;
-                for ky in 0..kernel {
-                    for kx in 0..kernel {
-                        best = best.max(input.at(c, y * stride + ky, x * stride + kx));
-                    }
-                }
-                out.set(c, y, x, best);
-            }
-        }
-    }
-    out
 }
 
 #[allow(clippy::too_many_arguments)]

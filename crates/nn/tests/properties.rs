@@ -99,4 +99,66 @@ proptest! {
         prop_assert!(occ.iter().all(|o| o.idle_unit_fraction.abs() < 1e-12));
         prop_assert!(occ.iter().all(|o| o.iteration_saving.abs() < 1e-12));
     }
+
+    /// Reusing one scratch arena across a shuffled batch is bit-identical to
+    /// a fresh `run` per image, for both convolution strategies.
+    #[test]
+    fn scratch_reuse_is_bit_identical_over_shuffled_batches(
+        classes in 2usize..8,
+        seed in 0u64..1000,
+        batch in 2usize..10,
+    ) {
+        let graph = topology::tiny(QuantSpec::w2a2(), classes).expect("builds");
+        let images = shuffled(
+            (0..batch)
+                .map(|i| random_image(graph.input_shape(), seed.wrapping_add(i as u64)))
+                .collect(),
+            seed ^ 0xD1B5_4A32_D192_ED03,
+        );
+        for strategy in [ConvStrategy::Direct, ConvStrategy::Im2col] {
+            let engine = Engine::new(&graph).expect("engine").with_strategy(strategy);
+            let mut scratch = engine.scratch();
+            for img in &images {
+                let fresh = engine.run(img).expect("fresh run");
+                let reused = engine.run_with_scratch(img, &mut scratch).expect("scratch run");
+                prop_assert_eq!(fresh, reused);
+            }
+        }
+    }
+
+    /// `BatchRunner` yields the same label vector for 1, 2, and N worker
+    /// threads (including auto), and it matches the serial engine.
+    #[test]
+    fn batch_runner_labels_invariant_in_thread_count(
+        classes in 2usize..6,
+        seed in 0u64..500,
+        threads in 3usize..9,
+    ) {
+        let graph = topology::tiny(QuantSpec::w2a2(), classes).expect("builds");
+        let images: Vec<Activations> = (0..7)
+            .map(|i| random_image(graph.input_shape(), seed.wrapping_add(1000 * i)))
+            .collect();
+        let engine = Engine::new(&graph).expect("engine");
+        let serial: Vec<usize> = images
+            .iter()
+            .map(|img| engine.run(img).expect("serial").label)
+            .collect();
+        for t in [1, 2, threads, 0] {
+            let runner = BatchRunner::new(Engine::new(&graph).expect("engine")).with_threads(t);
+            let labels = runner.run(&images).expect("batch");
+            prop_assert_eq!(&labels, &serial, "thread count {}", t);
+        }
+    }
+}
+
+/// Deterministic Fisher-Yates shuffle driven by an xorshift stream.
+fn shuffled(mut items: Vec<Activations>, seed: u64) -> Vec<Activations> {
+    let mut state = seed | 1;
+    for i in (1..items.len()).rev() {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        items.swap(i, (state % (i as u64 + 1)) as usize);
+    }
+    items
 }

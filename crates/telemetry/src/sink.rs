@@ -184,6 +184,22 @@ impl SinkHandle {
             self.0.record(Event::new(t_s, kind));
         }
     }
+
+    /// Records a `SpanBegin`/`SpanEnd` pair bracketing `[begin_s, end_s]`
+    /// (no-op when disabled). Used by instrumented hot paths — e.g. the
+    /// inference engine's per-layer timing — that measure an interval first
+    /// and emit it afterwards.
+    #[inline]
+    pub fn emit_span(&self, begin_s: f64, end_s: f64, name: &str) {
+        if self.0.enabled() {
+            self.0.record(Event::new(
+                begin_s,
+                EventKind::SpanBegin { name: name.into() },
+            ));
+            self.0
+                .record(Event::new(end_s, EventKind::SpanEnd { name: name.into() }));
+        }
+    }
 }
 
 impl Default for SinkHandle {
