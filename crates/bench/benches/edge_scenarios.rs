@@ -30,7 +30,7 @@ fn bench_edge(c: &mut Criterion) {
                 EdgeSim::new(SimConfig::default())
                     .run(&mut policy, black_box(&segments))
                     .0
-            })
+            });
         });
     }
 
@@ -42,7 +42,7 @@ fn bench_edge(c: &mut Criterion) {
             EdgeSim::new(SimConfig::default())
                 .run(&mut policy, black_box(&segments))
                 .0
-        })
+        });
     });
 
     c.bench_function("runtime_manager_decide", |b| {
@@ -50,13 +50,13 @@ fn bench_edge(c: &mut Criterion) {
         let mut t = 0.0;
         b.iter(|| {
             t += 0.5;
-            manager.decide(black_box(t), black_box(600.0 + (t * 73.0) % 400.0))
-        })
+            manager.decide(black_box(t), black_box(600.0 + (t * 73.0) % 400.0));
+        });
     });
 
     c.bench_function("runtime_manager_select_model", |b| {
         let manager = RuntimeManager::new(&library, RuntimeConfig::default());
-        b.iter(|| manager.select_model(black_box(750.0), AcceleratorKind::FixedPruning))
+        b.iter(|| manager.select_model(black_box(750.0), AcceleratorKind::FixedPruning));
     });
 
     c.bench_function("generate_library_cnv_cifar10", |b| {
@@ -66,8 +66,8 @@ fn bench_edge(c: &mut Criterion) {
                     topology::cnv_w2a2_cifar10().expect("builds"),
                     DatasetKind::Cifar10,
                 )
-                .expect("generates")
-        })
+                .expect("generates");
+        });
     });
 }
 

@@ -101,7 +101,7 @@ fn bench_engine_throughput(c: &mut Criterion) {
     }
 
     c.bench_function(&format!("engine_baseline_direct_{tag}"), |b| {
-        b.iter(|| baseline_labels(black_box(&graph), black_box(&images)))
+        b.iter(|| baseline_labels(black_box(&graph), black_box(&images)));
     });
 
     c.bench_function(&format!("engine_scratch_im2col_{tag}"), |b| {
@@ -119,7 +119,7 @@ fn bench_engine_throughput(c: &mut Criterion) {
                         .label
                 })
                 .collect::<Vec<_>>()
-        })
+        });
     });
 
     c.bench_function(&format!("engine_batch_runner_{tag}"), |b| {
@@ -128,7 +128,7 @@ fn bench_engine_throughput(c: &mut Criterion) {
                 .expect("engine")
                 .with_strategy(ConvStrategy::Im2col),
         );
-        b.iter(|| runner.run(black_box(&images)).expect("batch"))
+        b.iter(|| runner.run(black_box(&images)).expect("batch"));
     });
 }
 

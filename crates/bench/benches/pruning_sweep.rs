@@ -17,8 +17,8 @@ fn bench_pruning(c: &mut Criterion) {
         b.iter(|| {
             pruner
                 .prune(black_box(&graph), black_box(0.25))
-                .expect("prunes")
-        })
+                .expect("prunes");
+        });
     });
 
     c.bench_function("prune_cnv_sweep_18_rates", |b| {
@@ -26,8 +26,8 @@ fn bench_pruning(c: &mut Criterion) {
         b.iter(|| {
             pruner
                 .prune_sweep(black_box(&graph), black_box(&rates))
-                .expect("sweeps")
-        })
+                .expect("sweeps");
+        });
     });
 
     c.bench_function("accuracy_model_eval", |b| {
@@ -38,7 +38,7 @@ fn bench_pruning(c: &mut Criterion) {
                 acc += curve.accuracy_at(black_box(step as f64 * 0.05));
             }
             acc
-        })
+        });
     });
 
     // Batched inference over the pruned model: the design-time accuracy
@@ -53,7 +53,7 @@ fn bench_pruning(c: &mut Criterion) {
                 .expect("engine")
                 .with_strategy(ConvStrategy::Im2col),
         );
-        b.iter(|| runner.run(black_box(&images)).expect("batch"))
+        b.iter(|| runner.run(black_box(&images)).expect("batch"));
     });
 }
 

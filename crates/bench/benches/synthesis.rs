@@ -21,24 +21,24 @@ fn bench_synthesis(c: &mut Criterion) {
                 AcceleratorKind::Finn,
             )
             .expect("compiles")
-        })
+        });
     });
 
     let accel =
         DataflowAccelerator::compile(&graph, &folding, AcceleratorKind::Finn).expect("compiles");
     c.bench_function("synthesize_cnv_zcu104", |b| {
-        b.iter(|| synthesize(black_box(&accel), black_box(&device)).expect("synthesizes"))
+        b.iter(|| synthesize(black_box(&accel), black_box(&device)).expect("synthesizes"));
     });
 
     let flexible = DataflowAccelerator::compile(&graph, &folding, AcceleratorKind::FlexiblePruning)
         .expect("compiles");
     c.bench_function("synthesize_flexible_cnv_zcu104", |b| {
-        b.iter(|| synthesize(black_box(&flexible), black_box(&device)).expect("synthesizes"))
+        b.iter(|| synthesize(black_box(&flexible), black_box(&device)).expect("synthesizes"));
     });
 
     c.bench_function("stream_simulate_64_frames", |b| {
         let sim = StreamSimulator::new(&accel, 2);
-        b.iter(|| sim.run(black_box(64)))
+        b.iter(|| sim.run(black_box(64)));
     });
 }
 

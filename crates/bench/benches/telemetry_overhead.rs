@@ -27,7 +27,7 @@ fn bench_telemetry(c: &mut Criterion) {
             EdgeSim::new(SimConfig::default())
                 .run(&mut policy, black_box(&segments))
                 .0
-        })
+        });
     });
 
     c.bench_function("edge_run_recording_sink", |b| {
@@ -41,7 +41,7 @@ fn bench_telemetry(c: &mut Criterion) {
                 .0;
             black_box(recorder.len());
             metrics
-        })
+        });
     });
 }
 

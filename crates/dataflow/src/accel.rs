@@ -358,7 +358,12 @@ mod tests {
         let accel =
             DataflowAccelerator::compile(&g, &cfg, AcceleratorKind::Finn).expect("compiles");
         let perf = accel.performance();
-        let max = perf.module_cycles.iter().map(|(_, c)| *c).max().unwrap();
+        let max = perf
+            .module_cycles
+            .iter()
+            .map(|(_, c)| *c)
+            .max()
+            .expect("compile rejects graphs producing no modules");
         assert_eq!(perf.initiation_interval, max);
         assert!(perf.latency_cycles >= perf.initiation_interval);
     }

@@ -42,9 +42,18 @@ const MAX_DEPTH: usize = 16;
 ///
 /// Panics if no depth up to an internal bound sustains the bottleneck II
 /// (cannot happen for chain pipelines, where depth 2 always suffices; the
-/// bound guards future non-chain topologies).
+/// bound guards future non-chain topologies). The verifier's `DF003` rule
+/// wraps the non-panicking [`try_size_fifos`] to report this as a
+/// diagnostic instead.
 #[must_use]
 pub fn size_fifos(accel: &DataflowAccelerator) -> FifoSizing {
+    try_size_fifos(accel).expect("a chain pipeline reaches its bottleneck II by depth 2")
+}
+
+/// Sizes the inter-module FIFOs of `accel`, returning `None` when no depth
+/// up to the internal search bound sustains the bottleneck II.
+#[must_use]
+pub fn try_size_fifos(accel: &DataflowAccelerator) -> Option<FifoSizing> {
     let target_ii = accel.initiation_interval();
     let depth1 = StreamSimulator::new(accel, 1).run(PROBE_FRAMES);
     let mut chosen = None;
@@ -55,16 +64,16 @@ pub fn size_fifos(accel: &DataflowAccelerator) -> FifoSizing {
             break;
         }
     }
-    let (depth, stats) = chosen.expect("a chain pipeline reaches its bottleneck II by depth 2");
+    let (depth, stats) = chosen?;
     let edges = accel.modules().len().saturating_sub(1);
-    FifoSizing {
+    Some(FifoSizing {
         depth,
         target_ii,
         achieved_ii: stats.observed_ii,
         depth1_ii: depth1.observed_ii,
         fill_latency: stats.first_frame_cycles,
         buffered_frames: edges * depth,
-    }
+    })
 }
 
 #[cfg(test)]

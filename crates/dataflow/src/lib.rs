@@ -38,12 +38,14 @@ pub mod error;
 pub mod fifo;
 pub mod module;
 pub mod stream;
+pub mod verify;
 
 pub use accel::{AcceleratorKind, DataflowAccelerator, PerfReport};
 pub use error::DataflowError;
-pub use fifo::{size_fifos, FifoSizing};
+pub use fifo::{size_fifos, try_size_fifos, FifoSizing};
 pub use module::{ModuleKind, ModuleSpec};
 pub use stream::{StreamSimulator, StreamStats};
+pub use verify::{check_accelerator, check_folding, verify_dataflow};
 
 /// Default accelerator clock: 100 MHz, the paper's synthesis target on the
 /// ZCU104.

@@ -59,7 +59,7 @@ impl StreamSimulator {
             cycles: accel
                 .modules()
                 .iter()
-                .map(|m| m.cycles_per_frame())
+                .map(super::module::ModuleSpec::cycles_per_frame)
                 .collect(),
             fifo_depth,
             clock_hz: accel.clock_hz(),

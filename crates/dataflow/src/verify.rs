@@ -1,0 +1,338 @@
+//! Dataflow-level verification rules (`DF001`–`DF003`).
+//!
+//! These extend the graph rule catalog in `adaflow-verify` with checks that
+//! need the folding configuration and the compiled module pipeline, which
+//! sit above that crate in the dependency order:
+//!
+//! * `DF001` — folding divisibility: every MVTU layer has a folding entry
+//!   whose `PE` divides the filter/neuron count and whose `SIMD` divides
+//!   the input channel count (FINN's no-idle-lanes constraint);
+//! * `DF002` — stream-width consistency: each SWU emits windows at exactly
+//!   the width its consumer MVTU ingests (`SIMD` lanes, `k²·ch_in`
+//!   columns), and MVTU folding never exceeds the matrix geometry;
+//! * `DF003` — FIFO sizing: a uniform FIFO depth within the search bound
+//!   sustains the analytical bottleneck initiation interval, reported with
+//!   the chosen depth and buffering cost.
+//!
+//! All three share the diagnostics engine, severity policy and report
+//! format of `adaflow-verify`, so the CLI can merge graph and dataflow
+//! passes into one lint report.
+
+use crate::accel::DataflowAccelerator;
+use crate::fifo::try_size_fifos;
+use crate::module::ModuleKind;
+use adaflow_model::{CnnGraph, Layer};
+use adaflow_pruning::FinnConfig;
+use adaflow_verify::{Diagnostics, LintConfig, Report, Severity};
+
+/// `DF001`: checks folding divisibility of `config` against `graph`,
+/// emitting into `diag`. Unlike `FinnConfig::validate`, this scans every
+/// MVTU and reports all violations instead of failing on the first.
+pub fn check_folding(graph: &CnnGraph, config: &FinnConfig, diag: &mut Diagnostics) {
+    for node in graph.iter() {
+        let (out, inp) = match &node.layer {
+            Layer::Conv2d(c) => (c.out_channels, c.in_channels),
+            Layer::Dense(d) => (d.out_features, d.in_features),
+            _ => continue,
+        };
+        let at = Some((node.id.0, node.name.as_str()));
+        let Some(folding) = config.folding(node.id) else {
+            diag.report(
+                "DF001",
+                Severity::Error,
+                at,
+                "MVTU layer has no folding entry",
+                Some("add a (PE, SIMD) entry for this layer to the FinnConfig".into()),
+            );
+            continue;
+        };
+        if folding.pe == 0 || folding.simd == 0 {
+            diag.report(
+                "DF001",
+                Severity::Error,
+                at,
+                format!(
+                    "folding PE {} × SIMD {} must be nonzero",
+                    folding.pe, folding.simd
+                ),
+                None,
+            );
+            continue;
+        }
+        if out % folding.pe != 0 {
+            diag.report(
+                "DF001",
+                Severity::Error,
+                at,
+                format!(
+                    "PE {} does not divide {out} filters/neurons — idle processing elements",
+                    folding.pe,
+                ),
+                Some(format!("choose a PE from the divisors of {out}")),
+            );
+        }
+        if inp % folding.simd != 0 {
+            diag.report(
+                "DF001",
+                Severity::Error,
+                at,
+                format!(
+                    "SIMD {} does not divide {inp} input channels — idle lanes",
+                    folding.simd,
+                ),
+                Some(format!("choose a SIMD from the divisors of {inp}")),
+            );
+        }
+    }
+}
+
+/// `DF002` + `DF003`: checks the compiled module pipeline — stream widths
+/// between producers and consumers, folding-vs-geometry sanity, and FIFO
+/// sizing convergence.
+pub fn check_accelerator(accel: &DataflowAccelerator, diag: &mut Diagnostics) {
+    let modules = accel.modules();
+    for (idx, module) in modules.iter().enumerate() {
+        let at = Some((idx, module.name.as_str()));
+        match &module.kind {
+            ModuleKind::Swu {
+                in_channels,
+                kernel,
+                simd,
+                ..
+            } => {
+                let window = kernel * kernel * in_channels;
+                match modules.get(idx + 1).map(|m| &m.kind) {
+                    Some(ModuleKind::Mvtu {
+                        cols,
+                        simd: consumer_simd,
+                        ..
+                    }) => {
+                        if simd != consumer_simd {
+                            diag.report(
+                                "DF002",
+                                Severity::Error,
+                                at,
+                                format!(
+                                    "SWU emits {simd}-wide slices but the consumer MVTU ingests \
+                                     {consumer_simd} SIMD lanes",
+                                ),
+                                Some("use the consumer MVTU's SIMD as the SWU stream width".into()),
+                            );
+                        }
+                        if window != *cols {
+                            diag.report(
+                                "DF002",
+                                Severity::Error,
+                                at,
+                                format!(
+                                    "SWU window is {window} elements (k²·ch_in) but the consumer \
+                                     MVTU expects {cols} columns",
+                                ),
+                                None,
+                            );
+                        }
+                    }
+                    _ => diag.report(
+                        "DF002",
+                        Severity::Error,
+                        at,
+                        "SWU is not followed by an MVTU consumer",
+                        Some("pair every sliding-window unit with its matrix-vector unit".into()),
+                    ),
+                }
+            }
+            ModuleKind::Mvtu {
+                rows,
+                cols,
+                pe,
+                simd,
+                ..
+            } => {
+                if *pe == 0 || *simd == 0 {
+                    diag.report(
+                        "DF002",
+                        Severity::Error,
+                        at,
+                        format!("MVTU folded on PE {pe} × SIMD {simd}; both must be nonzero"),
+                        None,
+                    );
+                } else if pe > rows || simd > cols {
+                    diag.report(
+                        "DF002",
+                        Severity::Warn,
+                        at,
+                        format!(
+                            "folding PE {pe} × SIMD {simd} exceeds the {rows}×{cols} weight \
+                             matrix — over-provisioned parallelism",
+                        ),
+                        Some("cap PE at the row count and SIMD at the column count".into()),
+                    );
+                }
+            }
+            ModuleKind::MaxPool { .. } | ModuleKind::LabelSelect { .. } => {}
+        }
+    }
+    match try_size_fifos(accel) {
+        Some(sizing) => diag.report(
+            "DF003",
+            Severity::Info,
+            None,
+            format!(
+                "FIFO depth {} sustains the bottleneck II of {} cycles \
+                 ({} buffered frames across the pipeline)",
+                sizing.depth, sizing.target_ii, sizing.buffered_frames,
+            ),
+            None,
+        ),
+        None => diag.report(
+            "DF003",
+            Severity::Error,
+            None,
+            "no uniform FIFO depth within the search bound sustains the bottleneck \
+             initiation interval",
+            Some("rebalance the module pipeline or deepen the FIFO search bound".into()),
+        ),
+    }
+}
+
+/// Runs the full dataflow rule set — `DF001` over `(graph, config)` and,
+/// when an accelerator is supplied, `DF002`/`DF003` over its pipeline —
+/// under the given lint policy.
+#[must_use]
+pub fn verify_dataflow(
+    graph: &CnnGraph,
+    config: &FinnConfig,
+    accel: Option<&DataflowAccelerator>,
+    lint: LintConfig,
+) -> Report {
+    let mut diag = Diagnostics::with_config(lint);
+    check_folding(graph, config, &mut diag);
+    if let Some(accel) = accel {
+        check_accelerator(accel, &mut diag);
+    }
+    diag.into_report(accel.map_or_else(|| graph.name().to_string(), |a| a.name().to_string()))
+}
+
+/// Debug-build guard used by the HLS synthesis entry point: panics when the
+/// compiled pipeline violates `DF002`/`DF003`.
+///
+/// # Panics
+///
+/// Panics with the full report when any error-severity finding is present.
+pub fn debug_assert_accelerator(accel: &DataflowAccelerator, context: &str) {
+    let mut diag = Diagnostics::new();
+    check_accelerator(accel, &mut diag);
+    let report = diag.into_report(accel.name());
+    assert!(
+        !report.has_errors(),
+        "accelerator verification failed at {context}:\n{report}"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accel::AcceleratorKind;
+    use adaflow_model::prelude::*;
+
+    fn cnv_setup() -> (CnnGraph, FinnConfig, DataflowAccelerator) {
+        let g = topology::cnv_w2a2_cifar10().expect("builds");
+        let cfg = FinnConfig::cnv_reference(&g).expect("valid");
+        let accel =
+            DataflowAccelerator::compile(&g, &cfg, AcceleratorKind::Finn).expect("compiles");
+        (g, cfg, accel)
+    }
+
+    #[test]
+    fn cnv_pipeline_lints_clean() {
+        let (g, cfg, accel) = cnv_setup();
+        let report = verify_dataflow(&g, &cfg, Some(&accel), LintConfig::default());
+        assert!(!report.has_errors(), "{report}");
+        // DF003 reports the FIFO sizing as info.
+        assert!(report.fired("DF003"));
+    }
+
+    #[test]
+    fn missing_folding_entry_fires_df001() {
+        let g = topology::tiny(QuantSpec::w2a2(), 4).expect("builds");
+        // A config built for a different graph misses this graph's layer ids.
+        let other = topology::lenet(QuantSpec::w2a2(), 10).expect("builds");
+        let cfg = FinnConfig::auto(&other).expect("auto");
+        let report = verify_dataflow(&g, &cfg, None, LintConfig::default());
+        assert!(report.has_errors());
+        assert!(report.fired("DF001"));
+    }
+
+    use serde::Value;
+
+    /// JSON round-trip mutation: the serde derives skip constructor
+    /// validation, so corrupting the tree builds otherwise-unbuildable
+    /// structures for negative tests.
+    fn mutate<T, F>(value: &T, f: F) -> T
+    where
+        T: serde::Serialize + serde::Deserialize,
+        F: FnOnce(&mut Value),
+    {
+        let text = serde_json::to_string(value).expect("serializes");
+        let mut tree = serde_json::from_str_value(&text).expect("parses");
+        f(&mut tree);
+        let text = serde_json::to_string(&tree).expect("re-serializes");
+        serde_json::from_str(&text).expect("deserializes")
+    }
+
+    fn field<'a>(v: &'a mut Value, key: &str) -> &'a mut Value {
+        match v {
+            Value::Object(entries) => entries
+                .iter_mut()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .expect("object key present"),
+            _ => panic!("not an object"),
+        }
+    }
+
+    fn item(v: &mut Value, idx: usize) -> &mut Value {
+        match v {
+            Value::Array(items) => &mut items[idx],
+            _ => panic!("not an array"),
+        }
+    }
+
+    #[test]
+    fn corrupted_folding_fires_df001() {
+        let (g, cfg, _) = cnv_setup();
+        // Corrupt conv1's PE to a non-divisor of its 64 filters.
+        let bad = mutate(&cfg, |v| {
+            let pe = field(item(item(field(v, "entries"), 0), 1), "pe");
+            *pe = Value::U64(5);
+        });
+        let report = verify_dataflow(&g, &bad, None, LintConfig::default());
+        assert!(report.has_errors());
+        assert!(report.fired("DF001"));
+    }
+
+    #[test]
+    fn stream_width_mismatch_fires_df002() {
+        let (_, _, accel) = cnv_setup();
+        // Corrupt the first SWU's stream width out from under its consumer.
+        let bad = mutate(&accel, |v| {
+            let simd = field(
+                field(field(item(field(v, "modules"), 0), "kind"), "Swu"),
+                "simd",
+            );
+            assert_eq!(simd.as_u64(), Some(3));
+            *simd = Value::U64(4);
+        });
+        let mut diag = Diagnostics::new();
+        check_accelerator(&bad, &mut diag);
+        let report = diag.into_report(bad.name());
+        assert!(report.has_errors());
+        assert!(report.fired("DF002"));
+    }
+
+    #[test]
+    fn debug_guard_accepts_clean_accelerator() {
+        let (_, _, accel) = cnv_setup();
+        debug_assert_accelerator(&accel, "test");
+    }
+}

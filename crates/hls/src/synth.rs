@@ -70,6 +70,10 @@ pub fn synthesize_traced(
     device: &FpgaDevice,
     sink: &SinkHandle,
 ) -> Result<SynthesizedAccelerator, HlsError> {
+    // Debug builds verify the module pipeline before estimating anything:
+    // a malformed pipeline here is a compiler bug, not a user error.
+    #[cfg(debug_assertions)]
+    adaflow_dataflow::verify::debug_assert_accelerator(accel, "synthesize");
     let report = |fmax_mhz: f64, res: Option<&ResourceEstimate>, fits: bool| {
         if sink.enabled() {
             sink.emit(

@@ -416,11 +416,15 @@ mod tests {
     fn shape_inference_chains() {
         let g = tiny();
         assert_eq!(
-            g.node(LayerId(0)).unwrap().output_shape,
+            g.node(LayerId(0))
+                .expect("tiny fixture has a layer 0")
+                .output_shape,
             TensorShape::new(4, 6, 6)
         );
         assert_eq!(
-            g.node(LayerId(2)).unwrap().output_shape,
+            g.node(LayerId(2))
+                .expect("tiny fixture has a layer 2")
+                .output_shape,
             TensorShape::new(4, 3, 3)
         );
         assert_eq!(g.output_shape(), TensorShape::flat(1));

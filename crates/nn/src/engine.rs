@@ -144,6 +144,17 @@ impl<'g> Engine<'g> {
     /// Returns [`NnError::Unsupported`] when the chain cannot be executed
     /// (e.g. a max-pool directly on raw accumulators).
     pub fn new(graph: &'g CnnGraph) -> Result<Self, NnError> {
+        // Debug builds run the full static verifier once per engine (not
+        // per inference — construction is the entry to the hot path).
+        #[cfg(debug_assertions)]
+        {
+            let report = adaflow_verify::verify_graph(graph);
+            if report.has_errors() {
+                return Err(NnError::Unsupported(format!(
+                    "graph failed static verification:\n{report}"
+                )));
+            }
+        }
         // Static walk over the quant/accum state machine.
         let mut accum = false; // true when the current value is accumulators
         for node in graph.iter() {

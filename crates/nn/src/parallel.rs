@@ -13,7 +13,7 @@
 /// `1..=items` so callers can pass raw user input.
 #[must_use]
 pub fn thread_count(requested: usize, items: usize) -> usize {
-    let hw = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let hw = std::thread::available_parallelism().map_or(4, std::num::NonZero::get);
     let threads = if requested == 0 { hw } else { requested };
     threads.clamp(1, items.max(1))
 }

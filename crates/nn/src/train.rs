@@ -321,9 +321,8 @@ impl Trainer {
                     Shadow::Dense { inf, outf, .. } => {
                         let gw = &mut grads[idx];
                         let x = &cache.input;
-                        let w = match &self.shadow[idx] {
-                            Shadow::Dense { w, .. } => w,
-                            _ => unreachable!(),
+                        let Shadow::Dense { w, .. } = &self.shadow[idx] else {
+                            unreachable!()
                         };
                         let mut gin = vec![0f32; *inf];
                         for o in 0..*outf {

@@ -171,6 +171,10 @@ impl DataflowAwarePruner {
             .with_layers(chain)
             .map_err(PruneError::Model)?
             .renamed(format!("{}-p{percent:02}", graph.name()));
+        // Debug builds re-verify the transformed graph: any error here is a
+        // propagation bug in the pruner itself, so panicking is correct.
+        #[cfg(debug_assertions)]
+        adaflow_verify::debug_assert_verified(&pruned, "DataflowAwarePruner::prune");
         Ok(PrunedModel {
             graph: pruned,
             requested_rate: rate,
@@ -471,12 +475,16 @@ mod tests {
             .iter()
             .map(|&i| original_norms[i])
             .max()
-            .unwrap();
+            .expect("removed set checked non-empty above");
         let kept: Vec<u64> = (0..rec.original)
             .filter(|i| !rec.removed.contains(i))
             .map(|i| original_norms[i])
             .collect();
-        let min_kept = kept.iter().min().copied().unwrap();
+        let min_kept = kept
+            .iter()
+            .min()
+            .copied()
+            .expect("pruner always keeps at least one filter");
         assert!(
             max_removed <= min_kept,
             "kept a weaker filter than one removed"

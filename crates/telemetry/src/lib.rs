@@ -19,6 +19,8 @@
 //! stamp events with a stage-local ordinal clock (e.g. the epoch index),
 //! which keeps traces ordered without inventing a fake wall time.
 
+#![forbid(unsafe_code)]
+
 pub mod event;
 pub mod export;
 pub mod histogram;

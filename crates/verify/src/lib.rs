@@ -1,0 +1,195 @@
+//! # adaflow-verify
+//!
+//! Whole-graph static verifier for AdaFlow CNN graphs: a rule-based
+//! analyzer that re-derives and cross-checks the structural invariants the
+//! rest of the stack depends on — shape inference, quantization
+//! consistency, worst-case accumulator bounds, pruning propagation and
+//! dataflow executability — and reports findings through a structured
+//! diagnostics engine.
+//!
+//! FINN performs exactly this kind of analysis before HLS generation
+//! (accumulator sizing from fan-in and quantized domains, threshold-domain
+//! coverage); here it is packaged as a lint pass so that every pruning or
+//! performance transform in the workspace can be checked, and so the CLI
+//! can lint any topology:
+//!
+//! ```text
+//! adaflow_cli lint --model cnv-w2a2 --rates 0,0.25,0.5
+//! ```
+//!
+//! The graph rule catalog is `AF001`–`AF008` (see [`rules`]); the
+//! dataflow-level rules `DF001`–`DF003` live in `adaflow-dataflow::verify`
+//! because they need the folding configuration and compiled accelerator,
+//! which sit above this crate in the dependency order. Both share the
+//! [`Diagnostics`] engine defined here.
+//!
+//! ```
+//! use adaflow_model::prelude::*;
+//! use adaflow_verify::verify_graph;
+//!
+//! let graph = topology::tiny(QuantSpec::w2a2(), 4).expect("builds");
+//! let report = verify_graph(&graph);
+//! assert!(!report.has_errors());
+//! // AF006 reports the accumulator margin of every MVTU layer.
+//! assert!(report.fired("AF006"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accumulator;
+pub mod diag;
+pub mod rules;
+
+pub use accumulator::{accumulator_bounds, AccumulatorBound, INPUT_ACT_MAX};
+pub use diag::{Diagnostic, Diagnostics, LintConfig, Report, Severity};
+pub use rules::Rule;
+
+use adaflow_model::CnnGraph;
+
+/// A configured verification pass: a rule catalog plus a lint policy.
+pub struct Verifier {
+    rules: Vec<Box<dyn Rule>>,
+    config: LintConfig,
+}
+
+impl Default for Verifier {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Verifier {
+    /// A verifier with the full default rule catalog and a neutral policy.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            rules: rules::catalog(),
+            config: LintConfig::default(),
+        }
+    }
+
+    /// Sets the allow/deny policy applied while collecting diagnostics.
+    #[must_use]
+    pub fn with_config(mut self, config: LintConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// `(code, invariant)` pairs of the loaded catalog, for `--explain`
+    /// output and documentation.
+    #[must_use]
+    pub fn catalog(&self) -> Vec<(&'static str, &'static str)> {
+        self.rules.iter().map(|r| (r.code(), r.summary())).collect()
+    }
+
+    /// Runs every rule over `graph` and returns the combined report.
+    #[must_use]
+    pub fn verify(&self, graph: &CnnGraph) -> Report {
+        let mut diag = Diagnostics::with_config(self.config.clone());
+        for rule in &self.rules {
+            rule.check(graph, &mut diag);
+        }
+        diag.into_report(graph.name())
+    }
+}
+
+/// Verifies `graph` with the default catalog and neutral policy.
+#[must_use]
+pub fn verify_graph(graph: &CnnGraph) -> Report {
+    Verifier::new().verify(graph)
+}
+
+/// Debug-build guard: panics if `graph` fails verification. Call sites in
+/// `adaflow-nn` and `adaflow-pruning` invoke this behind
+/// `cfg(debug_assertions)` so release binaries pay nothing.
+///
+/// # Panics
+///
+/// Panics with the full report when the graph has any error-severity
+/// finding.
+pub fn debug_assert_verified(graph: &CnnGraph, context: &str) {
+    let report = verify_graph(graph);
+    assert!(
+        !report.has_errors(),
+        "graph verification failed at {context}:\n{report}"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaflow_model::prelude::*;
+
+    #[test]
+    fn builtin_topologies_lint_clean() {
+        let graphs = [
+            topology::cnv_w2a2_cifar10().expect("builds"),
+            topology::cnv_w1a2_cifar10().expect("builds"),
+            topology::lenet(QuantSpec::w2a2(), 10).expect("builds"),
+            topology::tiny(QuantSpec::w2a2(), 4).expect("builds"),
+        ];
+        for g in &graphs {
+            let report = verify_graph(g);
+            assert!(!report.has_errors(), "{}:\n{report}", g.name());
+            // Margin reporting fires for every topology with MVTUs.
+            assert!(report.fired("AF006"));
+        }
+    }
+
+    #[test]
+    fn accumulator_margin_reported_per_mvtu_layer() {
+        let g = topology::cnv_w2a2_cifar10().expect("builds");
+        let report = verify_graph(&g);
+        let mvtus = g.iter().filter(|n| n.layer.is_mvtu()).count();
+        let infos = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == "AF006" && d.severity == Severity::Info)
+            .count();
+        assert_eq!(infos, mvtus, "one margin line per MVTU layer");
+    }
+
+    #[test]
+    fn catalog_has_eight_distinct_codes() {
+        let v = Verifier::new();
+        let codes: std::collections::BTreeSet<_> =
+            v.catalog().into_iter().map(|(c, _)| c).collect();
+        assert_eq!(codes.len(), 8);
+        assert!(codes.contains("AF001"));
+        assert!(codes.contains("AF008"));
+    }
+
+    #[test]
+    fn allow_policy_suppresses_margin_reports() {
+        let g = topology::tiny(QuantSpec::w2a2(), 4).expect("builds");
+        let v = Verifier::new().with_config(LintConfig {
+            allow: LintConfig::parse_codes("AF006"),
+            deny: Default::default(),
+        });
+        assert!(!v.verify(&g).fired("AF006"));
+    }
+
+    #[test]
+    fn overflow_graph_fails_af006() {
+        let g = GraphBuilder::new("overflow", TensorShape::flat(1 << 22))
+            .dense(Dense::new(1 << 22, 1, QuantSpec::new(8, 8)))
+            .label_select(1)
+            .build()
+            .expect("builds");
+        let report = verify_graph(&g);
+        assert!(report.has_errors());
+        assert!(report.fired("AF006"));
+    }
+
+    #[test]
+    fn debug_guard_panics_on_bad_graph() {
+        let g = GraphBuilder::new("overflow", TensorShape::flat(1 << 22))
+            .dense(Dense::new(1 << 22, 1, QuantSpec::new(8, 8)))
+            .label_select(1)
+            .build()
+            .expect("builds");
+        let caught = std::panic::catch_unwind(|| debug_assert_verified(&g, "test"));
+        assert!(caught.is_err());
+    }
+}

@@ -1,0 +1,570 @@
+//! The graph rule catalog (`AF001`–`AF008`).
+//!
+//! Each rule checks one structural invariant FINN's compiler takes for
+//! granted before HLS generation (see DESIGN.md §8 for the full catalog
+//! with paper provenance). Rules receive the whole graph and emit every
+//! violation they find — they never stop at the first one.
+//!
+//! The catalog deliberately re-derives facts that `CnnGraph::from_layers`
+//! validates at construction: graphs also enter the system through serde
+//! deserialization and on-disk archives, where no validation runs, and the
+//! verifier is the backstop that keeps pruning/perf transforms honest.
+
+use crate::accumulator::{accumulator_bounds, AccumulatorBound};
+use crate::diag::{Diagnostics, Severity};
+use adaflow_model::{CnnGraph, Layer};
+
+/// One whole-graph invariant check.
+pub trait Rule {
+    /// Stable rule code (e.g. `"AF001"`).
+    fn code(&self) -> &'static str;
+    /// One-line invariant statement for catalogs and `--explain` output.
+    fn summary(&self) -> &'static str;
+    /// Scans `graph`, emitting findings into `diag`.
+    fn check(&self, graph: &CnnGraph, diag: &mut Diagnostics);
+}
+
+/// `AF001` — declared per-node shapes must equal re-derived shape
+/// inference, and adjacent nodes must agree on the tensor flowing between
+/// them.
+pub struct ShapeChain;
+
+impl Rule for ShapeChain {
+    fn code(&self) -> &'static str {
+        "AF001"
+    }
+
+    fn summary(&self) -> &'static str {
+        "declared layer shapes match whole-graph shape re-inference"
+    }
+
+    fn check(&self, graph: &CnnGraph, diag: &mut Diagnostics) {
+        let mut upstream = graph.input_shape();
+        for node in graph.iter() {
+            let at = Some((node.id.0, node.name.as_str()));
+            if node.input_shape != upstream {
+                diag.report(
+                    self.code(),
+                    Severity::Error,
+                    at,
+                    format!(
+                        "declared input shape {} disagrees with upstream output {}",
+                        node.input_shape, upstream
+                    ),
+                    Some("rebuild the graph through GraphBuilder to re-run shape inference".into()),
+                );
+            }
+            match node.layer.output_shape(node.input_shape) {
+                Ok(derived) if derived == node.output_shape => {}
+                Ok(derived) => diag.report(
+                    self.code(),
+                    Severity::Error,
+                    at,
+                    format!(
+                        "declared output shape {} but shape inference derives {}",
+                        node.output_shape, derived
+                    ),
+                    Some("rebuild the graph through GraphBuilder to re-run shape inference".into()),
+                ),
+                Err(e) => diag.report(
+                    self.code(),
+                    Severity::Error,
+                    at,
+                    format!("shape inference fails on declared input: {e}"),
+                    None,
+                ),
+            }
+            upstream = node.output_shape;
+        }
+    }
+}
+
+/// `AF002` — layer parameters and attached weight tensors must agree
+/// (nonzero dims, weight geometry matching declared geometry).
+pub struct WeightGeometry;
+
+impl Rule for WeightGeometry {
+    fn code(&self) -> &'static str {
+        "AF002"
+    }
+
+    fn summary(&self) -> &'static str {
+        "weight tensor geometry matches declared layer parameters"
+    }
+
+    fn check(&self, graph: &CnnGraph, diag: &mut Diagnostics) {
+        for node in graph.iter() {
+            if let Err(e) = node.layer.validate() {
+                diag.report(
+                    self.code(),
+                    Severity::Error,
+                    Some((node.id.0, node.name.as_str())),
+                    e.to_string(),
+                    Some("resize the weight tensor or fix the declared dimensions".into()),
+                );
+            }
+        }
+    }
+}
+
+/// `AF003` — every stored weight must lie in the layer's quantized weight
+/// domain (±1 for binary with zero excluded, narrow-range signed
+/// otherwise).
+pub struct WeightDomain;
+
+impl Rule for WeightDomain {
+    fn code(&self) -> &'static str {
+        "AF003"
+    }
+
+    fn summary(&self) -> &'static str {
+        "all weights lie in the layer's quantized weight domain"
+    }
+
+    fn check(&self, graph: &CnnGraph, diag: &mut Diagnostics) {
+        for node in graph.iter() {
+            let (weights, quant): (&[i8], _) = match &node.layer {
+                Layer::Conv2d(c) => (c.weights.as_slice(), c.quant),
+                Layer::Dense(d) => (d.weights.as_slice(), d.quant),
+                _ => continue,
+            };
+            let domain = quant.weight_domain();
+            let at = Some((node.id.0, node.name.as_str()));
+            // Magnitude violations corrupt the arithmetic: Error. A zero in
+            // a zero-excluding (binary) domain still executes exactly — it
+            // just cannot be lowered to true binary hardware — so: Warn.
+            let mut out_of_range = 0usize;
+            let mut zeros = 0usize;
+            let mut first = None;
+            for &w in weights {
+                let w = i64::from(w);
+                if w < domain.min || w > domain.max {
+                    out_of_range += 1;
+                    first.get_or_insert(w);
+                } else if w == 0 && domain.excludes_zero {
+                    zeros += 1;
+                }
+            }
+            if out_of_range > 0 {
+                diag.report(
+                    self.code(),
+                    Severity::Error,
+                    at,
+                    format!(
+                        "{out_of_range} of {} weights outside the {} domain [{}, {}] (first: {})",
+                        weights.len(),
+                        quant,
+                        domain.min,
+                        domain.max,
+                        first.unwrap_or(0),
+                    ),
+                    Some(
+                        "re-quantize the weights (QuantizedDomain::clamp) or widen the spec".into(),
+                    ),
+                );
+            }
+            if zeros > 0 {
+                diag.report(
+                    self.code(),
+                    Severity::Warn,
+                    at,
+                    format!(
+                        "{zeros} of {} weights are 0 but the {} domain excludes zero; \
+                         they cannot be lowered to binary hardware",
+                        weights.len(),
+                        quant,
+                    ),
+                    Some("re-quantize zeros to ±1 or use a 2-bit weight spec".into()),
+                );
+            }
+        }
+    }
+}
+
+/// `AF004` — every per-channel threshold row must be monotonically
+/// ascending; the MVTU's thresholding unit counts a prefix of met
+/// thresholds and silently mis-activates on unsorted rows.
+pub struct ThresholdMonotone;
+
+impl Rule for ThresholdMonotone {
+    fn code(&self) -> &'static str {
+        "AF004"
+    }
+
+    fn summary(&self) -> &'static str {
+        "per-channel threshold rows are monotonically ascending"
+    }
+
+    fn check(&self, graph: &CnnGraph, diag: &mut Diagnostics) {
+        for node in graph.iter() {
+            let Layer::MultiThreshold(t) = &node.layer else {
+                continue;
+            };
+            let mut bad_rows = 0usize;
+            let mut first = None;
+            for c in 0..t.table.channels() {
+                let row = t.table.row(c);
+                if let Some(pos) = row.windows(2).position(|w| w[0] > w[1]) {
+                    bad_rows += 1;
+                    first.get_or_insert((c, pos, row[pos], row[pos + 1]));
+                }
+            }
+            if let Some((c, pos, a, b)) = first {
+                diag.report(
+                    self.code(),
+                    Severity::Error,
+                    Some((node.id.0, node.name.as_str())),
+                    format!(
+                        "{bad_rows} of {} threshold rows not ascending \
+                         (channel {c}: level {pos} is {a} > level {} is {b})",
+                        t.table.channels(),
+                        pos + 1,
+                    ),
+                    Some("sort each channel's thresholds ascending (ThresholdTable::from_rows enforces this)".into()),
+                );
+            }
+        }
+    }
+}
+
+/// `AF005` — a MultiThreshold must cover its producer MVTU's quantized
+/// activation domain: exactly `2^act_bits - 1` levels, all reachable by
+/// the producer's worst-case accumulator range.
+pub struct ThresholdCoverage;
+
+impl Rule for ThresholdCoverage {
+    fn code(&self) -> &'static str {
+        "AF005"
+    }
+
+    fn summary(&self) -> &'static str {
+        "threshold tables cover the producer MVTU's activation domain"
+    }
+
+    fn check(&self, graph: &CnnGraph, diag: &mut Diagnostics) {
+        let bounds = accumulator_bounds(graph);
+        let nodes = graph.nodes();
+        for (idx, node) in nodes.iter().enumerate() {
+            let Layer::MultiThreshold(t) = &node.layer else {
+                continue;
+            };
+            // FINN folds the threshold into the immediately preceding MVTU.
+            let Some(prev) = idx.checked_sub(1).map(|i| &nodes[i]) else {
+                continue;
+            };
+            let quant = match &prev.layer {
+                Layer::Conv2d(c) => c.quant,
+                Layer::Dense(d) => d.quant,
+                _ => continue,
+            };
+            let at = Some((node.id.0, node.name.as_str()));
+            let expected = quant.threshold_levels();
+            if t.table.levels() != expected {
+                diag.report(
+                    self.code(),
+                    Severity::Error,
+                    at,
+                    format!(
+                        "table has {} levels but the {} activation domain needs {expected} \
+                         (2^act_bits - 1)",
+                        t.table.levels(),
+                        quant,
+                    ),
+                    Some(format!(
+                        "rebuild the table with {expected} levels per channel"
+                    )),
+                );
+                continue;
+            }
+            // Reachability: thresholds beyond the producer's worst-case
+            // accumulator range are dead levels — the activation can never
+            // reach those counts.
+            let Some(bound) = bounds.iter().find(|b| b.layer == prev.id.0) else {
+                continue;
+            };
+            let worst = bound.worst_abs;
+            let mut dead = 0usize;
+            for c in 0..t.table.channels() {
+                let row = t.table.row(c);
+                if row
+                    .iter()
+                    .any(|&th| i128::from(th) > worst || i128::from(th) < -worst)
+                {
+                    dead += 1;
+                }
+            }
+            if dead > 0 {
+                diag.report(
+                    self.code(),
+                    Severity::Warn,
+                    at,
+                    format!(
+                        "{dead} of {} channels have thresholds outside the producer's \
+                         reachable accumulator range ±{worst}; those levels can never fire",
+                        t.table.channels(),
+                    ),
+                    Some("re-calibrate the thresholds against the accumulator range".into()),
+                );
+            }
+        }
+    }
+}
+
+/// `AF006` — the `i32` MVTU accumulator must provably not overflow:
+/// `fan_in · max|w| · max|a| ≤ i32::MAX`. Emits the computed margin for
+/// every MVTU layer as an Info finding, and an Error where the bound fails.
+pub struct AccumulatorBounds;
+
+impl AccumulatorBounds {
+    fn describe(b: &AccumulatorBound) -> String {
+        format!(
+            "worst-case accumulator ±{} (fan-in {} × max|w| {} × max|a| {}), \
+             actual weights reach ±{}",
+            b.worst_abs, b.fan_in, b.max_weight, b.max_activation, b.tight_abs,
+        )
+    }
+}
+
+impl Rule for AccumulatorBounds {
+    fn code(&self) -> &'static str {
+        "AF006"
+    }
+
+    fn summary(&self) -> &'static str {
+        "i32 accumulators provably cannot overflow (fan-in × max|w| × max|a|)"
+    }
+
+    fn check(&self, graph: &CnnGraph, diag: &mut Diagnostics) {
+        for b in accumulator_bounds(graph) {
+            let name = b.name.clone();
+            if b.fits_i32() {
+                diag.report(
+                    self.code(),
+                    Severity::Info,
+                    Some((b.layer, name.as_str())),
+                    format!(
+                        "{}: {} spare bits, {:.0}x headroom below i32::MAX",
+                        Self::describe(&b),
+                        b.margin_bits(),
+                        b.headroom(),
+                    ),
+                    None,
+                );
+            } else {
+                diag.report(
+                    self.code(),
+                    Severity::Error,
+                    Some((b.layer, name.as_str())),
+                    format!(
+                        "{}: exceeds i32::MAX by {:.1}x",
+                        Self::describe(&b),
+                        b.worst_abs as f64 / f64::from(i32::MAX),
+                    ),
+                    Some(
+                        "reduce fan-in or quantization bit widths, or widen the accumulator type"
+                            .into(),
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// `AF007` — pruning consistency: filter removal at one layer must be
+/// propagated to every consumer — the following threshold's rows, the next
+/// convolution's input channels, and the flattened dense layer's input
+/// features.
+pub struct ChannelConsistency;
+
+impl Rule for ChannelConsistency {
+    fn code(&self) -> &'static str {
+        "AF007"
+    }
+
+    fn summary(&self) -> &'static str {
+        "pruned channel counts propagate to thresholds and downstream layers"
+    }
+
+    fn check(&self, graph: &CnnGraph, diag: &mut Diagnostics) {
+        let nodes = graph.nodes();
+        // Channel count produced by the most recent conv (or the input),
+        // tracked at the layer-parameter level — independent of the
+        // declared node shapes AF001 checks.
+        let mut channels = graph.input_shape().channels;
+        // Spatial extent at the producing conv, for the flatten into dense.
+        let mut spatial = graph.input_shape().spatial();
+        let mut features: Option<usize> = None; // Some(n) once flattened
+        for node in nodes {
+            let at = Some((node.id.0, node.name.as_str()));
+            match &node.layer {
+                Layer::Conv2d(c) => {
+                    if c.in_channels != channels {
+                        diag.report(
+                            self.code(),
+                            Severity::Error,
+                            at,
+                            format!(
+                                "consumes {} input channels but the upstream producer emits \
+                                 {channels}",
+                                c.in_channels,
+                            ),
+                            Some(
+                                "propagate the upstream filter removal with \
+                                 ConvWeights::without_input_channels"
+                                    .into(),
+                            ),
+                        );
+                    }
+                    channels = c.out_channels;
+                    spatial = node.output_shape.spatial();
+                    features = None;
+                }
+                Layer::MultiThreshold(t) => {
+                    let expect = features.unwrap_or(channels);
+                    if t.channels != expect {
+                        diag.report(
+                            self.code(),
+                            Severity::Error,
+                            at,
+                            format!(
+                                "thresholds {} channels but the producer emits {expect}",
+                                t.channels,
+                            ),
+                            Some(
+                                "remove the pruned channels' rows with \
+                                 ThresholdTable::without_channels"
+                                    .into(),
+                            ),
+                        );
+                    }
+                }
+                Layer::Dense(d) => {
+                    let expect = features.unwrap_or(channels * spatial);
+                    if d.in_features != expect {
+                        diag.report(
+                            self.code(),
+                            Severity::Error,
+                            at,
+                            format!(
+                                "consumes {} input features but the upstream producer emits \
+                                 {expect}",
+                                d.in_features,
+                            ),
+                            Some(
+                                "propagate the upstream removal with \
+                                 DenseWeights::without_input_features"
+                                    .into(),
+                            ),
+                        );
+                    }
+                    features = Some(d.out_features);
+                }
+                Layer::MaxPool2d(_) => {
+                    spatial = node.output_shape.spatial();
+                }
+                Layer::LabelSelect(_) => {}
+            }
+        }
+    }
+}
+
+/// `AF008` — dataflow executability: MVTU outputs (raw accumulators) must
+/// be re-quantized by a MultiThreshold before pooling or the next MVTU,
+/// thresholds must not re-quantize already-quantized activations, and the
+/// graph should terminate in a LabelSelect fed by classifier accumulators.
+pub struct DataflowStructure;
+
+impl Rule for DataflowStructure {
+    fn code(&self) -> &'static str {
+        "AF008"
+    }
+
+    fn summary(&self) -> &'static str {
+        "accumulator/activation alternation is executable by the MVTU dataflow"
+    }
+
+    fn check(&self, graph: &CnnGraph, diag: &mut Diagnostics) {
+        let mut accum = false; // true while the value is raw accumulators
+        for node in graph.iter() {
+            let at = Some((node.id.0, node.name.as_str()));
+            match &node.layer {
+                Layer::Conv2d(_) | Layer::Dense(_) => {
+                    if accum {
+                        diag.report(
+                            self.code(),
+                            Severity::Error,
+                            at,
+                            "consumes raw accumulators from the previous MVTU",
+                            Some("insert a MultiThreshold between the two MVTU layers".into()),
+                        );
+                    }
+                    accum = true;
+                }
+                Layer::MultiThreshold(_) => {
+                    if !accum {
+                        diag.report(
+                            self.code(),
+                            Severity::Error,
+                            at,
+                            "re-thresholds already-quantized activations",
+                            Some("remove the redundant MultiThreshold".into()),
+                        );
+                    }
+                    accum = false;
+                }
+                Layer::MaxPool2d(_) => {
+                    if accum {
+                        diag.report(
+                            self.code(),
+                            Severity::Error,
+                            at,
+                            "pools raw accumulators",
+                            Some("insert a MultiThreshold before the pooling layer".into()),
+                        );
+                    }
+                }
+                Layer::LabelSelect(_) => {
+                    if !accum {
+                        diag.report(
+                            self.code(),
+                            Severity::Error,
+                            at,
+                            "label-select needs classifier accumulators, not quantized \
+                             activations",
+                            Some("feed the classifier MVTU's accumulators directly".into()),
+                        );
+                    }
+                    accum = false;
+                }
+            }
+        }
+        match graph.nodes().last().map(|n| &n.layer) {
+            Some(Layer::LabelSelect(_)) | None => {}
+            Some(other) => diag.report(
+                self.code(),
+                Severity::Warn,
+                graph.nodes().last().map(|n| (n.id.0, n.name.as_str())),
+                format!(
+                    "graph ends in {} instead of a LabelSelect classifier",
+                    other.kind()
+                ),
+                Some("append a label_select over the class logits".into()),
+            ),
+        }
+    }
+}
+
+/// The full graph rule catalog, in code order.
+#[must_use]
+pub fn catalog() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(ShapeChain),
+        Box::new(WeightGeometry),
+        Box::new(WeightDomain),
+        Box::new(ThresholdMonotone),
+        Box::new(ThresholdCoverage),
+        Box::new(AccumulatorBounds),
+        Box::new(ChannelConsistency),
+        Box::new(DataflowStructure),
+    ]
+}

@@ -123,7 +123,7 @@ impl Bencher {
             return;
         }
         let mut sorted = self.samples_ns.clone();
-        sorted.sort_by(|a, b| a.total_cmp(b));
+        sorted.sort_by(f64::total_cmp);
         let min = sorted[0];
         let max = sorted[sorted.len() - 1];
         let median = sorted[sorted.len() / 2];
@@ -195,8 +195,8 @@ mod tests {
         c.bench_function("spin", |b| {
             b.iter(|| {
                 hits += 1;
-                black_box((0..100u64).sum::<u64>())
-            })
+                black_box((0..100u64).sum::<u64>());
+            });
         });
         assert!(hits > 0);
     }
