@@ -1,0 +1,86 @@
+//! Criterion bench: the request-level serving loop on Scenario 2 — the
+//! discrete-event engine (arrival generation, admission, dynamic batching,
+//! pressure-driven control) per policy, plus arrival generation alone.
+//!
+//! Set `ADAFLOW_BENCH_SMOKE=1` to run a fast configuration (short horizon,
+//! fewer devices, tight measurement window) — used as the CI smoke check.
+//! The default full mode serves the paper's 20-device 25-second trace
+//! (~15 k requests per run).
+
+use adaflow::{LibraryGenerator, RuntimeConfig};
+use adaflow_edge::{Scenario, WorkloadSpec};
+use adaflow_nn::DatasetKind;
+use adaflow_serve::{
+    generate_requests, AdaFlowServePolicy, FixedMaxPolicy, FlexibleOnlyPolicy, ServeConfig,
+    ServeEngine, ServePolicy,
+};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn smoke_mode() -> bool {
+    std::env::var("ADAFLOW_BENCH_SMOKE").is_ok_and(|v| v == "1")
+}
+
+fn spec() -> WorkloadSpec {
+    if smoke_mode() {
+        WorkloadSpec {
+            devices: 5,
+            fps_per_device: 30.0,
+            duration_s: 3.0,
+            scenario: Scenario::Unpredictable,
+        }
+    } else {
+        WorkloadSpec::paper_edge(Scenario::Unpredictable)
+    }
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let library = LibraryGenerator::default_edge_setup()
+        .generate(
+            adaflow_model::topology::cnv_w2a2_cifar10().expect("builds"),
+            DatasetKind::Cifar10,
+        )
+        .expect("generates");
+    let spec = spec();
+    let engine = ServeEngine::new(ServeConfig::default());
+    let tag = if smoke_mode() { "smoke" } else { "paper" };
+
+    for name in ["adaflow", "fixed-max", "flexible-only"] {
+        c.bench_function(&format!("serve_requests_{name}_scenario-2_{tag}"), |b| {
+            b.iter(|| {
+                let mut policy: Box<dyn ServePolicy + '_> = match name {
+                    "adaflow" => Box::new(
+                        AdaFlowServePolicy::new(&library, RuntimeConfig::default())
+                            .with_deadline(ServeConfig::default().deadline_s),
+                    ),
+                    "fixed-max" => Box::new(FixedMaxPolicy::new(&library)),
+                    _ => Box::new(FlexibleOnlyPolicy::new(&library, RuntimeConfig::default())),
+                };
+                let summary = engine.run(&spec, black_box(7), policy.as_mut());
+                assert!(summary.conservation_holds());
+                summary
+            });
+        });
+    }
+
+    c.bench_function(&format!("serve_generate_requests_{tag}"), |b| {
+        b.iter(|| generate_requests(&spec, black_box(7)).len());
+    });
+}
+
+criterion_group! {
+    name = benches;
+    // Full serving runs are macro-benchmarks; keep sampling CI-friendly,
+    // and tighter still in smoke mode.
+    config = {
+        let c = Criterion::default().sample_size(10);
+        if smoke_mode() {
+            c.measurement_time(Duration::from_millis(400))
+                .warm_up_time(Duration::from_millis(100))
+        } else {
+            c
+        }
+    };
+    targets = bench_serve
+}
+criterion_main!(benches);

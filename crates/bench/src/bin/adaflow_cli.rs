@@ -48,6 +48,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "generate" => cmd_generate(&flags),
         "inspect" => cmd_inspect(&flags),
         "simulate" => cmd_simulate(&flags),
+        "serve" => cmd_serve(&flags),
         "trace" => cmd_trace(&flags),
         "explore" => cmd_explore(&flags),
         "lint" => cmd_lint(&flags),
@@ -66,6 +67,10 @@ fn usage() -> String {
      \x20 generate --model <name> --dataset <d> [--rates a,b,..] [--out file]\n\
      \x20 inspect  --library <file>                print a generated library table\n\
      \x20 simulate --library <file> [--scenario 1|2|1+2] [--policy adaflow|finn|reconf:<ms>] [--runs N]\n\
+     \x20 serve    --library <file> [--scenario 1|2|1+2] [--policy adaflow|fixed-max|flexible-only]\n\
+     \x20          [--deadline-ms N] [--queue-cap N] [--shed block|oldest|newest] [--batch N]\n\
+     \x20          [--batch-wait-ms N] [--seed N] [--runs N] [--format text|json] [--out prefix]\n\
+     \x20          [--allow codes] [--deny codes] [--check 1]   request-level serving run\n\
      \x20 trace    --library <file> [--scenario 1|2|1+2] [--policy ...] [--seed N] [--out prefix]\n\
      \x20          writes <prefix>.trace.json (Perfetto), <prefix>.jsonl, <prefix>.prom\n\
      \x20 explore  --model <name> [--target-fps F] [--cap 0.7]\n\
@@ -232,6 +237,222 @@ fn cmd_simulate(flags: &HashMap<String, String>) -> Result<(), String> {
         metrics.flexible_switches,
         metrics.mean_latency_ms
     );
+    Ok(())
+}
+
+/// Builds a pressure-driven request-level policy by name. `deadline_s`
+/// arms the AdaFlow policy's deadline-aware reconfiguration guard.
+fn build_serve_policy<'l>(
+    name: &str,
+    library: &'l Library,
+    deadline_s: f64,
+) -> Result<Box<dyn adaflow_serve::ServePolicy + 'l>, String> {
+    use adaflow_serve::{AdaFlowServePolicy, FixedMaxPolicy, FlexibleOnlyPolicy};
+    match name {
+        "adaflow" => Ok(Box::new(
+            AdaFlowServePolicy::new(library, RuntimeConfig::default()).with_deadline(deadline_s),
+        )),
+        "fixed-max" => Ok(Box::new(FixedMaxPolicy::new(library))),
+        "flexible-only" => Ok(Box::new(FlexibleOnlyPolicy::new(
+            library,
+            RuntimeConfig::default(),
+        ))),
+        other => Err(format!(
+            "unknown serve policy `{other}` (adaflow | fixed-max | flexible-only)"
+        )),
+    }
+}
+
+/// Worst-case service stall the named policy can cause — the backlog bound
+/// fed to the SV002 queue-capacity rule.
+fn worst_policy_stall_s(policy: &str, library: &Library) -> f64 {
+    match policy {
+        "fixed-max" => 0.0,
+        "flexible-only" => {
+            adaflow_serve::FlexibleOnlyPolicy::new(library, RuntimeConfig::default())
+                .worst_stall_s()
+        }
+        _ => RuntimeConfig::default()
+            .reconfig
+            .reconfiguration_time(&library.baseline.bitstream)
+            .as_secs_f64(),
+    }
+}
+
+/// Request-level serving: deadline accounting, admission control and
+/// dynamic batching over the paper's workload scenarios.
+fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
+    use adaflow_serve::{OverflowPolicy, ServeConfig, ServeExperiment};
+    use adaflow_telemetry::Event;
+    use adaflow_verify::{LintConfig, Severity};
+
+    let library = load_library(flags)?;
+    let scenario = parse_scenario(flags.get("scenario").map_or("2", String::as_str))?;
+    let policy_name = flags.get("policy").map_or("adaflow", String::as_str);
+    build_serve_policy(policy_name, &library, 0.25)?; // validate the name early
+    let seed: u64 = flags
+        .get("seed")
+        .map_or(Ok(1), |s| s.parse().map_err(|e| format!("bad --seed: {e}")))?;
+    let runs: usize = flags
+        .get("runs")
+        .map_or(Ok(1), |r| r.parse().map_err(|e| format!("bad --runs: {e}")))?;
+    let deadline_ms: f64 = flags.get("deadline-ms").map_or(Ok(250.0), |v| {
+        v.parse().map_err(|e| format!("bad --deadline-ms: {e}"))
+    })?;
+    let queue_cap: usize = flags.get("queue-cap").map_or(Ok(256), |v| {
+        v.parse().map_err(|e| format!("bad --queue-cap: {e}"))
+    })?;
+    let max_batch: usize = flags.get("batch").map_or(Ok(16), |v| {
+        v.parse().map_err(|e| format!("bad --batch: {e}"))
+    })?;
+    let batch_wait_ms: f64 = flags.get("batch-wait-ms").map_or(Ok(20.0), |v| {
+        v.parse().map_err(|e| format!("bad --batch-wait-ms: {e}"))
+    })?;
+    let shed_name = flags.get("shed").map_or("block", String::as_str);
+    let overflow = OverflowPolicy::parse(shed_name)
+        .ok_or_else(|| format!("unknown --shed `{shed_name}` (block | oldest | newest)"))?;
+    let format = flags.get("format").map_or("text", String::as_str);
+    if !matches!(format, "text" | "json") {
+        return Err(format!("unknown --format `{format}` (text | json)"));
+    }
+    let check = flags.get("check").is_some_and(|v| v == "1");
+
+    let config = ServeConfig {
+        deadline_s: deadline_ms / 1e3,
+        queue_capacity: queue_cap,
+        max_batch,
+        max_wait_s: batch_wait_ms / 1e3,
+        overflow,
+        ..ServeConfig::default()
+    };
+    let spec = WorkloadSpec::paper_edge(scenario);
+
+    // Static SV001/SV002 validation through the shared lint machinery.
+    let lint = LintConfig {
+        allow: flags
+            .get("allow")
+            .map(|codes| LintConfig::parse_codes(codes))
+            .unwrap_or_default(),
+        deny: flags
+            .get("deny")
+            .map(|codes| LintConfig::parse_codes(codes))
+            .unwrap_or_default(),
+    };
+    let report = config.validate(
+        spec.nominal_fps(),
+        worst_policy_stall_s(policy_name, &library),
+        lint,
+    );
+    if format == "text" && report.count(Severity::Warn) + report.count(Severity::Error) > 0 {
+        print!("{report}");
+    }
+    if report.has_errors() {
+        return Err("serve configuration failed SV lint (see findings above)".to_string());
+    }
+
+    let experiment = ServeExperiment::new(&library, spec)
+        .runs(runs.max(1))
+        .seed(seed)
+        .config(config.clone());
+    let execute = || -> (adaflow_serve::ServeSummary, Vec<Event>) {
+        if runs <= 1 {
+            let (sink, recorder) = SinkHandle::recorder(1 << 18);
+            let summary = experiment.run_traced(seed, sink, || {
+                build_serve_policy(policy_name, &library, config.deadline_s)
+                    .expect("name validated above")
+            });
+            (summary, recorder.drain())
+        } else {
+            let summary = experiment.run_with(|| {
+                build_serve_policy(policy_name, &library, config.deadline_s)
+                    .expect("name validated")
+            });
+            (summary, Vec::new())
+        }
+    };
+    let (summary, events) = execute();
+    if !summary.conservation_holds() {
+        return Err(format!(
+            "request conservation violated: arrived {} != completed {} + shed {}",
+            summary.arrived, summary.completed, summary.shed
+        ));
+    }
+    if check {
+        let (summary2, events2) = execute();
+        if summary != summary2 || events != events2 {
+            return Err("determinism check failed: repeated run diverged".to_string());
+        }
+    }
+
+    if format == "json" {
+        let json = serde_json::to_string(&summary).map_err(|e| e.to_string())?;
+        println!(
+            "{{\"summary\":{json},\"runs\":{},\"events\":{}}}",
+            runs.max(1),
+            events.len()
+        );
+    } else {
+        println!(
+            "{policy_name} under {} (seed {seed}, {} run{}): {:.0} requests",
+            scenario.name(),
+            runs.max(1),
+            if runs.max(1) == 1 { "" } else { "s" },
+            summary.arrived
+        );
+        println!(
+            "  deadline: {:.2}% hits within {deadline_ms:.0} ms \
+             (latency p50 {:.1} ms, p95 {:.1} ms, p99 {:.1} ms, mean {:.1} ms)",
+            summary.deadline_hit_pct,
+            summary.latency_p50_s * 1e3,
+            summary.latency_p95_s * 1e3,
+            summary.latency_p99_s * 1e3,
+            summary.latency_mean_s * 1e3
+        );
+        println!(
+            "  shed: {:.2}% ({:.0} requests, overflow {shed_name})",
+            summary.shed_pct, summary.shed
+        );
+        println!(
+            "  batches: {:.0} closed, mean size {:.1}, queue wait {:.1} ms, service {:.1} ms",
+            summary.batches,
+            summary.mean_batch_size,
+            summary.queue_wait_mean_s * 1e3,
+            summary.service_mean_s * 1e3
+        );
+        println!(
+            "  control: {:.1} switches ({:.1} reconf, {:.1} flexible), stall {:.3} s, \
+             accuracy {:.2}%",
+            summary.model_switches,
+            summary.reconfigurations,
+            summary.flexible_switches,
+            summary.stall_total_s,
+            summary.mean_accuracy_pct
+        );
+        if !events.is_empty() {
+            println!("  events: {} recorded", events.len());
+        }
+        if check {
+            println!("  determinism: repeated run identical");
+        }
+    }
+
+    if let Some(prefix) = flags.get("out") {
+        if events.is_empty() {
+            return Err("--out requires a single run (--runs 1) to record events".to_string());
+        }
+        let trace_summary = TraceSummary::from_events(&events);
+        let write = |suffix: &str, contents: String| -> Result<(), String> {
+            let path = format!("{prefix}.{suffix}");
+            std::fs::write(&path, &contents).map_err(|e| format!("writing {path}: {e}"))?;
+            if format == "text" {
+                println!("  wrote {path} ({} bytes)", contents.len());
+            }
+            Ok(())
+        };
+        write("trace.json", chrome_trace_json(&events))?;
+        write("jsonl", events_to_jsonl(&events))?;
+        write("prom", to_prometheus(&trace_summary))?;
+    }
     Ok(())
 }
 
@@ -565,6 +786,81 @@ mod tests {
         assert!(prom.contains("adaflow_decisions_total"));
         let jsonl = std::fs::read_to_string(format!("{prefix_str}.jsonl")).expect("jsonl");
         assert!(jsonl.lines().count() > 10);
+        let _ = std::fs::remove_file(lib_path);
+        for suffix in ["trace.json", "jsonl", "prom"] {
+            let _ = std::fs::remove_file(format!("{prefix_str}.{suffix}"));
+        }
+    }
+
+    #[test]
+    fn serve_command_runs_all_policies() {
+        let lib_path = std::env::temp_dir().join("adaflow_cli_serve_test_library.json");
+        let lib_str = lib_path.to_string_lossy().to_string();
+        cmd_generate(&flags(&[
+            ("model", "cnv-w2a2"),
+            ("dataset", "cifar10"),
+            ("rates", "0,0.25,0.5"),
+            ("out", &lib_str),
+        ]))
+        .expect("generate");
+        for policy in ["adaflow", "fixed-max", "flexible-only"] {
+            cmd_serve(&flags(&[
+                ("library", &lib_str),
+                ("scenario", "2"),
+                ("policy", policy),
+                ("seed", "7"),
+                ("check", "1"),
+            ]))
+            .unwrap_or_else(|e| panic!("serve {policy}: {e}"));
+        }
+        // Multi-run mean in JSON, custom knobs, shed policies.
+        cmd_serve(&flags(&[
+            ("library", &lib_str),
+            ("scenario", "1+2"),
+            ("runs", "2"),
+            ("deadline-ms", "200"),
+            ("queue-cap", "128"),
+            ("shed", "oldest"),
+            ("format", "json"),
+        ]))
+        .expect("serve json");
+        assert!(cmd_serve(&flags(&[("library", &lib_str), ("policy", "turbo")])).is_err());
+        assert!(cmd_serve(&flags(&[("library", &lib_str), ("shed", "lifo")])).is_err());
+        // SV001 hard failure: max-wait beyond the deadline budget.
+        assert!(cmd_serve(&flags(&[
+            ("library", &lib_str),
+            ("deadline-ms", "10"),
+            ("batch-wait-ms", "20"),
+        ]))
+        .is_err());
+        let _ = std::fs::remove_file(lib_path);
+    }
+
+    #[test]
+    fn serve_command_writes_trace_exports() {
+        let lib_path = std::env::temp_dir().join("adaflow_cli_serve_trace_library.json");
+        let lib_str = lib_path.to_string_lossy().to_string();
+        cmd_generate(&flags(&[
+            ("model", "cnv-w2a2"),
+            ("dataset", "cifar10"),
+            ("rates", "0,0.5"),
+            ("out", &lib_str),
+        ]))
+        .expect("generate");
+        let prefix = std::env::temp_dir().join("adaflow_cli_serve_trace_run");
+        let prefix_str = prefix.to_string_lossy().to_string();
+        cmd_serve(&flags(&[
+            ("library", &lib_str),
+            ("scenario", "2"),
+            ("seed", "3"),
+            ("out", &prefix_str),
+        ]))
+        .expect("serve with exports");
+        let prom = std::fs::read_to_string(format!("{prefix_str}.prom")).expect("prom");
+        assert!(prom.contains("adaflow_requests_enqueued_total"));
+        assert!(prom.contains("adaflow_batches_closed_total"));
+        let jsonl = std::fs::read_to_string(format!("{prefix_str}.jsonl")).expect("jsonl");
+        assert!(jsonl.contains("RequestCompleted"));
         let _ = std::fs::remove_file(lib_path);
         for suffix in ["trace.json", "jsonl", "prom"] {
             let _ = std::fs::remove_file(format!("{prefix_str}.{suffix}"));

@@ -49,7 +49,7 @@ pub mod suite;
 pub use error::AdaFlowError;
 pub use explore::{ExplorationGoal, ExplorationResult, FoldingExplorer};
 pub use library::{Library, LibraryGenerator, ModelEntry};
-pub use runtime::{Decision, RuntimeConfig, RuntimeManager, SwitchKind};
+pub use runtime::{Decision, PressureSignal, RuntimeConfig, RuntimeManager, SwitchKind};
 pub use suite::LibrarySuite;
 
 /// Convenience re-exports for downstream crates and examples.
@@ -57,7 +57,7 @@ pub mod prelude {
     pub use crate::error::AdaFlowError;
     pub use crate::explore::{ExplorationGoal, ExplorationResult, FoldingExplorer};
     pub use crate::library::{Library, LibraryGenerator, ModelEntry};
-    pub use crate::runtime::{Decision, RuntimeConfig, RuntimeManager, SwitchKind};
+    pub use crate::runtime::{Decision, PressureSignal, RuntimeConfig, RuntimeManager, SwitchKind};
     pub use crate::suite::LibrarySuite;
     pub use adaflow_dataflow::AcceleratorKind;
 }

@@ -52,6 +52,34 @@ impl Default for RuntimeConfig {
     }
 }
 
+/// Observed serving pressure, the request-level counterpart of the paper's
+/// aggregate incoming-FPS estimate.
+///
+/// The oracle drive path hands [`RuntimeManager::decide`] the workload's
+/// nominal rate directly; a real serving layer only observes *arrivals* and
+/// *queueing*. The pressure signal folds both into one demand figure: the
+/// EWMA of the arrival rate plus the service rate needed to drain the
+/// current backlog within the drain-target horizon (`μ ≥ λ + Q/T` keeps the
+/// queue shrinking toward empty within `T` seconds).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PressureSignal {
+    /// Smoothed arrival rate estimate, requests per second.
+    pub arrival_fps_ewma: f64,
+    /// Current admission-queue occupancy, requests.
+    pub queue_depth: f64,
+    /// Horizon within which the backlog should drain, seconds.
+    pub drain_target_s: f64,
+}
+
+impl PressureSignal {
+    /// The service rate this pressure level demands: arrivals plus the
+    /// backlog spread over the drain horizon.
+    #[must_use]
+    pub fn demand_fps(&self) -> f64 {
+        (self.arrival_fps_ewma + self.queue_depth / self.drain_target_s.max(1e-9)).max(0.0)
+    }
+}
+
 /// What a decision physically did to the FPGA.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum SwitchKind {
@@ -221,6 +249,15 @@ impl<'l> RuntimeManager<'l> {
             AcceleratorKind::FlexiblePruning => entry.flexible_fps,
             _ => entry.fixed.throughput_fps,
         }
+    }
+
+    /// Reacts to *observed* queue pressure instead of an oracle workload
+    /// level: converts the signal into its demanded service rate and
+    /// decides as usual. This is the request-level serving layer's input
+    /// path (the paper's manager reacts to an aggregate FPS estimate; a
+    /// per-request server reacts to what it can actually measure).
+    pub fn decide_from_pressure(&mut self, now_s: f64, signal: &PressureSignal) -> Decision {
+        self.decide(now_s, signal.demand_fps())
     }
 
     /// Reacts to a workload level observed at `now_s`, applying and
@@ -486,6 +523,48 @@ mod tests {
         let manager = RuntimeManager::new(&lib, RuntimeConfig::default());
         let c = manager.switch_criterion_s();
         assert!((1.2..=1.7).contains(&c), "criterion {c}s");
+    }
+
+    #[test]
+    fn pressure_demand_adds_backlog_drain_rate() {
+        let idle = PressureSignal {
+            arrival_fps_ewma: 600.0,
+            queue_depth: 0.0,
+            drain_target_s: 0.5,
+        };
+        assert!((idle.demand_fps() - 600.0).abs() < 1e-12);
+        let loaded = PressureSignal {
+            arrival_fps_ewma: 600.0,
+            queue_depth: 100.0,
+            drain_target_s: 0.5,
+        };
+        // 100 queued requests over a 0.5 s horizon demand 200 extra FPS.
+        assert!((loaded.demand_fps() - 800.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pressure_path_selects_faster_model_than_arrivals_alone() {
+        let lib = library();
+        let base_fps = lib.unpruned().fixed.throughput_fps;
+        let mut by_rate = RuntimeManager::new(&lib, RuntimeConfig::default());
+        let mut by_pressure = RuntimeManager::new(&lib, RuntimeConfig::default());
+        // Arrivals alone fit the unpruned model; a deep backlog must push
+        // the pressure-driven manager to a faster entry.
+        let arrivals = base_fps * 0.9;
+        let relaxed = by_rate.decide(0.0, arrivals);
+        let pressed = by_pressure.decide_from_pressure(
+            0.0,
+            &PressureSignal {
+                arrival_fps_ewma: arrivals,
+                queue_depth: base_fps, // one full second of backlog
+                drain_target_s: 0.5,
+            },
+        );
+        assert_eq!(relaxed.entry_index, 0, "arrivals alone fit unpruned");
+        assert!(
+            pressed.throughput_fps > relaxed.throughput_fps,
+            "backlog must demand a faster model"
+        );
     }
 
     #[test]

@@ -247,6 +247,32 @@ mod tests {
     }
 
     #[test]
+    fn generated_fps_never_negative_even_past_full_deviation() {
+        // deviation > 1 can draw factors below zero; the clamp must floor
+        // every segment at 0 FPS (a negative rate would drain queues in the
+        // fluid simulator and corrupt arrival generation in the serve layer).
+        let spec = WorkloadSpec {
+            scenario: Scenario::Custom {
+                deviation: 2.0,
+                period_s: 0.5,
+            },
+            ..WorkloadSpec::paper_edge(Scenario::Stable)
+        };
+        let mut clamped = 0usize;
+        for seed in 0..32 {
+            for s in spec.generate(seed) {
+                assert!(s.fps >= 0.0, "negative fps {} at seed {seed}", s.fps);
+                if s.fps == 0.0 {
+                    clamped += 1;
+                }
+            }
+        }
+        // With ±200 % deviation, some draws must actually hit the clamp,
+        // otherwise this test exercises nothing.
+        assert!(clamped > 0, "no segment hit the zero floor");
+    }
+
+    #[test]
     fn custom_scenario_params() {
         let sc = Scenario::Custom {
             deviation: 0.1,

@@ -1,0 +1,128 @@
+//! Per-device arrival generation.
+//!
+//! Turns the piecewise-constant aggregate workload of
+//! [`adaflow_edge::WorkloadSpec`] into a timestamped request stream: each of
+//! the 20 IoT devices contributes an equal share of every segment's rate as
+//! a jittered quasi-periodic process (cameras emit frames on a nominal
+//! period, smeared by capture and network jitter). Generation is
+//! deterministic in the seed — the same seed that shapes the workload
+//! segments also shapes the per-device jitter, so one `(spec, seed)` pair
+//! pins the entire request trace bit-for-bit.
+
+use crate::request::Request;
+use adaflow_edge::WorkloadSpec;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Inter-arrival jitter: each gap is the nominal period scaled by
+/// `U(1 − JITTER, 1 + JITTER)`.
+pub const ARRIVAL_JITTER: f64 = 0.5;
+
+/// Generates the timestamped request trace for one seeded run.
+///
+/// Each device walks the workload segments emitting arrivals at its share
+/// of the segment rate (`segment.fps / devices`), with quasi-periodic
+/// jittered gaps. Segments with zero rate silence the device until the
+/// next active segment, where its phase is re-drawn uniformly inside one
+/// period. The merged trace is sorted by `(arrival, device)` and ids are
+/// assigned in that order.
+#[must_use]
+pub fn generate_requests(spec: &WorkloadSpec, seed: u64) -> Vec<Request> {
+    let segments = spec.generate(seed);
+    let devices = spec.devices.max(1);
+    let mut all: Vec<(f64, u32)> = Vec::new();
+    for device in 0..devices as u32 {
+        // A device-private stream, decorrelated from the segment-level rng
+        // and from every other device by a multiplicative mix of the index.
+        let mut rng = ChaCha8Rng::seed_from_u64(
+            seed ^ 0x5E12_7E5C ^ u64::from(device).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        let mut t = f64::NEG_INFINITY;
+        for seg in &segments {
+            let end = seg.start_s + seg.duration_s;
+            let rate = seg.fps / devices as f64;
+            if rate <= 0.0 {
+                continue;
+            }
+            let period = 1.0 / rate;
+            if t < seg.start_s {
+                // Fresh phase after a silent stretch (or at the start),
+                // uniform inside one period so devices don't phase-lock.
+                t = seg.start_s + period * rng.gen_range(0.0..=1.0);
+            }
+            while t < end {
+                all.push((t, device));
+                t += period * rng.gen_range(1.0 - ARRIVAL_JITTER..=1.0 + ARRIVAL_JITTER);
+            }
+        }
+    }
+    all.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    all.into_iter()
+        .enumerate()
+        .map(|(i, (arrival_s, device))| Request {
+            id: i as u64,
+            device,
+            arrival_s,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaflow_edge::Scenario;
+
+    #[test]
+    fn trace_is_sorted_with_sequential_ids() {
+        let spec = WorkloadSpec::paper_edge(Scenario::Shifting);
+        let reqs = generate_requests(&spec, 7);
+        assert!(!reqs.is_empty());
+        for (i, pair) in reqs.windows(2).enumerate() {
+            assert!(pair[0].arrival_s <= pair[1].arrival_s, "unsorted at {i}");
+        }
+        for (i, r) in reqs.iter().enumerate() {
+            assert_eq!(r.id, i as u64);
+            assert!((r.device as usize) < spec.devices);
+            assert!(r.arrival_s >= 0.0 && r.arrival_s < spec.duration_s);
+        }
+    }
+
+    #[test]
+    fn rate_matches_workload_within_jitter() {
+        let spec = WorkloadSpec::paper_edge(Scenario::Stable);
+        let reqs = generate_requests(&spec, 3);
+        // 600 FPS nominal over 25 s, deviation ±30 %: the request count must
+        // land inside the deviation envelope with slack for edge effects.
+        let n = reqs.len() as f64;
+        assert!((600.0 * 25.0 * 0.6..600.0 * 25.0 * 1.4).contains(&n), "{n}");
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let spec = WorkloadSpec::paper_edge(Scenario::Unpredictable);
+        assert_eq!(generate_requests(&spec, 11), generate_requests(&spec, 11));
+        assert_ne!(generate_requests(&spec, 11), generate_requests(&spec, 12));
+    }
+
+    #[test]
+    fn all_devices_contribute() {
+        let spec = WorkloadSpec::paper_edge(Scenario::Stable);
+        let reqs = generate_requests(&spec, 1);
+        let mut seen = vec![false; spec.devices];
+        for r in &reqs {
+            seen[r.device as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "silent device in a 30 FPS trace");
+    }
+
+    #[test]
+    fn zero_rate_workload_is_empty() {
+        let spec = WorkloadSpec {
+            devices: 4,
+            fps_per_device: 0.0,
+            duration_s: 10.0,
+            scenario: Scenario::Stable,
+        };
+        assert!(generate_requests(&spec, 1).is_empty());
+    }
+}

@@ -1,0 +1,596 @@
+//! The deterministic discrete-event serving engine.
+//!
+//! A single-server queueing system on a pure simulation clock: requests
+//! arrive per the generated trace, pass admission control into the bounded
+//! FIFO queue, get grouped by the dynamic batcher and served at the
+//! currently-loaded accelerator's throughput. Three event sources drive the
+//! loop — batch completions, batch closes and arrivals — processed in
+//! global time order with the tie priority *completion < close < arrival*
+//! (finish work before starting more, start work before accepting more).
+//!
+//! ## Batching
+//!
+//! A batch closes when the server is idle and either the queue holds
+//! `max_batch` requests or the oldest queued request has waited
+//! `max_wait_s`. The whole batch is served as one unit for
+//! `size / throughput_fps` seconds and completes at once — the granularity
+//! at which `adaflow_nn::BatchRunner` consumes work.
+//!
+//! ## Pressure-driven control
+//!
+//! At batch close (rate-limited to one consultation per
+//! `control_period_s`), the policy sees a [`PressureSignal`]: the EWMA of
+//! observed inter-arrival rates plus the backlog spread over the drain
+//! horizon. No oracle workload knowledge enters the loop.
+//!
+//! ## Drain, not drop
+//!
+//! Switch and reconfiguration stalls delay the *start* of the next batch;
+//! queued requests persist through them (they may shed later only by
+//! overflow, never by the switch itself), and an in-flight batch always
+//! completes under the state it started with — switches happen strictly
+//! between batches. At the end of the trace the engine keeps closing
+//! batches until the queue is empty, so every arrival is accounted for:
+//! `arrived == completed + shed` with nothing in flight.
+
+use crate::arrivals::generate_requests;
+use crate::config::ServeConfig;
+use crate::policy::ServePolicy;
+use crate::queue::{Admission, AdmissionQueue};
+use crate::request::{CompletedRequest, Request};
+use crate::summary::ServeSummary;
+use adaflow::PressureSignal;
+use adaflow_edge::{ServingState, WorkloadSpec};
+use adaflow_telemetry::{EventKind, LogHistogram, SinkHandle};
+
+/// Absolute slack for deadline and timer comparisons, seconds.
+const TIME_EPS: f64 = 1e-9;
+
+/// A batch in service.
+struct InFlight {
+    members: Vec<Request>,
+    close_s: f64,
+    start_s: f64,
+    service_s: f64,
+    done_s: f64,
+    accuracy: f64,
+}
+
+/// Which event source fires next (discriminant doubles as tie priority).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Next {
+    Completion = 0,
+    Close = 1,
+    Arrival = 2,
+}
+
+/// The serving engine: configuration plus an optional telemetry sink.
+#[derive(Debug, Clone, Default)]
+pub struct ServeEngine {
+    config: ServeConfig,
+    sink: SinkHandle,
+}
+
+impl ServeEngine {
+    /// Creates an engine over a serving configuration.
+    #[must_use]
+    pub fn new(config: ServeConfig) -> Self {
+        Self {
+            config,
+            sink: SinkHandle::default(),
+        }
+    }
+
+    /// Attaches a telemetry sink receiving the full request lifecycle
+    /// (`RequestEnqueued`, `BatchClosed`, `RequestCompleted`,
+    /// `RequestShed`).
+    #[must_use]
+    pub fn with_sink(mut self, sink: SinkHandle) -> Self {
+        self.sink = sink;
+        self
+    }
+
+    /// The engine's configuration.
+    #[must_use]
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Runs one seeded serving simulation to completion (trace exhausted
+    /// and queue drained) and returns the run summary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate (`max_batch == 0`,
+    /// non-positive `ewma_tau_s` or `drain_target_s`).
+    pub fn run(
+        &self,
+        spec: &WorkloadSpec,
+        seed: u64,
+        policy: &mut dyn ServePolicy,
+    ) -> ServeSummary {
+        let requests = generate_requests(spec, seed);
+        self.serve_trace(spec, &requests, policy)
+    }
+
+    /// Like [`run`](Self::run), but also returns the per-request latency
+    /// decomposition of every completed request (completion order).
+    pub fn run_detailed(
+        &self,
+        spec: &WorkloadSpec,
+        seed: u64,
+        policy: &mut dyn ServePolicy,
+    ) -> (ServeSummary, Vec<CompletedRequest>) {
+        let requests = generate_requests(spec, seed);
+        let mut details = Vec::new();
+        let summary = self.serve_loop(spec, &requests, policy, &mut details);
+        (summary, details)
+    }
+
+    fn serve_trace(
+        &self,
+        spec: &WorkloadSpec,
+        requests: &[Request],
+        policy: &mut dyn ServePolicy,
+    ) -> ServeSummary {
+        let mut sink_details = Vec::new();
+        self.serve_loop(spec, requests, policy, &mut sink_details)
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn serve_loop(
+        &self,
+        spec: &WorkloadSpec,
+        requests: &[Request],
+        policy: &mut dyn ServePolicy,
+        details: &mut Vec<CompletedRequest>,
+    ) -> ServeSummary {
+        let cfg = &self.config;
+        assert!(cfg.max_batch > 0, "max_batch must be positive");
+        assert!(cfg.ewma_tau_s > 0.0, "ewma_tau_s must be positive");
+        assert!(cfg.drain_target_s > 0.0, "drain_target_s must be positive");
+
+        let mut queue = AdmissionQueue::new(cfg.queue_capacity, cfg.overflow);
+        let mut busy: Option<InFlight> = None;
+        let mut state: Option<ServingState> = None;
+        let mut next_arrival = 0usize;
+        let mut now = 0.0f64;
+        let mut last_control = f64::NEG_INFINITY;
+
+        // Observed arrival-rate EWMA, seeded with the operator's nominal
+        // estimate (fleet size × per-device rate) until arrivals teach it.
+        let mut ewma = if cfg.initial_rate_fps > 0.0 {
+            cfg.initial_rate_fps
+        } else {
+            spec.nominal_fps()
+        };
+        let mut last_arrival_s: Option<f64> = None;
+
+        // Run accounting.
+        let mut arrived = 0u64;
+        let mut completed = 0u64;
+        let mut shed = 0u64;
+        let mut deadline_hits = 0u64;
+        let mut batches = 0u64;
+        let mut batched_requests = 0u64;
+        let mut model_switches = 0u64;
+        let mut flexible_switches = 0u64;
+        let mut reconfigurations = 0u64;
+        let mut stall_total_s = 0.0f64;
+        let mut queue_wait_sum = 0.0f64;
+        let mut batch_wait_sum = 0.0f64;
+        let mut service_sum = 0.0f64;
+        let mut latency_sum = 0.0f64;
+        let mut accuracy_sum = 0.0f64;
+        let mut latency = LogHistogram::latency_s();
+
+        loop {
+            // Candidate events; the close candidate exists only while the
+            // server is idle (batches form when it can accept work).
+            let t_completion = busy.as_ref().map(|b| b.done_s);
+            let t_close = if busy.is_none() {
+                queue.oldest_arrival_s().map(|oldest| {
+                    if queue.len() >= cfg.max_batch {
+                        now
+                    } else {
+                        (oldest + cfg.max_wait_s).max(now)
+                    }
+                })
+            } else {
+                None
+            };
+            let t_arrival = requests.get(next_arrival).map(|r| r.arrival_s);
+
+            let mut chosen: Option<(f64, Next)> = None;
+            for (t, kind) in [
+                (t_completion, Next::Completion),
+                (t_close, Next::Close),
+                (t_arrival, Next::Arrival),
+            ] {
+                if let Some(t) = t {
+                    let better = match chosen {
+                        None => true,
+                        Some((bt, _)) => t.total_cmp(&bt).is_lt(),
+                    };
+                    if better {
+                        chosen = Some((t, kind));
+                    }
+                }
+            }
+            let Some((t, kind)) = chosen else {
+                break; // trace exhausted, queue drained, server idle
+            };
+            now = t;
+
+            match kind {
+                Next::Completion => {
+                    let batch = busy.take().expect("completion implies in-flight batch");
+                    for member in &batch.members {
+                        let latency_s = now - member.arrival_s;
+                        let deadline_met = latency_s <= cfg.deadline_s + TIME_EPS;
+                        completed += 1;
+                        deadline_hits += u64::from(deadline_met);
+                        latency_sum += latency_s;
+                        queue_wait_sum += batch.close_s - member.arrival_s;
+                        batch_wait_sum += batch.start_s - batch.close_s;
+                        service_sum += batch.service_s;
+                        accuracy_sum += batch.accuracy;
+                        latency.record(latency_s);
+                        details.push(CompletedRequest {
+                            id: member.id,
+                            device: member.device,
+                            arrival_s: member.arrival_s,
+                            queue_wait_s: batch.close_s - member.arrival_s,
+                            batch_wait_s: batch.start_s - batch.close_s,
+                            service_s: batch.service_s,
+                            latency_s,
+                            deadline_met,
+                        });
+                        if self.sink.enabled() {
+                            self.sink.emit(
+                                now,
+                                EventKind::RequestCompleted {
+                                    id: member.id,
+                                    latency_s,
+                                    deadline_met,
+                                },
+                            );
+                        }
+                    }
+                }
+                Next::Close => {
+                    // Consult the policy at most once per control period;
+                    // the very first close must establish a state.
+                    let mut stall_s = 0.0;
+                    if state.is_none() || now - last_control >= cfg.control_period_s - TIME_EPS {
+                        let signal = PressureSignal {
+                            arrival_fps_ewma: ewma,
+                            queue_depth: queue.len() as f64,
+                            drain_target_s: cfg.drain_target_s,
+                        };
+                        let new_state = policy.on_pressure(now, &signal);
+                        if new_state.model_switched {
+                            model_switches += 1;
+                            if new_state.reconfigured {
+                                reconfigurations += 1;
+                            } else {
+                                flexible_switches += 1;
+                            }
+                        }
+                        stall_s = new_state.stall_s;
+                        stall_total_s += stall_s;
+                        state = Some(new_state);
+                        last_control = now;
+                    }
+                    let st = state.as_ref().expect("state established at first close");
+                    let members = queue.take_batch(cfg.max_batch);
+                    debug_assert!(!members.is_empty(), "close event with empty queue");
+                    let oldest_wait_s = now - members[0].arrival_s;
+                    if self.sink.enabled() {
+                        self.sink.emit(
+                            now,
+                            EventKind::BatchClosed {
+                                size: members.len() as u64,
+                                oldest_wait_s,
+                                model: st.model.clone(),
+                            },
+                        );
+                    }
+                    batches += 1;
+                    batched_requests += members.len() as u64;
+                    let start_s = now + stall_s;
+                    let service_s = members.len() as f64 / st.throughput_fps.max(1e-9);
+                    busy = Some(InFlight {
+                        close_s: now,
+                        start_s,
+                        service_s,
+                        done_s: start_s + service_s,
+                        accuracy: st.accuracy,
+                        members,
+                    });
+                }
+                Next::Arrival => {
+                    let request = requests[next_arrival];
+                    next_arrival += 1;
+                    arrived += 1;
+                    // Teach the EWMA the instantaneous rate implied by the
+                    // observed inter-arrival gap.
+                    if let Some(prev) = last_arrival_s {
+                        let dt = now - prev;
+                        if dt > 0.0 {
+                            let alpha = 1.0 - (-dt / cfg.ewma_tau_s).exp();
+                            ewma += alpha * (1.0 / dt - ewma);
+                        }
+                    }
+                    last_arrival_s = Some(now);
+
+                    let depth_before = queue.len() as u64;
+                    match queue.offer(request) {
+                        Admission::Enqueued { depth } => {
+                            if self.sink.enabled() {
+                                self.sink.emit(
+                                    now,
+                                    EventKind::RequestEnqueued {
+                                        id: request.id,
+                                        device: request.device,
+                                        queue_depth: depth,
+                                    },
+                                );
+                            }
+                        }
+                        Admission::Rejected => {
+                            shed += 1;
+                            if self.sink.enabled() {
+                                self.sink.emit(
+                                    now,
+                                    EventKind::RequestShed {
+                                        id: request.id,
+                                        reason: cfg.overflow.shed_reason().to_string(),
+                                        queue_depth: depth_before,
+                                    },
+                                );
+                            }
+                        }
+                        Admission::Displaced { victim, depth } => {
+                            shed += 1;
+                            if self.sink.enabled() {
+                                self.sink.emit(
+                                    now,
+                                    EventKind::RequestShed {
+                                        id: victim.id,
+                                        reason: cfg.overflow.shed_reason().to_string(),
+                                        queue_depth: depth_before,
+                                    },
+                                );
+                                self.sink.emit(
+                                    now,
+                                    EventKind::RequestEnqueued {
+                                        id: request.id,
+                                        device: request.device,
+                                        queue_depth: depth,
+                                    },
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        debug_assert_eq!(arrived, completed + shed, "request conservation");
+        debug_assert_eq!(
+            batched_requests, completed,
+            "every batched request completes"
+        );
+
+        let completed_f = completed as f64;
+        let arrived_f = arrived as f64;
+        ServeSummary {
+            policy: policy.name().to_string(),
+            arrived: arrived_f,
+            completed: completed_f,
+            shed: shed as f64,
+            deadline_hits: deadline_hits as f64,
+            deadline_hit_pct: 100.0 * deadline_hits as f64 / arrived_f.max(1.0),
+            shed_pct: 100.0 * shed as f64 / arrived_f.max(1.0),
+            latency_mean_s: latency_sum / completed_f.max(1.0),
+            latency_p50_s: latency.p50(),
+            latency_p95_s: latency.p95(),
+            latency_p99_s: latency.p99(),
+            queue_wait_mean_s: queue_wait_sum / completed_f.max(1.0),
+            batch_wait_mean_s: batch_wait_sum / completed_f.max(1.0),
+            service_mean_s: service_sum / completed_f.max(1.0),
+            batches: batches as f64,
+            mean_batch_size: batched_requests as f64 / (batches as f64).max(1.0),
+            model_switches: model_switches as f64,
+            flexible_switches: flexible_switches as f64,
+            reconfigurations: reconfigurations as f64,
+            stall_total_s,
+            mean_accuracy_pct: accuracy_sum / completed_f.max(1.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::OverflowPolicy;
+    use adaflow_dataflow::AcceleratorKind;
+    use adaflow_edge::Scenario;
+    use adaflow_hls::{PowerModel, ResourceEstimate};
+
+    /// A constant-throughput scripted policy.
+    struct ConstPolicy {
+        fps: f64,
+        stall_every: usize,
+        stall_s: f64,
+        calls: usize,
+    }
+
+    impl ConstPolicy {
+        fn new(fps: f64) -> Self {
+            Self {
+                fps,
+                stall_every: 0,
+                stall_s: 0.0,
+                calls: 0,
+            }
+        }
+    }
+
+    impl ServePolicy for ConstPolicy {
+        fn name(&self) -> &str {
+            "const"
+        }
+
+        fn on_pressure(&mut self, _now: f64, _signal: &PressureSignal) -> ServingState {
+            self.calls += 1;
+            let switch = self.stall_every > 0 && self.calls.is_multiple_of(self.stall_every);
+            ServingState {
+                throughput_fps: self.fps,
+                stall_s: if switch { self.stall_s } else { 0.0 },
+                accuracy: 80.0,
+                power: PowerModel::new(ResourceEstimate {
+                    lut: 50_000,
+                    ff: 50_000,
+                    bram36: 100,
+                    dsp: 0,
+                }),
+                activity: 1.0,
+                model: "const".into(),
+                accelerator: AcceleratorKind::Finn,
+                model_switched: switch,
+                reconfigured: switch,
+            }
+        }
+    }
+
+    fn small_spec() -> WorkloadSpec {
+        WorkloadSpec {
+            devices: 4,
+            fps_per_device: 25.0,
+            duration_s: 5.0,
+            scenario: Scenario::Stable,
+        }
+    }
+
+    #[test]
+    fn conservation_and_drain_hold() {
+        let engine = ServeEngine::new(ServeConfig::default());
+        let mut policy = ConstPolicy::new(500.0);
+        let s = engine.run(&small_spec(), 1, &mut policy);
+        assert!(s.arrived > 0.0);
+        assert!(s.conservation_holds());
+        assert_eq!(s.shed, 0.0, "ample capacity sheds nothing");
+        assert_eq!(s.completed, s.arrived);
+    }
+
+    #[test]
+    fn overload_sheds_and_misses() {
+        let engine = ServeEngine::new(ServeConfig {
+            queue_capacity: 8,
+            ..ServeConfig::default()
+        });
+        // 100 FPS offered, 20 FPS served: the queue must overflow.
+        let mut policy = ConstPolicy::new(20.0);
+        let s = engine.run(&small_spec(), 1, &mut policy);
+        assert!(s.conservation_holds());
+        assert!(s.shed > 0.0, "overload must shed");
+        assert!(s.deadline_hit_pct < 100.0);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let engine = ServeEngine::new(ServeConfig::default());
+        let a = engine.run(&small_spec(), 9, &mut ConstPolicy::new(300.0));
+        let b = engine.run(&small_spec(), 9, &mut ConstPolicy::new(300.0));
+        assert_eq!(a, b);
+        let c = engine.run(&small_spec(), 10, &mut ConstPolicy::new(300.0));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn stalls_count_into_batch_wait() {
+        let engine = ServeEngine::new(ServeConfig {
+            control_period_s: 0.0, // consult at every close
+            ..ServeConfig::default()
+        });
+        let mut policy = ConstPolicy::new(500.0);
+        policy.stall_every = 3;
+        policy.stall_s = 0.05;
+        let (s, details) = engine.run_detailed(&small_spec(), 2, &mut policy);
+        assert!(s.reconfigurations > 0.0);
+        assert!(s.stall_total_s > 0.0);
+        assert!(
+            details.iter().any(|d| d.batch_wait_s > 0.04),
+            "stalled batches must surface in batch_wait"
+        );
+        // Decomposition adds up.
+        for d in &details {
+            let total = d.queue_wait_s + d.batch_wait_s + d.service_s;
+            assert!((total - d.latency_s).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn batches_respect_max_size_and_wait() {
+        let cfg = ServeConfig {
+            max_batch: 4,
+            max_wait_s: 0.01,
+            ..ServeConfig::default()
+        };
+        let engine = ServeEngine::new(cfg);
+        let (s, details) = engine.run_detailed(&small_spec(), 3, &mut ConstPolicy::new(400.0));
+        assert!(s.mean_batch_size <= 4.0 + 1e-9);
+        // No request waits in the queue much past max_wait when the server
+        // keeps up (service of a full batch is 10 ms at 400 FPS).
+        let worst_wait = details.iter().map(|d| d.queue_wait_s).fold(0.0, f64::max);
+        assert!(worst_wait < 0.05, "worst queue wait {worst_wait}");
+    }
+
+    #[test]
+    fn telemetry_lifecycle_is_complete() {
+        let (sink, recorder) = SinkHandle::recorder(1 << 16);
+        let engine = ServeEngine::new(ServeConfig::default()).with_sink(sink);
+        let s = engine.run(&small_spec(), 4, &mut ConstPolicy::new(500.0));
+        let events = recorder.drain();
+        let enq = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::RequestEnqueued { .. }))
+            .count() as f64;
+        let done = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::RequestCompleted { .. }))
+            .count() as f64;
+        assert_eq!(enq, s.arrived - s.shed);
+        assert_eq!(done, s.completed);
+    }
+
+    #[test]
+    fn empty_workload_yields_zero_summary() {
+        let spec = WorkloadSpec {
+            devices: 2,
+            fps_per_device: 0.0,
+            duration_s: 5.0,
+            scenario: Scenario::Stable,
+        };
+        let engine = ServeEngine::new(ServeConfig::default());
+        let s = engine.run(&spec, 1, &mut ConstPolicy::new(100.0));
+        assert_eq!(s.arrived, 0.0);
+        assert_eq!(s.completed, 0.0);
+        assert!(s.conservation_holds());
+    }
+
+    #[test]
+    fn shed_oldest_keeps_newest_work() {
+        let engine = ServeEngine::new(ServeConfig {
+            queue_capacity: 8,
+            overflow: OverflowPolicy::ShedOldest,
+            ..ServeConfig::default()
+        });
+        let mut policy = ConstPolicy::new(20.0);
+        let s = engine.run(&small_spec(), 1, &mut policy);
+        assert!(s.conservation_holds());
+        assert!(s.shed > 0.0);
+    }
+}

@@ -1,0 +1,444 @@
+//! Pressure-driven serving policies.
+//!
+//! The fluid simulator hands its policies the workload's *nominal* rate —
+//! an oracle a real server does not have. The serving layer instead derives
+//! a [`PressureSignal`] from what it can observe (arrival EWMA plus queue
+//! backlog) and consults one of three policies:
+//!
+//! * [`AdaFlowServePolicy`] — the full Runtime Manager, driven through
+//!   [`RuntimeManager::decide_from_pressure`]: fixed *and* flexible
+//!   accelerators, hysteresis, reconfiguration stalls;
+//! * [`FixedMaxPolicy`] — the static FINN baseline: the unpruned
+//!   max-accuracy model on its fixed accelerator, loaded once, never
+//!   switched;
+//! * [`FlexibleOnlyPolicy`] — pinned to the flexible fabric: model
+//!   switches are weight reloads over the PS-PL bus, never a
+//!   reconfiguration.
+//!
+//! All three return the shared [`ServingState`] so the engine, metrics and
+//! telemetry treat them uniformly.
+
+use adaflow::{Library, PressureSignal, RuntimeConfig, RuntimeManager, SwitchKind};
+use adaflow_dataflow::AcceleratorKind;
+use adaflow_edge::ServingState;
+
+/// A serving policy consulted with observed pressure instead of oracle
+/// workload knowledge.
+pub trait ServePolicy {
+    /// Policy display name (stable; used in summaries and the CLI).
+    fn name(&self) -> &str;
+
+    /// Reacts to the pressure observed at `now_s`, returning the serving
+    /// state to run the next batches under.
+    fn on_pressure(&mut self, now_s: f64, signal: &PressureSignal) -> ServingState;
+}
+
+/// The full AdaFlow Runtime Manager under pressure drive, with an optional
+/// deadline-aware reconfiguration guard.
+///
+/// The fluid simulator applies every manager decision the instant it is
+/// made; at request granularity that is wrong, because a reconfiguration
+/// stall taken while the queue is deep pushes every queued request past its
+/// deadline. With a deadline configured (see [`Self::with_deadline`]), the
+/// policy separates the manager's *target* from the *live* fabric state:
+///
+/// * capacity **upgrades** (higher throughput than the live state) are
+///   applied immediately — they are what drains the backlog;
+/// * any other switch is **deferred** unless it is deadline-safe: the
+///   target must keep throughput headroom over demanded service rate (a
+///   tier sized exactly to the current rate becomes a backlog trap on the
+///   next rate jump), and the stall plus the backlog drain at the new rate
+///   must fit inside the deadline;
+/// * if the manager's target reverts to the live state before a safe
+///   window opens (a transient lull), the stall is never paid at all.
+///
+/// Transition costs are always charged against the fabric state that is
+/// physically live, not against the manager's bookkeeping, so a deferred
+/// decision cannot turn a fabric change into a free weight reload.
+#[derive(Debug, Clone)]
+pub struct AdaFlowServePolicy<'l> {
+    library: &'l Library,
+    manager: RuntimeManager<'l>,
+    config: RuntimeConfig,
+    deadline_s: Option<f64>,
+    /// The serving state physically live on the fabric (flags and stall
+    /// zeroed); `None` until the first consult.
+    applied: Option<ServingState>,
+    /// Decayed peak of demanded service rate — what a capacity decision
+    /// must stay safe against, since reversing it costs another stall.
+    peak_demand_fps: f64,
+    last_consult_s: f64,
+}
+
+impl<'l> AdaFlowServePolicy<'l> {
+    /// Creates the policy from a library and runtime configuration. Without
+    /// [`Self::with_deadline`], every manager decision is applied
+    /// immediately, exactly like the fluid simulator.
+    #[must_use]
+    pub fn new(library: &'l Library, config: RuntimeConfig) -> Self {
+        Self {
+            library,
+            manager: RuntimeManager::new(library, config.clone()),
+            config,
+            deadline_s: None,
+            applied: None,
+            peak_demand_fps: 0.0,
+            last_consult_s: 0.0,
+        }
+    }
+
+    /// Enables the deadline-aware reconfiguration guard for requests with
+    /// the given end-to-end deadline.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline_s: f64) -> Self {
+        self.deadline_s = (deadline_s > 0.0).then_some(deadline_s);
+        self
+    }
+
+    /// The decision's serving state with the *physical* transition cost
+    /// from `applied` (not the manager's internal books, which may have
+    /// drifted ahead while decisions were deferred).
+    fn target_state(&self, entry_index: usize, accelerator: AcceleratorKind) -> ServingState {
+        let entry = &self.library.entries()[entry_index];
+        let (power, activity, throughput_fps) = match accelerator {
+            AcceleratorKind::FlexiblePruning => (
+                self.library.flexible.power,
+                entry.flexible_activity,
+                entry.flexible_fps,
+            ),
+            _ => (entry.fixed.power, 1.0, entry.fixed.throughput_fps),
+        };
+        let mut state = ServingState {
+            throughput_fps,
+            stall_s: 0.0,
+            accuracy: entry.accuracy,
+            power,
+            activity,
+            model: entry.name.clone(),
+            accelerator,
+            model_switched: false,
+            reconfigured: false,
+        };
+        let Some(live) = &self.applied else {
+            // First load: the image is assumed resident when the serving
+            // window opens, like every policy in the stack.
+            return state;
+        };
+        if live.model == state.model && live.accelerator == state.accelerator {
+            return state;
+        }
+        state.model_switched = true;
+        if live.accelerator == AcceleratorKind::FlexiblePruning
+            && accelerator == AcceleratorKind::FlexiblePruning
+        {
+            // Same flexible fabric: stream the new weights over the bus.
+            state.stall_s =
+                entry.weight_bits as f64 / 8.0 / self.config.weight_bus_bytes_per_second;
+        } else {
+            // Any fabric change loads the target bitstream.
+            let bitstream = match accelerator {
+                AcceleratorKind::FlexiblePruning => &self.library.flexible.bitstream,
+                _ => &entry.fixed.bitstream,
+            };
+            state.stall_s = self
+                .config
+                .reconfig
+                .reconfiguration_time(bitstream)
+                .as_secs_f64();
+            state.reconfigured = true;
+        }
+        state
+    }
+}
+
+/// Throughput headroom a non-upgrade switch must keep over the demand peak
+/// before the guard lets capacity go: a tier sized to the current rate is
+/// a backlog trap the moment the rate jumps again.
+const SWITCH_HEADROOM: f64 = 1.15;
+
+/// Decay horizon of the peak-demand tracker, seconds — roughly how long a
+/// capacity decision stays binding (reversing it costs another stall).
+const PEAK_WINDOW_S: f64 = 10.0;
+
+/// Throughput gain factor above which a switch counts as a capacity
+/// upgrade and bypasses the deadline guard.
+const UPGRADE_MARGIN: f64 = 1.05;
+
+/// Whether taking `state` now is deadline-safe: the target must keep
+/// [`SWITCH_HEADROOM`] over the recent demand *peak* (the EWMA alone is
+/// blind to the rate jumping back within the decision's lifetime), and the
+/// worst-case wait — the head of the queue rides out the whole stall and
+/// then drains at the *new* rate — must fit inside the deadline.
+fn deadline_safe(
+    state: &ServingState,
+    signal: &PressureSignal,
+    peak_demand_fps: f64,
+    deadline_s: f64,
+) -> bool {
+    let new_fps = state.throughput_fps.max(1.0);
+    if new_fps < SWITCH_HEADROOM * signal.demand_fps().max(peak_demand_fps) {
+        return false;
+    }
+    state.stall_s + signal.queue_depth / new_fps <= deadline_s
+}
+
+impl ServePolicy for AdaFlowServePolicy<'_> {
+    fn name(&self) -> &str {
+        "adaflow"
+    }
+
+    fn on_pressure(&mut self, now_s: f64, signal: &PressureSignal) -> ServingState {
+        let dt = (now_s - self.last_consult_s).max(0.0);
+        self.last_consult_s = now_s;
+        self.peak_demand_fps =
+            (self.peak_demand_fps * (-dt / PEAK_WINDOW_S).exp()).max(signal.demand_fps());
+        let decision = self.manager.decide_from_pressure(now_s, signal);
+        debug_assert!(
+            decision.switch == SwitchKind::None || decision.stall_s >= 0.0,
+            "manager stalls are non-negative"
+        );
+        let state = self.target_state(decision.entry_index, decision.accelerator);
+        let steady = |s: &ServingState| ServingState {
+            stall_s: 0.0,
+            model_switched: false,
+            reconfigured: false,
+            ..s.clone()
+        };
+        if let (Some(deadline), Some(live)) = (self.deadline_s, &self.applied) {
+            // A fabric-only move for the model already being served is
+            // strictly dominated: identical accuracy, near-identical
+            // throughput, and a full reconfiguration stall.
+            if state.reconfigured && state.model == live.model {
+                return steady(live);
+            }
+            // Only a material capacity gain justifies stalling without the
+            // safety check; marginal "upgrades" (e.g. the ~0.5 % fixed-vs-
+            // flexible gap) go through the guard like any other switch.
+            let upgrade = state.throughput_fps > live.throughput_fps * UPGRADE_MARGIN;
+            if !upgrade && !deadline_safe(&state, signal, self.peak_demand_fps, deadline) {
+                return steady(live);
+            }
+        }
+        self.applied = Some(steady(&state));
+        state
+    }
+}
+
+/// The static baseline: the unpruned maximum-accuracy model on the original
+/// FINN accelerator, resident for the whole run.
+#[derive(Debug, Clone)]
+pub struct FixedMaxPolicy<'l> {
+    library: &'l Library,
+}
+
+impl<'l> FixedMaxPolicy<'l> {
+    /// Creates the baseline over a library (uses only its baseline
+    /// accelerator and unpruned accuracy).
+    #[must_use]
+    pub fn new(library: &'l Library) -> Self {
+        Self { library }
+    }
+}
+
+impl ServePolicy for FixedMaxPolicy<'_> {
+    fn name(&self) -> &str {
+        "fixed-max"
+    }
+
+    fn on_pressure(&mut self, _now_s: f64, _signal: &PressureSignal) -> ServingState {
+        let baseline = &self.library.baseline;
+        ServingState {
+            throughput_fps: baseline.throughput_fps,
+            stall_s: 0.0,
+            accuracy: self.library.base_accuracy(),
+            power: baseline.power,
+            activity: 1.0,
+            model: self.library.initial_model.clone(),
+            accelerator: AcceleratorKind::Finn,
+            model_switched: false,
+            reconfigured: false,
+        }
+    }
+}
+
+/// Model switching pinned to the flexible fabric: every switch streams new
+/// weights over the PS-PL bus (fast, but the fabric's worst-case sizing
+/// costs throughput on every model).
+#[derive(Debug, Clone)]
+pub struct FlexibleOnlyPolicy<'l> {
+    library: &'l Library,
+    manager: RuntimeManager<'l>,
+    bus_bytes_per_second: f64,
+    current: Option<usize>,
+}
+
+impl<'l> FlexibleOnlyPolicy<'l> {
+    /// Creates the policy; model selection reuses the Runtime Manager's
+    /// accuracy-threshold logic restricted to the flexible fabric.
+    #[must_use]
+    pub fn new(library: &'l Library, config: RuntimeConfig) -> Self {
+        let bus = config.weight_bus_bytes_per_second;
+        Self {
+            library,
+            manager: RuntimeManager::new(library, config),
+            bus_bytes_per_second: bus,
+            current: None,
+        }
+    }
+
+    /// Worst-case weight-reload stall over this library, seconds.
+    #[must_use]
+    pub fn worst_stall_s(&self) -> f64 {
+        self.library
+            .entries()
+            .iter()
+            .map(|e| e.weight_bits as f64 / 8.0 / self.bus_bytes_per_second)
+            .fold(0.0, f64::max)
+    }
+}
+
+impl ServePolicy for FlexibleOnlyPolicy<'_> {
+    fn name(&self) -> &str {
+        "flexible-only"
+    }
+
+    fn on_pressure(&mut self, _now_s: f64, signal: &PressureSignal) -> ServingState {
+        let idx = self
+            .manager
+            .select_model(signal.demand_fps(), AcceleratorKind::FlexiblePruning);
+        let entry = &self.library.entries()[idx];
+        // First load is resident; later switches stream weight_bits over
+        // the bus while service stalls.
+        let switched = self.current.is_some() && self.current != Some(idx);
+        let stall_s = if switched {
+            entry.weight_bits as f64 / 8.0 / self.bus_bytes_per_second
+        } else {
+            0.0
+        };
+        self.current = Some(idx);
+        ServingState {
+            throughput_fps: entry.flexible_fps,
+            stall_s,
+            accuracy: entry.accuracy,
+            power: self.library.flexible.power,
+            activity: entry.flexible_activity,
+            model: entry.name.clone(),
+            accelerator: AcceleratorKind::FlexiblePruning,
+            model_switched: switched,
+            reconfigured: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaflow::LibraryGenerator;
+    use adaflow_model::prelude::*;
+    use adaflow_nn::DatasetKind;
+
+    fn library() -> Library {
+        LibraryGenerator::default_edge_setup()
+            .generate(
+                topology::cnv_w2a2_cifar10().expect("builds"),
+                DatasetKind::Cifar10,
+            )
+            .expect("generates")
+    }
+
+    fn signal(rate: f64, depth: f64) -> PressureSignal {
+        PressureSignal {
+            arrival_fps_ewma: rate,
+            queue_depth: depth,
+            drain_target_s: 0.5,
+        }
+    }
+
+    #[test]
+    fn fixed_max_never_switches() {
+        let lib = library();
+        let mut p = FixedMaxPolicy::new(&lib);
+        let a = p.on_pressure(0.0, &signal(100.0, 0.0));
+        let b = p.on_pressure(5.0, &signal(2000.0, 200.0));
+        assert_eq!(a, b);
+        assert!(!b.model_switched);
+        assert_eq!(b.accelerator, AcceleratorKind::Finn);
+    }
+
+    #[test]
+    fn flexible_only_stays_on_flexible_fabric() {
+        let lib = library();
+        let mut p = FlexibleOnlyPolicy::new(&lib, RuntimeConfig::default());
+        let low = p.on_pressure(0.0, &signal(100.0, 0.0));
+        let high = p.on_pressure(1.0, &signal(900.0, 100.0));
+        assert_eq!(low.accelerator, AcceleratorKind::FlexiblePruning);
+        assert_eq!(high.accelerator, AcceleratorKind::FlexiblePruning);
+        assert!(!high.reconfigured, "flexible switches never reconfigure");
+        if high.model_switched {
+            assert!(high.stall_s > 0.0, "weight reload takes bus time");
+            assert!(high.stall_s < 0.05, "weight reload must be fast");
+        }
+        assert!(p.worst_stall_s() > 0.0);
+    }
+
+    #[test]
+    fn adaflow_backlog_escalates_model_choice() {
+        let lib = library();
+        let mut a = AdaFlowServePolicy::new(&lib, RuntimeConfig::default());
+        let mut b = AdaFlowServePolicy::new(&lib, RuntimeConfig::default());
+        let calm = a.on_pressure(0.0, &signal(430.0, 0.0));
+        // Same arrival rate but a deep backlog: pressure demands drain
+        // capacity, so the selected model must be at least as fast.
+        let pressed = b.on_pressure(0.0, &signal(430.0, 200.0));
+        assert!(pressed.throughput_fps >= calm.throughput_fps);
+    }
+
+    #[test]
+    fn adaflow_first_load_is_free() {
+        let lib = library();
+        let mut p = AdaFlowServePolicy::new(&lib, RuntimeConfig::default());
+        let s = p.on_pressure(0.0, &signal(600.0, 0.0));
+        assert_eq!(s.stall_s, 0.0);
+        assert!(!s.model_switched);
+    }
+
+    #[test]
+    fn deadline_guard_blocks_downswitch_under_recent_peak() {
+        let lib = library();
+        let mut p = AdaFlowServePolicy::new(&lib, RuntimeConfig::default()).with_deadline(0.25);
+        // High demand pins a fast tier; a brief lull must NOT give the
+        // capacity back — the decayed peak says the rate can jump again
+        // within the decision's lifetime.
+        let fast = p.on_pressure(0.0, &signal(620.0, 10.0));
+        let lull = p.on_pressure(0.5, &signal(380.0, 0.0));
+        assert_eq!(lull.model, fast.model, "capacity surrendered in a lull");
+        assert_eq!(lull.stall_s, 0.0);
+        assert!(!lull.model_switched);
+        assert!(!lull.reconfigured);
+    }
+
+    #[test]
+    fn deadline_guard_lets_capacity_upgrades_through() {
+        let lib = library();
+        let mut p = AdaFlowServePolicy::new(&lib, RuntimeConfig::default()).with_deadline(0.25);
+        let low = p.on_pressure(0.0, &signal(430.0, 0.0));
+        // Demand far beyond the live tier: the upgrade must apply
+        // immediately, stall and all.
+        let high = p.on_pressure(0.5, &signal(900.0, 150.0));
+        assert!(high.throughput_fps > low.throughput_fps);
+        assert!(high.model_switched);
+        assert!(high.stall_s > 0.0, "a real fabric change costs a stall");
+    }
+
+    #[test]
+    fn unguarded_policy_applies_manager_decisions_directly() {
+        let lib = library();
+        let mut p = AdaFlowServePolicy::new(&lib, RuntimeConfig::default());
+        let fast = p.on_pressure(0.0, &signal(620.0, 10.0));
+        // Without a deadline the lull decision is applied as decided, like
+        // the fluid simulator would.
+        let lull = p.on_pressure(0.5, &signal(380.0, 0.0));
+        assert_ne!(lull.model, fast.model, "manager adapts on the lull");
+        assert!(lull.model_switched);
+    }
+}

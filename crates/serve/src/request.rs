@@ -1,0 +1,79 @@
+//! The request model: what arrives, what leaves.
+//!
+//! The fluid simulator in `adaflow-edge` conserves *frame mass*; this layer
+//! conserves *individual requests*. Every request is identified by a
+//! monotonic id assigned at generation time, so loss and duplication are
+//! detectable invariant violations rather than rounding noise.
+
+use serde::{Deserialize, Serialize};
+
+/// One inference request offered by an IoT device.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Monotonic id, unique within one serving run and assigned in global
+    /// arrival order (ties broken by device index).
+    pub id: u64,
+    /// Originating device index, `0..devices`.
+    pub device: u32,
+    /// Arrival instant on the simulation clock, seconds.
+    pub arrival_s: f64,
+}
+
+/// Per-request latency decomposition of a completed request.
+///
+/// `latency_s == queue_wait_s + batch_wait_s + service_s` up to floating
+/// point: time in the admission queue until the batch closed, time from
+/// batch close to service start (the reconfiguration / weight-reload stall
+/// charged to the batch), and time being served.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CompletedRequest {
+    /// The request id assigned at generation time.
+    pub id: u64,
+    /// Originating device index.
+    pub device: u32,
+    /// Arrival instant, seconds.
+    pub arrival_s: f64,
+    /// Time spent queued before the dynamic batcher closed its batch.
+    pub queue_wait_s: f64,
+    /// Time between batch close and service start (switch stalls).
+    pub batch_wait_s: f64,
+    /// Time being served as part of its batch.
+    pub service_s: f64,
+    /// End-to-end sojourn time, arrival to completion.
+    pub latency_s: f64,
+    /// Whether the sojourn fit inside the deadline budget.
+    pub deadline_met: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip_through_json() {
+        let r = Request {
+            id: 42,
+            device: 7,
+            arrival_s: 1.25,
+        };
+        let text = serde_json::to_string(&r).expect("serializes");
+        let back: Request = serde_json::from_str(&text).expect("parses");
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn completed_request_decomposition_is_consistent() {
+        let c = CompletedRequest {
+            id: 1,
+            device: 0,
+            arrival_s: 0.0,
+            queue_wait_s: 0.01,
+            batch_wait_s: 0.0,
+            service_s: 0.02,
+            latency_s: 0.03,
+            deadline_met: true,
+        };
+        let total = c.queue_wait_s + c.batch_wait_s + c.service_s;
+        assert!((total - c.latency_s).abs() < 1e-12);
+    }
+}

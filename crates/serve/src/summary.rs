@@ -1,0 +1,164 @@
+//! Run summaries: the serving-layer counterpart of `RunMetrics`.
+
+use serde::{Deserialize, Serialize};
+
+/// Aggregated outcome of one serving run (or the field-wise mean of many).
+///
+/// Counts are `f64` so multi-run means stay exact in field order (the same
+/// convention as `adaflow_edge::RunMetrics`); a single run always holds
+/// integral values. Conservation `arrived == completed + shed` holds at the
+/// end of every run — the engine drains its queue before returning.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeSummary {
+    /// Policy that produced the run.
+    pub policy: String,
+    /// Requests offered by the workload.
+    pub arrived: f64,
+    /// Requests served to completion.
+    pub completed: f64,
+    /// Requests shed by admission control.
+    pub shed: f64,
+    /// Completed requests that met the deadline.
+    pub deadline_hits: f64,
+    /// Deadline hits as a percentage of *arrived* requests (a shed request
+    /// is a miss — the client got nothing).
+    pub deadline_hit_pct: f64,
+    /// Shed requests as a percentage of arrivals.
+    pub shed_pct: f64,
+    /// Mean end-to-end latency over completed requests, seconds.
+    pub latency_mean_s: f64,
+    /// Median end-to-end latency, seconds.
+    pub latency_p50_s: f64,
+    /// 95th-percentile end-to-end latency, seconds.
+    pub latency_p95_s: f64,
+    /// 99th-percentile end-to-end latency, seconds.
+    pub latency_p99_s: f64,
+    /// Mean time in the admission queue before batch close, seconds.
+    pub queue_wait_mean_s: f64,
+    /// Mean time between batch close and service start (stalls), seconds.
+    pub batch_wait_mean_s: f64,
+    /// Mean service time, seconds.
+    pub service_mean_s: f64,
+    /// Batches closed.
+    pub batches: f64,
+    /// Mean batch size, requests.
+    pub mean_batch_size: f64,
+    /// Model switches performed by the policy.
+    pub model_switches: f64,
+    /// Model switches served by the flexible fabric (weight reloads).
+    pub flexible_switches: f64,
+    /// Full FPGA reconfigurations.
+    pub reconfigurations: f64,
+    /// Total service suspension charged by switches, seconds.
+    pub stall_total_s: f64,
+    /// Request-weighted mean TOP-1 accuracy of the serving models, percent.
+    pub mean_accuracy_pct: f64,
+}
+
+impl ServeSummary {
+    /// Field-wise mean over per-seed runs (policy label from the first).
+    ///
+    /// Returns `None` on an empty slice. Percentile fields average the
+    /// per-run percentiles — the fleet-operator view (expected per-run tail),
+    /// not a pooled percentile.
+    #[must_use]
+    pub fn mean(runs: &[Self]) -> Option<Self> {
+        let first = runs.first()?;
+        let n = runs.len() as f64;
+        let avg = |field: fn(&Self) -> f64| runs.iter().map(field).sum::<f64>() / n;
+        Some(Self {
+            policy: first.policy.clone(),
+            arrived: avg(|r| r.arrived),
+            completed: avg(|r| r.completed),
+            shed: avg(|r| r.shed),
+            deadline_hits: avg(|r| r.deadline_hits),
+            deadline_hit_pct: avg(|r| r.deadline_hit_pct),
+            shed_pct: avg(|r| r.shed_pct),
+            latency_mean_s: avg(|r| r.latency_mean_s),
+            latency_p50_s: avg(|r| r.latency_p50_s),
+            latency_p95_s: avg(|r| r.latency_p95_s),
+            latency_p99_s: avg(|r| r.latency_p99_s),
+            queue_wait_mean_s: avg(|r| r.queue_wait_mean_s),
+            batch_wait_mean_s: avg(|r| r.batch_wait_mean_s),
+            service_mean_s: avg(|r| r.service_mean_s),
+            batches: avg(|r| r.batches),
+            mean_batch_size: avg(|r| r.mean_batch_size),
+            model_switches: avg(|r| r.model_switches),
+            flexible_switches: avg(|r| r.flexible_switches),
+            reconfigurations: avg(|r| r.reconfigurations),
+            stall_total_s: avg(|r| r.stall_total_s),
+            mean_accuracy_pct: avg(|r| r.mean_accuracy_pct),
+        })
+    }
+
+    /// Whether request conservation holds: every arrival is accounted for
+    /// as a completion or a shed.
+    #[must_use]
+    pub fn conservation_holds(&self) -> bool {
+        (self.arrived - self.completed - self.shed).abs() < 1e-6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(x: f64) -> ServeSummary {
+        ServeSummary {
+            policy: "adaflow".into(),
+            arrived: 100.0 + x,
+            completed: 90.0 + x,
+            shed: 10.0,
+            deadline_hits: 80.0,
+            deadline_hit_pct: 80.0,
+            shed_pct: 10.0,
+            latency_mean_s: 0.05 * (1.0 + x),
+            latency_p50_s: 0.04,
+            latency_p95_s: 0.09,
+            latency_p99_s: 0.12,
+            queue_wait_mean_s: 0.02,
+            batch_wait_mean_s: 0.001,
+            service_mean_s: 0.03,
+            batches: 10.0,
+            mean_batch_size: 9.0 + x,
+            model_switches: 3.0,
+            flexible_switches: 2.0,
+            reconfigurations: 1.0,
+            stall_total_s: 0.145,
+            mean_accuracy_pct: 84.2,
+        }
+    }
+
+    #[test]
+    fn mean_averages_field_wise() {
+        let m = ServeSummary::mean(&[sample(0.0), sample(2.0)]).expect("nonempty");
+        assert_eq!(m.arrived, 101.0);
+        assert_eq!(m.completed, 91.0);
+        assert_eq!(m.mean_batch_size, 10.0);
+        assert_eq!(m.policy, "adaflow");
+    }
+
+    #[test]
+    fn mean_of_empty_is_none() {
+        assert!(ServeSummary::mean(&[]).is_none());
+    }
+
+    #[test]
+    fn conservation_check() {
+        let ok = sample(0.0);
+        assert!(ok.conservation_holds());
+        let bad = ServeSummary {
+            completed: 50.0,
+            ..sample(0.0)
+        };
+        assert!(!bad.conservation_holds());
+    }
+
+    #[test]
+    fn summary_round_trips_through_json() {
+        let s = sample(1.0);
+        let text = serde_json::to_string(&s).expect("serializes");
+        let back: ServeSummary = serde_json::from_str(&text).expect("parses");
+        assert_eq!(s, back);
+    }
+}

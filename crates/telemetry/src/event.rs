@@ -73,6 +73,44 @@ pub enum EventKind {
     SpanBegin { name: String },
     /// End of a named interval.
     SpanEnd { name: String },
+    /// A request was admitted into the serving queue (request-level mode).
+    RequestEnqueued {
+        /// Monotonic request id, unique within one serving run.
+        id: u64,
+        /// Originating IoT device index.
+        device: u32,
+        /// Queue occupancy after admission, requests.
+        queue_depth: u64,
+    },
+    /// The dynamic batcher closed a batch and handed it to the accelerator.
+    BatchClosed {
+        /// Number of requests in the batch.
+        size: u64,
+        /// How long the oldest request of the batch waited in the queue,
+        /// seconds.
+        oldest_wait_s: f64,
+        /// Model serving the batch.
+        model: String,
+    },
+    /// A request finished service (request-level mode).
+    RequestCompleted {
+        /// The request id assigned at generation time.
+        id: u64,
+        /// End-to-end sojourn (arrival to completion), seconds.
+        latency_s: f64,
+        /// Whether the request completed within its deadline budget.
+        deadline_met: bool,
+    },
+    /// A request was shed by admission control (request-level mode).
+    RequestShed {
+        /// The request id assigned at generation time.
+        id: u64,
+        /// Why it was shed (`"queue-full"`, `"shed-oldest"`,
+        /// `"shed-newest"`).
+        reason: String,
+        /// Queue occupancy at the shed decision, requests.
+        queue_depth: u64,
+    },
 }
 
 impl EventKind {
@@ -92,6 +130,10 @@ impl EventKind {
             EventKind::SynthReport { .. } => "synth_report",
             EventKind::SpanBegin { .. } => "span",
             EventKind::SpanEnd { .. } => "span",
+            EventKind::RequestEnqueued { .. } => "request_enqueued",
+            EventKind::BatchClosed { .. } => "batch_closed",
+            EventKind::RequestCompleted { .. } => "request_completed",
+            EventKind::RequestShed { .. } => "request_shed",
         }
     }
 }
@@ -139,5 +181,57 @@ mod tests {
     fn labels_are_stable() {
         assert_eq!(EventKind::QueueDepth { frames: 1.0 }.label(), "queue_depth");
         assert_eq!(EventKind::SpanBegin { name: "x".into() }.label(), "span");
+        assert_eq!(
+            EventKind::RequestShed {
+                id: 1,
+                reason: "queue-full".into(),
+                queue_depth: 64,
+            }
+            .label(),
+            "request_shed"
+        );
+    }
+
+    #[test]
+    fn request_lifecycle_events_round_trip() {
+        let events = vec![
+            Event::new(
+                0.1,
+                EventKind::RequestEnqueued {
+                    id: 17,
+                    device: 3,
+                    queue_depth: 5,
+                },
+            ),
+            Event::new(
+                0.2,
+                EventKind::BatchClosed {
+                    size: 16,
+                    oldest_wait_s: 0.012,
+                    model: "cnv_p25".into(),
+                },
+            ),
+            Event::new(
+                0.25,
+                EventKind::RequestCompleted {
+                    id: 17,
+                    latency_s: 0.15,
+                    deadline_met: true,
+                },
+            ),
+            Event::new(
+                0.3,
+                EventKind::RequestShed {
+                    id: 18,
+                    reason: "shed-oldest".into(),
+                    queue_depth: 256,
+                },
+            ),
+        ];
+        for e in &events {
+            let text = serde_json::to_string(e).expect("serializes");
+            let back: Event = serde_json::from_str(&text).expect("parses");
+            assert_eq!(*e, back);
+        }
     }
 }

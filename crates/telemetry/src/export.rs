@@ -219,6 +219,47 @@ pub fn to_chrome_trace(events: &[Event]) -> Vec<ChromeTraceEvent> {
                 tid: LANE_SERVING,
                 args: BTreeMap::new(),
             }),
+            // Per-request enqueue/complete events would flood the timeline
+            // the same way FrameArrived does; the request lifecycle is
+            // visible through the batch_closed instants, the queue_depth
+            // counter and the shed instants.
+            EventKind::RequestEnqueued { .. } | EventKind::RequestCompleted { .. } => {}
+            EventKind::BatchClosed {
+                size,
+                oldest_wait_s,
+                model,
+            } => {
+                let mut args = args1("size", Value::U64(*size));
+                args.insert("oldest_wait_s".into(), Value::F64(*oldest_wait_s));
+                args.insert("model".into(), Value::Str(model.clone()));
+                out.push(ChromeTraceEvent {
+                    name: "batch_closed".into(),
+                    cat: "serving".into(),
+                    ph: "i".into(),
+                    ts,
+                    pid: 1,
+                    tid: LANE_SERVING,
+                    args,
+                });
+            }
+            EventKind::RequestShed {
+                id,
+                reason,
+                queue_depth,
+            } => {
+                let mut args = args1("id", Value::U64(*id));
+                args.insert("reason".into(), Value::Str(reason.clone()));
+                args.insert("queue_depth".into(), Value::U64(*queue_depth));
+                out.push(ChromeTraceEvent {
+                    name: "request_shed".into(),
+                    cat: "serving".into(),
+                    ph: "i".into(),
+                    ts,
+                    pid: 1,
+                    tid: LANE_SERVING,
+                    args,
+                });
+            }
         }
     }
     out
@@ -246,6 +287,18 @@ pub struct TraceSummary {
     pub retrain_epochs: u64,
     pub synth_reports: u64,
     pub stall_s: f64,
+    /// Requests admitted into the serving queue (request-level mode).
+    pub requests_enqueued: u64,
+    /// Requests that finished service (request-level mode).
+    pub requests_completed: u64,
+    /// Completed requests that missed their deadline budget.
+    pub deadline_misses: u64,
+    /// Requests shed by admission control.
+    pub requests_shed: u64,
+    /// Batches closed by the dynamic batcher.
+    pub batches_closed: u64,
+    /// Distribution of per-request end-to-end latencies, seconds.
+    pub request_latency: LogHistogram,
     /// Distribution of sampled queue depths.
     pub queue_depth: LogHistogram,
     /// Largest event timestamp, seconds.
@@ -266,6 +319,12 @@ impl TraceSummary {
             retrain_epochs: 0,
             synth_reports: 0,
             stall_s: 0.0,
+            requests_enqueued: 0,
+            requests_completed: 0,
+            deadline_misses: 0,
+            requests_shed: 0,
+            batches_closed: 0,
+            request_latency: LogHistogram::latency_s(),
             queue_depth: LogHistogram::queue_frames(),
             horizon_s: 0.0,
         };
@@ -290,6 +349,23 @@ impl TraceSummary {
                 EventKind::RetrainEpoch { .. } => s.retrain_epochs += 1,
                 EventKind::SynthReport { .. } => s.synth_reports += 1,
                 EventKind::SpanBegin { .. } | EventKind::SpanEnd { .. } => {}
+                EventKind::RequestEnqueued { queue_depth, .. } => {
+                    s.requests_enqueued += 1;
+                    s.queue_depth.record(*queue_depth as f64);
+                }
+                EventKind::RequestCompleted {
+                    latency_s,
+                    deadline_met,
+                    ..
+                } => {
+                    s.requests_completed += 1;
+                    if !deadline_met {
+                        s.deadline_misses += 1;
+                    }
+                    s.request_latency.record(*latency_s);
+                }
+                EventKind::RequestShed { .. } => s.requests_shed += 1,
+                EventKind::BatchClosed { .. } => s.batches_closed += 1,
             }
         }
         s
@@ -359,6 +435,46 @@ pub fn to_prometheus(summary: &TraceSummary) -> String {
         "Design-time synthesis reports.",
         format!("{}", summary.synth_reports),
     );
+    metric(
+        "adaflow_requests_enqueued_total",
+        "counter",
+        "Requests admitted into the serving queue.",
+        format!("{}", summary.requests_enqueued),
+    );
+    metric(
+        "adaflow_requests_completed_total",
+        "counter",
+        "Requests that finished service.",
+        format!("{}", summary.requests_completed),
+    );
+    metric(
+        "adaflow_deadline_misses_total",
+        "counter",
+        "Completed requests that missed their deadline.",
+        format!("{}", summary.deadline_misses),
+    );
+    metric(
+        "adaflow_requests_shed_total",
+        "counter",
+        "Requests shed by admission control.",
+        format!("{}", summary.requests_shed),
+    );
+    metric(
+        "adaflow_batches_closed_total",
+        "counter",
+        "Batches closed by the dynamic batcher.",
+        format!("{}", summary.batches_closed),
+    );
+    if summary.requests_completed > 0 {
+        for (q, label) in [(0.5, "0.5"), (0.95, "0.95"), (0.99, "0.99")] {
+            metric(
+                &format!("adaflow_request_latency_seconds{{quantile=\"{label}\"}}"),
+                "gauge",
+                "Per-request end-to-end latency quantile.",
+                format!("{}", summary.request_latency.quantile(q)),
+            );
+        }
+    }
     for (q, label) in [(0.5, "0.5"), (0.95, "0.95"), (0.99, "0.99")] {
         metric(
             &format!("adaflow_queue_depth_frames{{quantile=\"{label}\"}}"),
@@ -467,6 +583,78 @@ mod tests {
         assert_eq!(s.flexible_switches, 1);
         assert!((s.horizon_s - 1.2).abs() < 1e-12);
         assert!(!s.queue_depth.is_empty());
+    }
+
+    #[test]
+    fn summary_folds_request_lifecycle() {
+        let events = vec![
+            Event::new(
+                0.1,
+                EventKind::RequestEnqueued {
+                    id: 0,
+                    device: 0,
+                    queue_depth: 1,
+                },
+            ),
+            Event::new(
+                0.1,
+                EventKind::RequestEnqueued {
+                    id: 1,
+                    device: 1,
+                    queue_depth: 2,
+                },
+            ),
+            Event::new(
+                0.12,
+                EventKind::BatchClosed {
+                    size: 2,
+                    oldest_wait_s: 0.02,
+                    model: "cnv".into(),
+                },
+            ),
+            Event::new(
+                0.15,
+                EventKind::RequestCompleted {
+                    id: 0,
+                    latency_s: 0.05,
+                    deadline_met: true,
+                },
+            ),
+            Event::new(
+                0.15,
+                EventKind::RequestCompleted {
+                    id: 1,
+                    latency_s: 0.5,
+                    deadline_met: false,
+                },
+            ),
+            Event::new(
+                0.2,
+                EventKind::RequestShed {
+                    id: 2,
+                    reason: "queue-full".into(),
+                    queue_depth: 2,
+                },
+            ),
+        ];
+        let s = TraceSummary::from_events(&events);
+        assert_eq!(s.requests_enqueued, 2);
+        assert_eq!(s.requests_completed, 2);
+        assert_eq!(s.deadline_misses, 1);
+        assert_eq!(s.requests_shed, 1);
+        assert_eq!(s.batches_closed, 1);
+        assert_eq!(s.request_latency.count(), 2.0);
+        let text = to_prometheus(&s);
+        assert!(text.contains("adaflow_requests_completed_total 2"));
+        assert!(text.contains("adaflow_deadline_misses_total 1"));
+        assert!(text.contains("adaflow_request_latency_seconds{quantile=\"0.95\"}"));
+        // The chrome trace keeps the batch/shed instants but aggregates the
+        // per-request enqueue/complete flood away.
+        let trace = to_chrome_trace(&events);
+        assert!(trace.iter().any(|e| e.name == "batch_closed"));
+        assert!(trace.iter().any(|e| e.name == "request_shed"));
+        assert!(!trace.iter().any(|e| e.name == "request_enqueued"));
+        assert!(!trace.iter().any(|e| e.name == "request_completed"));
     }
 
     #[test]
