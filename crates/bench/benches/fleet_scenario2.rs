@@ -1,0 +1,89 @@
+//! Criterion bench: the fleet discrete-event loop on Scenario 2 — N
+//! device cores behind each routing policy, plus the single-device
+//! engine as the routing-overhead baseline.
+//!
+//! Set `ADAFLOW_BENCH_SMOKE=1` to run a fast configuration (short
+//! horizon, fewer IoT devices, tight measurement window) — used as the
+//! CI fleet smoke check. The default full mode routes the paper's
+//! 20-device 25-second trace (~15 k requests per run) across a 4-device
+//! heterogeneous fleet.
+
+use adaflow::LibraryGenerator;
+use adaflow_edge::{Scenario, WorkloadSpec};
+use adaflow_fleet::{FleetConfig, FleetEngine, RouterKind};
+use adaflow_nn::DatasetKind;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn smoke_mode() -> bool {
+    std::env::var("ADAFLOW_BENCH_SMOKE").is_ok_and(|v| v == "1")
+}
+
+fn spec() -> WorkloadSpec {
+    if smoke_mode() {
+        WorkloadSpec {
+            devices: 5,
+            fps_per_device: 30.0,
+            duration_s: 3.0,
+            scenario: Scenario::Unpredictable,
+        }
+    } else {
+        WorkloadSpec::paper_edge(Scenario::Unpredictable)
+    }
+}
+
+fn bench_fleet(c: &mut Criterion) {
+    let library = LibraryGenerator::default_edge_setup()
+        .generate(
+            adaflow_model::topology::cnv_w2a2_cifar10().expect("builds"),
+            DatasetKind::Cifar10,
+        )
+        .expect("generates");
+    let spec = spec();
+    let tag = if smoke_mode() { "smoke" } else { "paper" };
+
+    for router in RouterKind::ALL {
+        let config = FleetConfig {
+            router,
+            ..FleetConfig::default()
+        };
+        let engine = FleetEngine::new(config);
+        c.bench_function(
+            &format!("fleet_4dev_{}_scenario-2_{tag}", router.name()),
+            |b| {
+                b.iter(|| {
+                    let summary = engine.run(&library, &spec, black_box(7));
+                    assert!(summary.conservation_holds());
+                    summary
+                });
+            },
+        );
+    }
+
+    // Routing overhead baseline: the same trace through a 1-device fleet.
+    let single = FleetEngine::new(FleetConfig {
+        devices: vec![adaflow_fleet::DeviceKind::AdaFlow],
+        router: RouterKind::RoundRobin,
+        ..FleetConfig::default()
+    });
+    c.bench_function(&format!("fleet_1dev_baseline_scenario-2_{tag}"), |b| {
+        b.iter(|| single.run(&library, &spec, black_box(7)).completed);
+    });
+}
+
+criterion_group! {
+    name = benches;
+    // Full fleet runs are macro-benchmarks; keep sampling CI-friendly,
+    // and tighter still in smoke mode.
+    config = {
+        let c = Criterion::default().sample_size(10);
+        if smoke_mode() {
+            c.measurement_time(Duration::from_millis(400))
+                .warm_up_time(Duration::from_millis(100))
+        } else {
+            c
+        }
+    };
+    targets = bench_fleet
+}
+criterion_main!(benches);

@@ -49,6 +49,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "inspect" => cmd_inspect(&flags),
         "simulate" => cmd_simulate(&flags),
         "serve" => cmd_serve(&flags),
+        "fleet" => cmd_fleet(&flags),
         "trace" => cmd_trace(&flags),
         "explore" => cmd_explore(&flags),
         "lint" => cmd_lint(&flags),
@@ -71,11 +72,17 @@ fn usage() -> String {
      \x20          [--deadline-ms N] [--queue-cap N] [--shed block|oldest|newest] [--batch N]\n\
      \x20          [--batch-wait-ms N] [--seed N] [--runs N] [--format text|json] [--out prefix]\n\
      \x20          [--allow codes] [--deny codes] [--check 1]   request-level serving run\n\
+     \x20 fleet    --library <file> [--scenario 1|2|1+2] [--fleet adaflow,fixed,flexible,..]\n\
+     \x20          [--router rr|jsq|p2c|deadline] [--max-drains K] [--deadline-ms N] [--queue-cap N]\n\
+     \x20          [--shed block|oldest|newest] [--batch N] [--batch-wait-ms N] [--seed N] [--runs N]\n\
+     \x20          [--format text|json] [--out prefix] [--allow codes] [--deny codes] [--check 1]\n\
+     \x20          multi-device fleet simulation behind a load-balancing router\n\
      \x20 trace    --library <file> [--scenario 1|2|1+2] [--policy ...] [--seed N] [--out prefix]\n\
      \x20          writes <prefix>.trace.json (Perfetto), <prefix>.jsonl, <prefix>.prom\n\
      \x20 explore  --model <name> [--target-fps F] [--cap 0.7]\n\
-     \x20 lint     --model <name>|all [--rates a,b,..] [--format text|json] [--allow codes] [--deny codes]\n\
-     \x20          static verification of the graph, folding and module pipeline, plus pruned variants\n\
+     \x20 lint     [--model <name>|all] [--rates a,b,..] [--fleet kinds] [--router r] [--deadline-ms N]\n\
+     \x20          [--max-drains K] [--format text|json] [--allow codes] [--deny codes]\n\
+     \x20          static verification of graphs (AF/DF/HL) and fleet/serving configs (FL/SV)\n\
      models: cnv-w2a2, cnv-w1a2, lenet-w2a2, lenet-w1a2, tiny-w2a2; datasets: cifar10, gtsrb"
         .to_string()
 }
@@ -282,9 +289,9 @@ fn worst_policy_stall_s(policy: &str, library: &Library) -> f64 {
 /// Request-level serving: deadline accounting, admission control and
 /// dynamic batching over the paper's workload scenarios.
 fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
-    use adaflow_serve::{OverflowPolicy, ServeConfig, ServeExperiment};
+    use adaflow_serve::ServeExperiment;
     use adaflow_telemetry::Event;
-    use adaflow_verify::{LintConfig, Severity};
+    use adaflow_verify::Severity;
 
     let library = load_library(flags)?;
     let scenario = parse_scenario(flags.get("scenario").map_or("2", String::as_str))?;
@@ -296,48 +303,19 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
     let runs: usize = flags
         .get("runs")
         .map_or(Ok(1), |r| r.parse().map_err(|e| format!("bad --runs: {e}")))?;
-    let deadline_ms: f64 = flags.get("deadline-ms").map_or(Ok(250.0), |v| {
-        v.parse().map_err(|e| format!("bad --deadline-ms: {e}"))
-    })?;
-    let queue_cap: usize = flags.get("queue-cap").map_or(Ok(256), |v| {
-        v.parse().map_err(|e| format!("bad --queue-cap: {e}"))
-    })?;
-    let max_batch: usize = flags.get("batch").map_or(Ok(16), |v| {
-        v.parse().map_err(|e| format!("bad --batch: {e}"))
-    })?;
-    let batch_wait_ms: f64 = flags.get("batch-wait-ms").map_or(Ok(20.0), |v| {
-        v.parse().map_err(|e| format!("bad --batch-wait-ms: {e}"))
-    })?;
     let shed_name = flags.get("shed").map_or("block", String::as_str);
-    let overflow = OverflowPolicy::parse(shed_name)
-        .ok_or_else(|| format!("unknown --shed `{shed_name}` (block | oldest | newest)"))?;
     let format = flags.get("format").map_or("text", String::as_str);
     if !matches!(format, "text" | "json") {
         return Err(format!("unknown --format `{format}` (text | json)"));
     }
     let check = flags.get("check").is_some_and(|v| v == "1");
 
-    let config = ServeConfig {
-        deadline_s: deadline_ms / 1e3,
-        queue_capacity: queue_cap,
-        max_batch,
-        max_wait_s: batch_wait_ms / 1e3,
-        overflow,
-        ..ServeConfig::default()
-    };
+    let config = parse_serve_knobs(flags)?;
+    let deadline_ms = config.deadline_s * 1e3;
     let spec = WorkloadSpec::paper_edge(scenario);
 
     // Static SV001/SV002 validation through the shared lint machinery.
-    let lint = LintConfig {
-        allow: flags
-            .get("allow")
-            .map(|codes| LintConfig::parse_codes(codes))
-            .unwrap_or_default(),
-        deny: flags
-            .get("deny")
-            .map(|codes| LintConfig::parse_codes(codes))
-            .unwrap_or_default(),
-    };
+    let lint = parse_lint_flags(flags);
     let report = config.validate(
         spec.nominal_fps(),
         worst_policy_stall_s(policy_name, &library),
@@ -430,6 +408,230 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
         );
         if !events.is_empty() {
             println!("  events: {} recorded", events.len());
+        }
+        if check {
+            println!("  determinism: repeated run identical");
+        }
+    }
+
+    if let Some(prefix) = flags.get("out") {
+        if events.is_empty() {
+            return Err("--out requires a single run (--runs 1) to record events".to_string());
+        }
+        let trace_summary = TraceSummary::from_events(&events);
+        let write = |suffix: &str, contents: String| -> Result<(), String> {
+            let path = format!("{prefix}.{suffix}");
+            std::fs::write(&path, &contents).map_err(|e| format!("writing {path}: {e}"))?;
+            if format == "text" {
+                println!("  wrote {path} ({} bytes)", contents.len());
+            }
+            Ok(())
+        };
+        write("trace.json", chrome_trace_json(&events))?;
+        write("jsonl", events_to_jsonl(&events))?;
+        write("prom", to_prometheus(&trace_summary))?;
+    }
+    Ok(())
+}
+
+/// Parses the shared serving knobs (`--deadline-ms`, `--queue-cap`,
+/// `--batch`, `--batch-wait-ms`, `--shed`) into a [`ServeConfig`].
+fn parse_serve_knobs(
+    flags: &HashMap<String, String>,
+) -> Result<adaflow_serve::ServeConfig, String> {
+    use adaflow_serve::{OverflowPolicy, ServeConfig};
+    let deadline_ms: f64 = flags.get("deadline-ms").map_or(Ok(250.0), |v| {
+        v.parse().map_err(|e| format!("bad --deadline-ms: {e}"))
+    })?;
+    let queue_cap: usize = flags.get("queue-cap").map_or(Ok(256), |v| {
+        v.parse().map_err(|e| format!("bad --queue-cap: {e}"))
+    })?;
+    let max_batch: usize = flags.get("batch").map_or(Ok(16), |v| {
+        v.parse().map_err(|e| format!("bad --batch: {e}"))
+    })?;
+    let batch_wait_ms: f64 = flags.get("batch-wait-ms").map_or(Ok(20.0), |v| {
+        v.parse().map_err(|e| format!("bad --batch-wait-ms: {e}"))
+    })?;
+    let shed_name = flags.get("shed").map_or("block", String::as_str);
+    let overflow = OverflowPolicy::parse(shed_name)
+        .ok_or_else(|| format!("unknown --shed `{shed_name}` (block | oldest | newest)"))?;
+    Ok(ServeConfig {
+        deadline_s: deadline_ms / 1e3,
+        queue_capacity: queue_cap,
+        max_batch,
+        max_wait_s: batch_wait_ms / 1e3,
+        overflow,
+        ..ServeConfig::default()
+    })
+}
+
+/// Parses the `--allow` / `--deny` lint policy flags.
+fn parse_lint_flags(flags: &HashMap<String, String>) -> adaflow_verify::LintConfig {
+    use adaflow_verify::LintConfig;
+    LintConfig {
+        allow: flags
+            .get("allow")
+            .map(|codes| LintConfig::parse_codes(codes))
+            .unwrap_or_default(),
+        deny: flags
+            .get("deny")
+            .map(|codes| LintConfig::parse_codes(codes))
+            .unwrap_or_default(),
+    }
+}
+
+/// Builds a [`adaflow_fleet::FleetConfig`] from the fleet CLI flags
+/// (`--fleet`, `--router`, `--max-drains` plus the shared serving knobs).
+fn parse_fleet_config(
+    flags: &HashMap<String, String>,
+) -> Result<adaflow_fleet::FleetConfig, String> {
+    use adaflow_fleet::{DeviceKind, FleetConfig, RouterKind};
+    let fleet_list = flags
+        .get("fleet")
+        .map_or("adaflow,adaflow,flexible,fixed", String::as_str);
+    let devices = DeviceKind::parse_fleet(fleet_list).ok_or_else(|| {
+        format!("bad --fleet `{fleet_list}` (comma-separated adaflow | fixed | flexible)")
+    })?;
+    let router_name = flags.get("router").map_or("deadline", String::as_str);
+    let router = RouterKind::parse(router_name)
+        .ok_or_else(|| format!("unknown --router `{router_name}` (rr | jsq | p2c | deadline)"))?;
+    let max_drains: usize = flags.get("max-drains").map_or(Ok(1), |v| {
+        v.parse().map_err(|e| format!("bad --max-drains: {e}"))
+    })?;
+    Ok(FleetConfig {
+        devices,
+        router,
+        serve: parse_serve_knobs(flags)?,
+        max_concurrent_drains: max_drains,
+        imbalance_period_s: 1.0,
+    })
+}
+
+/// Fleet-level serving: N simulated accelerator devices behind a
+/// load-balancing router, with staggered reconfiguration drains.
+fn cmd_fleet(flags: &HashMap<String, String>) -> Result<(), String> {
+    use adaflow_fleet::{FleetExperiment, FleetSummary};
+    use adaflow_telemetry::Event;
+    use adaflow_verify::Severity;
+
+    let library = load_library(flags)?;
+    let scenario = parse_scenario(flags.get("scenario").map_or("2", String::as_str))?;
+    let seed: u64 = flags
+        .get("seed")
+        .map_or(Ok(1), |s| s.parse().map_err(|e| format!("bad --seed: {e}")))?;
+    let runs: usize = flags
+        .get("runs")
+        .map_or(Ok(1), |r| r.parse().map_err(|e| format!("bad --runs: {e}")))?;
+    let format = flags.get("format").map_or("text", String::as_str);
+    if !matches!(format, "text" | "json") {
+        return Err(format!("unknown --format `{format}` (text | json)"));
+    }
+    let check = flags.get("check").is_some_and(|v| v == "1");
+    let config = parse_fleet_config(flags)?;
+    let spec = WorkloadSpec::paper_edge(scenario);
+
+    // Static validation: the FL fleet rules plus the per-device SV serving
+    // rules (each device sees its share of the offered load and can stall
+    // as long as a full reconfiguration).
+    let lint = parse_lint_flags(flags);
+    let mut report = config.validate(lint.clone());
+    let share_fps = spec.nominal_fps() / config.devices.len().max(1) as f64;
+    report.merge(
+        config
+            .serve
+            .validate(share_fps, worst_policy_stall_s("adaflow", &library), lint),
+    );
+    if format == "text" && report.count(Severity::Warn) + report.count(Severity::Error) > 0 {
+        print!("{report}");
+    }
+    if report.has_errors() {
+        return Err("fleet configuration failed FL/SV lint (see findings above)".to_string());
+    }
+
+    let experiment = FleetExperiment::new(&library, spec)
+        .config(config.clone())
+        .runs(runs.max(1))
+        .seed(seed);
+    let execute = || -> (FleetSummary, Vec<Event>) {
+        if runs <= 1 {
+            let (sink, recorder) = SinkHandle::recorder(1 << 18);
+            (experiment.run_traced(seed, sink), recorder.drain())
+        } else {
+            (experiment.run(), Vec::new())
+        }
+    };
+    let (summary, events) = execute();
+    if !summary.conservation_holds() {
+        return Err(format!(
+            "fleet conservation violated: arrived {} != completed {} + shed {}",
+            summary.arrived, summary.completed, summary.shed
+        ));
+    }
+    if check {
+        let (summary2, events2) = execute();
+        if summary != summary2 || events != events2 {
+            return Err("determinism check failed: repeated fleet run diverged".to_string());
+        }
+    }
+
+    if format == "json" {
+        let json = serde_json::to_string(&summary).map_err(|e| e.to_string())?;
+        println!(
+            "{{\"summary\":{json},\"runs\":{},\"events\":{}}}",
+            runs.max(1),
+            events.len()
+        );
+    } else {
+        let kinds: Vec<&str> = config.devices.iter().map(|k| k.name()).collect();
+        println!(
+            "fleet of {} [{}] under {} via {} (seed {seed}, {} run{}): {:.0} requests",
+            config.devices.len(),
+            kinds.join(","),
+            scenario.name(),
+            summary.router,
+            runs.max(1),
+            if runs.max(1) == 1 { "" } else { "s" },
+            summary.arrived
+        );
+        println!(
+            "  deadline: {:.2}% hits within {:.0} ms (latency p50 {:.1} ms, p95 {:.1} ms, \
+             p99 {:.1} ms, mean {:.1} ms)",
+            summary.deadline_hit_pct,
+            config.serve.deadline_s * 1e3,
+            summary.latency_p50_s * 1e3,
+            summary.latency_p95_s * 1e3,
+            summary.latency_p99_s * 1e3,
+            summary.latency_mean_s * 1e3
+        );
+        println!(
+            "  shed: {:.2}% ({:.0} requests); batches {:.0}, mean size {:.1}",
+            summary.shed_pct, summary.shed, summary.batches, summary.mean_batch_size
+        );
+        println!(
+            "  balance: imbalance cv mean {:.3} / max {:.3}, routed-share cv {:.3}",
+            summary.imbalance_cv_mean, summary.imbalance_cv_max, summary.routed_share_cv
+        );
+        println!(
+            "  stagger: max {:.0} concurrent drain(s) under a budget of {}; \
+             {:.1} switches ({:.1} reconf, {:.1} flexible), stall {:.3} s",
+            summary.observed_max_drains,
+            config.max_concurrent_drains,
+            summary.model_switches,
+            summary.reconfigurations,
+            summary.flexible_switches,
+            summary.stall_total_s
+        );
+        for (idx, d) in summary.per_device.iter().enumerate() {
+            println!(
+                "  device {idx} {:>13}: {:>6.0} routed, hit {:>6.2}%, util {:>5.1}%, \
+                 shed {:.0}, reconf {:.1}",
+                d.kind,
+                d.arrived,
+                d.deadline_hit_pct,
+                d.utilization_pct,
+                d.shed,
+                d.reconfigurations
+            );
         }
         if check {
             println!("  determinism: repeated run identical");
@@ -585,13 +787,19 @@ fn lint_graph(
 
 fn cmd_lint(flags: &HashMap<String, String>) -> Result<(), String> {
     use adaflow_pruning::{DataflowAwarePruner, FinnConfig};
-    use adaflow_verify::{LintConfig, Severity};
+    use adaflow_verify::Severity;
 
-    let model = required(flags, "model")?;
-    let models: Vec<&str> = if model == "all" {
-        LINT_MODELS.to_vec()
-    } else {
-        vec![model]
+    // Fleet/serving config linting (FL + SV rule families) rides on the
+    // same allow/deny policy and error exit as the graph rules. It is
+    // requested by any fleet-shaped flag; `--model` is then optional.
+    let fleet_requested = ["fleet", "router", "deadline-ms", "max-drains"]
+        .iter()
+        .any(|f| flags.contains_key(*f));
+    let models: Vec<&str> = match flags.get("model").map(String::as_str) {
+        Some("all") => LINT_MODELS.to_vec(),
+        Some(name) => vec![name],
+        None if fleet_requested => Vec::new(),
+        None => return Err(format!("missing --model\n{}", usage())),
     };
     let rates: Vec<f64> = flags.get("rates").map_or(Ok(vec![0.0]), |rates| {
         rates
@@ -607,18 +815,27 @@ fn cmd_lint(flags: &HashMap<String, String>) -> Result<(), String> {
     if !matches!(format, "text" | "json") {
         return Err(format!("unknown --format `{format}` (text | json)"));
     }
-    let lint = LintConfig {
-        allow: flags
-            .get("allow")
-            .map(|codes| LintConfig::parse_codes(codes))
-            .unwrap_or_default(),
-        deny: flags
-            .get("deny")
-            .map(|codes| LintConfig::parse_codes(codes))
-            .unwrap_or_default(),
-    };
+    let lint = parse_lint_flags(flags);
 
     let mut reports = Vec::new();
+    if fleet_requested {
+        let config = parse_fleet_config(flags)?;
+        reports.push(config.validate(lint.clone()));
+        // SV serving rules on the per-device share of the paper's edge
+        // load. The worst-case stall needs a concrete library; without
+        // `--library` only the deadline-local SV001 can fire.
+        let worst_stall_s = match flags.get("library") {
+            Some(_) => worst_policy_stall_s("adaflow", &load_library(flags)?),
+            None => 0.0,
+        };
+        let share_fps = WorkloadSpec::paper_edge(Scenario::Unpredictable).nominal_fps()
+            / config.devices.len().max(1) as f64;
+        reports.push(
+            config
+                .serve
+                .validate(share_fps, worst_stall_s, lint.clone()),
+        );
+    }
     for name in models {
         let graph = build_model(name, None)?;
         reports.push(lint_graph(&graph, &lint)?);
@@ -865,6 +1082,103 @@ mod tests {
         for suffix in ["trace.json", "jsonl", "prom"] {
             let _ = std::fs::remove_file(format!("{prefix_str}.{suffix}"));
         }
+    }
+
+    #[test]
+    fn fleet_command_runs_routers_and_replays() {
+        let lib_path = std::env::temp_dir().join("adaflow_cli_fleet_test_library.json");
+        let lib_str = lib_path.to_string_lossy().to_string();
+        cmd_generate(&flags(&[
+            ("model", "cnv-w2a2"),
+            ("dataset", "cifar10"),
+            ("rates", "0,0.25,0.5"),
+            ("out", &lib_str),
+        ]))
+        .expect("generate");
+        // Heterogeneous fleet, deadline-aware router, bit-determinism
+        // replay (`--check`).
+        cmd_fleet(&flags(&[
+            ("library", &lib_str),
+            ("scenario", "2"),
+            ("fleet", "adaflow,adaflow,flexible,fixed"),
+            ("router", "deadline"),
+            ("seed", "7"),
+            ("check", "1"),
+        ]))
+        .expect("fleet deadline-aware with replay");
+        // Remaining routers, JSON output, multi-run mean. Round-robin
+        // with a deadline warns under FL002, so allow it explicitly.
+        for router in ["rr", "jsq", "p2c"] {
+            cmd_fleet(&flags(&[
+                ("library", &lib_str),
+                ("router", router),
+                ("runs", "2"),
+                ("format", "json"),
+                ("allow", "FL002"),
+            ]))
+            .unwrap_or_else(|e| panic!("fleet {router}: {e}"));
+        }
+        assert!(cmd_fleet(&flags(&[("library", &lib_str), ("router", "hash")])).is_err());
+        assert!(cmd_fleet(&flags(&[("library", &lib_str), ("fleet", "gpu")])).is_err());
+        // FL001 hard failure: a zero-device fleet.
+        assert!(cmd_fleet(&flags(&[("library", &lib_str), ("fleet", ",")])).is_err());
+        let _ = std::fs::remove_file(lib_path);
+    }
+
+    #[test]
+    fn fleet_command_writes_trace_exports() {
+        let lib_path = std::env::temp_dir().join("adaflow_cli_fleet_trace_library.json");
+        let lib_str = lib_path.to_string_lossy().to_string();
+        cmd_generate(&flags(&[
+            ("model", "cnv-w2a2"),
+            ("dataset", "cifar10"),
+            ("rates", "0,0.5"),
+            ("out", &lib_str),
+        ]))
+        .expect("generate");
+        let prefix = std::env::temp_dir().join("adaflow_cli_fleet_trace_run");
+        let prefix_str = prefix.to_string_lossy().to_string();
+        cmd_fleet(&flags(&[
+            ("library", &lib_str),
+            ("scenario", "2"),
+            ("seed", "3"),
+            ("out", &prefix_str),
+        ]))
+        .expect("fleet with exports");
+        let prom = std::fs::read_to_string(format!("{prefix_str}.prom")).expect("prom");
+        assert!(prom.contains("adaflow_requests_routed_total"));
+        let jsonl = std::fs::read_to_string(format!("{prefix_str}.jsonl")).expect("jsonl");
+        assert!(jsonl.contains("RequestRouted"));
+        let chrome = std::fs::read_to_string(format!("{prefix_str}.trace.json")).expect("chrome");
+        assert!(chrome.trim_start().starts_with('['));
+        let _ = std::fs::remove_file(lib_path);
+        for suffix in ["trace.json", "jsonl", "prom"] {
+            let _ = std::fs::remove_file(format!("{prefix_str}.{suffix}"));
+        }
+    }
+
+    #[test]
+    fn lint_covers_fleet_config_rules() {
+        // FL002 error: deadline-aware router without a deadline budget.
+        assert!(cmd_lint(&flags(&[("router", "deadline"), ("deadline-ms", "0")])).is_err());
+        // ... which --allow suppresses (SV001 also fires on a zero
+        // budget: the 20 ms batch wait cannot fit inside it).
+        assert!(cmd_lint(&flags(&[
+            ("router", "deadline"),
+            ("deadline-ms", "0"),
+            ("allow", "FL002,SV001"),
+        ]))
+        .is_ok());
+        // FL002 warn (round-robin + deadline) stays green by default and
+        // escalates under --deny.
+        assert!(cmd_lint(&flags(&[("router", "rr")])).is_ok());
+        assert!(cmd_lint(&flags(&[("router", "rr"), ("deny", "FL002")])).is_err());
+        // FL001 error: empty fleet.
+        assert!(cmd_lint(&flags(&[("fleet", ",")])).is_err());
+        // Fleet and graph rules combine into one run.
+        assert!(cmd_lint(&flags(&[("model", "tiny-w2a2"), ("router", "jsq")])).is_ok());
+        // Without fleet flags, --model stays mandatory.
+        assert!(cmd_lint(&flags(&[])).is_err());
     }
 
     #[test]

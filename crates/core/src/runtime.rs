@@ -72,6 +72,19 @@ pub struct PressureSignal {
 }
 
 impl PressureSignal {
+    /// A nominal-load signal: a bare rate estimate with an empty queue, so
+    /// `demand_fps()` equals `rate_fps` exactly. This is how the oracle
+    /// drive path ([`RuntimeManager::decide`]) enters the pressure path —
+    /// an incoming-FPS estimate *is* a pressure signal with no backlog.
+    #[must_use]
+    pub fn nominal(rate_fps: f64) -> Self {
+        Self {
+            arrival_fps_ewma: rate_fps,
+            queue_depth: 0.0,
+            drain_target_s: 1.0,
+        }
+    }
+
     /// The service rate this pressure level demands: arrivals plus the
     /// backlog spread over the drain horizon.
     #[must_use]
@@ -251,22 +264,30 @@ impl<'l> RuntimeManager<'l> {
         }
     }
 
-    /// Reacts to *observed* queue pressure instead of an oracle workload
-    /// level: converts the signal into its demanded service rate and
-    /// decides as usual. This is the request-level serving layer's input
-    /// path (the paper's manager reacts to an aggregate FPS estimate; a
-    /// per-request server reacts to what it can actually measure).
-    pub fn decide_from_pressure(&mut self, now_s: f64, signal: &PressureSignal) -> Decision {
-        self.decide(now_s, signal.demand_fps())
-    }
-
     /// Reacts to a workload level observed at `now_s`, applying and
     /// returning the decision.
+    ///
+    /// This is a thin front over [`RuntimeManager::decide_from_pressure`]:
+    /// the rate estimate is wrapped in a nominal-load
+    /// [`PressureSignal`] (empty queue), so both entry points share one
+    /// decision body and cannot drift apart.
     ///
     /// The manager is meant to be invoked on *changes* (new incoming-FPS
     /// estimate from the performance monitors, or a threshold update);
     /// invoking it repeatedly with the same conditions is a no-op decision.
     pub fn decide(&mut self, now_s: f64, incoming_fps: f64) -> Decision {
+        self.decide_from_pressure(now_s, &PressureSignal::nominal(incoming_fps))
+    }
+
+    /// Reacts to *observed* queue pressure instead of an oracle workload
+    /// level. The single decision body: the signal's demanded service rate
+    /// (`λ + Q/T`) drives model selection, the switch cadence estimate
+    /// drives the accelerator-type rule. This is the request-level serving
+    /// layer's input path (the paper's manager reacts to an aggregate FPS
+    /// estimate; a per-request server reacts to what it can actually
+    /// measure).
+    pub fn decide_from_pressure(&mut self, now_s: f64, signal: &PressureSignal) -> Decision {
+        let incoming_fps = signal.demand_fps();
         // Accelerator-type rule: Fixed only when models need to be switched
         // at intervals above the criterion (§IV-B2). The switching cadence
         // is estimated by blending the time since the last switch with the
@@ -565,6 +586,41 @@ mod tests {
             pressed.throughput_fps > relaxed.throughput_fps,
             "backlog must demand a faster model"
         );
+    }
+
+    #[test]
+    fn decide_is_equivalent_to_nominal_pressure() {
+        // Regression for the decide / decide_from_pressure drift: the
+        // oracle path must be *exactly* the pressure path under a
+        // nominal-load signal, decision for decision, across a workload
+        // trajectory that exercises switches, hysteresis and no-ops.
+        let lib = library();
+        let mut by_rate = RuntimeManager::new(&lib, RuntimeConfig::default());
+        let mut by_signal = RuntimeManager::new(&lib, RuntimeConfig::default());
+        let base_fps = lib.unpruned().fixed.throughput_fps;
+        let trajectory = [
+            (0.0, 100.0),
+            (0.5, base_fps * 1.4),
+            (1.0, 100.0),
+            (1.5, base_fps * 1.4),
+            (4.0, 100.0),
+            (10.0, 100.0),
+            (10.5, 1e9),
+            (20.0, 50.0),
+        ];
+        for (now_s, fps) in trajectory {
+            let a = by_rate.decide(now_s, fps);
+            let b = by_signal.decide_from_pressure(now_s, &PressureSignal::nominal(fps));
+            assert_eq!(a, b, "paths diverged at t={now_s}, fps={fps}");
+        }
+        assert_eq!(by_rate.current(), by_signal.current());
+    }
+
+    #[test]
+    fn nominal_signal_demand_is_the_rate_itself() {
+        for fps in [0.0, 1.0, 433.7, 1e9] {
+            assert_eq!(PressureSignal::nominal(fps).demand_fps(), fps);
+        }
     }
 
     #[test]

@@ -1,0 +1,285 @@
+//! Fleet routing policies.
+//!
+//! A router sees an immutable [`DeviceSnapshot`] per device — queue
+//! occupancy, in-flight batch, busy horizon and live throughput — and
+//! picks the device index to dispatch the arrival to. All four policies
+//! are deterministic: power-of-two-choices draws from a seeded ChaCha8
+//! stream owned by the router, so a `(config, seed)` pair pins every
+//! routing decision bit-for-bit.
+
+use crate::config::RouterKind;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// What a router may observe about one device at dispatch time.
+#[derive(Debug, Clone, Copy)]
+pub struct DeviceSnapshot {
+    /// Admission-queue occupancy, requests.
+    pub queue_len: usize,
+    /// Requests in the in-flight batch (0 while idle).
+    pub in_flight: usize,
+    /// When the in-flight batch completes (stall included), if any.
+    pub busy_until_s: Option<f64>,
+    /// Live serving throughput, FPS; `None` before the first batch.
+    pub serving_fps: Option<f64>,
+}
+
+impl DeviceSnapshot {
+    /// Queued plus in-flight work — the join-shortest-queue load metric.
+    #[must_use]
+    pub fn load(&self) -> usize {
+        self.queue_len + self.in_flight
+    }
+}
+
+/// A fleet dispatch policy.
+pub trait RoutePolicy {
+    /// Policy display name (stable; used in summaries and the CLI).
+    fn name(&self) -> &'static str;
+
+    /// Picks the device index for the arrival at `now_s`.
+    /// `devices` is non-empty; the result must index into it.
+    fn route(&mut self, now_s: f64, devices: &[DeviceSnapshot]) -> usize;
+}
+
+/// Cycle through devices in index order.
+#[derive(Debug, Clone, Default)]
+pub struct RoundRobinRouter {
+    next: usize,
+}
+
+impl RoutePolicy for RoundRobinRouter {
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+
+    fn route(&mut self, _now_s: f64, devices: &[DeviceSnapshot]) -> usize {
+        let idx = self.next % devices.len();
+        self.next = (self.next + 1) % devices.len();
+        idx
+    }
+}
+
+/// Join the shortest queue (queued + in-flight), ties to the lowest index.
+#[derive(Debug, Clone, Default)]
+pub struct LeastLoadedRouter;
+
+impl RoutePolicy for LeastLoadedRouter {
+    fn name(&self) -> &'static str {
+        "least-loaded"
+    }
+
+    fn route(&mut self, _now_s: f64, devices: &[DeviceSnapshot]) -> usize {
+        let mut best = 0;
+        for (idx, d) in devices.iter().enumerate().skip(1) {
+            if d.load() < devices[best].load() {
+                best = idx;
+            }
+        }
+        best
+    }
+}
+
+/// Power of two choices: sample two distinct devices from a seeded
+/// stream, join the less loaded (ties to the lower index).
+#[derive(Debug, Clone)]
+pub struct PowerOfTwoRouter {
+    rng: ChaCha8Rng,
+}
+
+impl PowerOfTwoRouter {
+    /// Creates the router over its private sampling stream.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: ChaCha8Rng::seed_from_u64(seed ^ 0xF1EE_7B02),
+        }
+    }
+}
+
+impl RoutePolicy for PowerOfTwoRouter {
+    fn name(&self) -> &'static str {
+        "power-of-two"
+    }
+
+    fn route(&mut self, _now_s: f64, devices: &[DeviceSnapshot]) -> usize {
+        let n = devices.len();
+        if n == 1 {
+            return 0;
+        }
+        let first = self.rng.gen_range(0..n);
+        let mut second = self.rng.gen_range(0..n - 1);
+        if second >= first {
+            second += 1;
+        }
+        let (lo, hi) = (first.min(second), first.max(second));
+        if devices[hi].load() < devices[lo].load() {
+            hi
+        } else {
+            lo
+        }
+    }
+}
+
+/// Rank devices by the estimated completion instant of the new request:
+/// the device is free when its in-flight batch (stall included) is done,
+/// then the queued backlog plus this request drain at the live
+/// throughput. Picks the earliest estimate, ties to the lowest index —
+/// so a device mid-reconfiguration (large busy horizon) naturally loses
+/// to its peers until the drain is over.
+#[derive(Debug, Clone)]
+pub struct DeadlineAwareRouter {
+    /// Throughput prior used before a device establishes its first
+    /// serving state, FPS.
+    prior_fps: f64,
+}
+
+impl DeadlineAwareRouter {
+    /// Creates the router with a throughput prior for cold devices.
+    #[must_use]
+    pub fn new(prior_fps: f64) -> Self {
+        Self {
+            prior_fps: prior_fps.max(1.0),
+        }
+    }
+
+    /// The estimated completion instant of a request dispatched to `d` at
+    /// `now_s`.
+    #[must_use]
+    pub fn estimate_done_s(&self, now_s: f64, d: &DeviceSnapshot) -> f64 {
+        let fps = d.serving_fps.unwrap_or(self.prior_fps).max(1e-9);
+        let free_s = d.busy_until_s.map_or(now_s, |b| b.max(now_s));
+        free_s + (d.queue_len as f64 + 1.0) / fps
+    }
+}
+
+impl RoutePolicy for DeadlineAwareRouter {
+    fn name(&self) -> &'static str {
+        "deadline-aware"
+    }
+
+    fn route(&mut self, now_s: f64, devices: &[DeviceSnapshot]) -> usize {
+        let mut best = 0;
+        let mut best_done = self.estimate_done_s(now_s, &devices[0]);
+        for (idx, d) in devices.iter().enumerate().skip(1) {
+            let done = self.estimate_done_s(now_s, d);
+            if done.total_cmp(&best_done).is_lt() {
+                best = idx;
+                best_done = done;
+            }
+        }
+        best
+    }
+}
+
+impl RouterKind {
+    /// Builds the routing policy. `seed` feeds the power-of-two sampling
+    /// stream; `prior_fps` is the throughput prior the deadline-aware
+    /// router uses for devices that have not served yet.
+    #[must_use]
+    pub fn build(self, seed: u64, prior_fps: f64) -> Box<dyn RoutePolicy> {
+        match self {
+            RouterKind::RoundRobin => Box::new(RoundRobinRouter::default()),
+            RouterKind::LeastLoaded => Box::new(LeastLoadedRouter),
+            RouterKind::PowerOfTwo => Box::new(PowerOfTwoRouter::new(seed)),
+            RouterKind::DeadlineAware => Box::new(DeadlineAwareRouter::new(prior_fps)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(queue_len: usize, in_flight: usize) -> DeviceSnapshot {
+        DeviceSnapshot {
+            queue_len,
+            in_flight,
+            busy_until_s: (in_flight > 0).then_some(1.0),
+            serving_fps: Some(100.0),
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles_in_index_order() {
+        let mut r = RoundRobinRouter::default();
+        let devs = [snap(9, 9), snap(0, 0), snap(5, 0)];
+        let picks: Vec<usize> = (0..7).map(|_| r.route(0.0, &devs)).collect();
+        assert_eq!(picks, [0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn least_loaded_joins_shortest_with_low_index_ties() {
+        let mut r = LeastLoadedRouter;
+        assert_eq!(r.route(0.0, &[snap(3, 1), snap(0, 1), snap(2, 0)]), 1);
+        assert_eq!(r.route(0.0, &[snap(2, 0), snap(1, 1), snap(4, 0)]), 0);
+    }
+
+    #[test]
+    fn power_of_two_is_deterministic_and_never_picks_heavier() {
+        let devs = [snap(0, 0), snap(10, 1), snap(3, 0), snap(7, 0)];
+        let picks_a: Vec<usize> = {
+            let mut r = PowerOfTwoRouter::new(11);
+            (0..64).map(|_| r.route(0.0, &devs)).collect()
+        };
+        let picks_b: Vec<usize> = {
+            let mut r = PowerOfTwoRouter::new(11);
+            (0..64).map(|_| r.route(0.0, &devs)).collect()
+        };
+        assert_eq!(picks_a, picks_b, "seeded stream is deterministic");
+        // Device 1 (load 11) can only win a pairing it is lighter in —
+        // there is none, so it is never picked.
+        assert!(picks_a.iter().all(|&p| p != 1));
+        // More than one device gets traffic.
+        assert!(picks_a.contains(&0));
+    }
+
+    #[test]
+    fn deadline_aware_avoids_draining_device() {
+        let mut r = DeadlineAwareRouter::new(100.0);
+        let devs = [
+            // Mid-reconfiguration: free only at t=2.0.
+            DeviceSnapshot {
+                queue_len: 0,
+                in_flight: 4,
+                busy_until_s: Some(2.0),
+                serving_fps: Some(400.0),
+            },
+            // Busy but quick, short queue.
+            DeviceSnapshot {
+                queue_len: 2,
+                in_flight: 4,
+                busy_until_s: Some(0.12),
+                serving_fps: Some(400.0),
+            },
+        ];
+        assert_eq!(r.route(0.1, &devs), 1, "route around the drain");
+    }
+
+    #[test]
+    fn deadline_aware_prefers_faster_device_at_equal_depth() {
+        let mut r = DeadlineAwareRouter::new(100.0);
+        let devs = [
+            DeviceSnapshot {
+                queue_len: 6,
+                in_flight: 0,
+                busy_until_s: None,
+                serving_fps: Some(100.0),
+            },
+            DeviceSnapshot {
+                queue_len: 6,
+                in_flight: 0,
+                busy_until_s: None,
+                serving_fps: Some(500.0),
+            },
+        ];
+        assert_eq!(r.route(0.0, &devs), 1);
+    }
+
+    #[test]
+    fn builder_matches_kind_names() {
+        for kind in RouterKind::ALL {
+            assert_eq!(kind.build(1, 100.0).name(), kind.name());
+        }
+    }
+}

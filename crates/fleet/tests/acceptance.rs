@@ -1,0 +1,122 @@
+//! Fleet acceptance criteria from the PR issue:
+//!
+//! 1. On scenario-2 arrivals with the paper's 250 ms deadline, a 4-device
+//!    heterogeneous fleet under the deadline-aware router beats (a) the
+//!    same fleet under round-robin and (b) a single device absorbing the
+//!    full 4× offered load — averaged over ≥ 20 seeds.
+//! 2. The reconfiguration coordinator never lets more than
+//!    `max_concurrent_drains` devices drain at once, witnessed by the
+//!    `observed_max_drains` interval sweep over real runs.
+
+use adaflow::{Library, LibraryGenerator};
+use adaflow_edge::{Scenario, WorkloadSpec};
+use adaflow_fleet::prelude::*;
+use adaflow_model::prelude::*;
+use adaflow_nn::DatasetKind;
+
+const SEEDS: usize = 20;
+
+fn library() -> Library {
+    LibraryGenerator::default_edge_setup()
+        .generate(
+            topology::cnv_w2a2_cifar10().expect("builds"),
+            DatasetKind::Cifar10,
+        )
+        .expect("generates")
+}
+
+/// Scenario-2 (unpredictable) arrivals at 4× the paper's edge load: the
+/// offered rate a 4-device fleet shares, and the stress a single device
+/// must absorb alone in baseline (b).
+fn spec_4x() -> WorkloadSpec {
+    WorkloadSpec {
+        devices: 80,
+        fps_per_device: 30.0,
+        duration_s: 5.0,
+        scenario: Scenario::Unpredictable,
+    }
+}
+
+fn heterogeneous(router: RouterKind) -> FleetConfig {
+    FleetConfig {
+        devices: vec![
+            DeviceKind::AdaFlow,
+            DeviceKind::AdaFlow,
+            DeviceKind::FlexibleOnly,
+            DeviceKind::FixedMax,
+        ],
+        router,
+        ..FleetConfig::default()
+    }
+}
+
+fn mean_summary(lib: &Library, config: FleetConfig) -> FleetSummary {
+    FleetExperiment::new(lib, spec_4x())
+        .config(config)
+        .runs(SEEDS)
+        .run()
+}
+
+#[test]
+fn deadline_aware_fleet_beats_round_robin_and_single_device() {
+    let lib = library();
+    let aware = mean_summary(&lib, heterogeneous(RouterKind::DeadlineAware));
+    let rr = mean_summary(&lib, heterogeneous(RouterKind::RoundRobin));
+    let single = mean_summary(
+        &lib,
+        FleetConfig {
+            devices: vec![DeviceKind::AdaFlow],
+            ..FleetConfig::default()
+        },
+    );
+
+    assert!(aware.conservation_holds());
+    assert!(rr.conservation_holds());
+    assert!(single.conservation_holds());
+
+    assert!(
+        aware.deadline_hit_pct > rr.deadline_hit_pct,
+        "deadline-aware {:.2}% must beat round-robin {:.2}%",
+        aware.deadline_hit_pct,
+        rr.deadline_hit_pct
+    );
+    assert!(
+        aware.deadline_hit_pct > single.deadline_hit_pct,
+        "deadline-aware fleet {:.2}% must beat a single device at 4x load {:.2}%",
+        aware.deadline_hit_pct,
+        single.deadline_hit_pct
+    );
+}
+
+#[test]
+fn stagger_budget_is_respected_on_real_runs() {
+    let lib = library();
+    // ~300 FPS per device: demand oscillates across a model boundary, so
+    // devices actually switch (and stall) — the traffic the stagger
+    // budget exists for.
+    let spec = WorkloadSpec {
+        devices: 40,
+        fps_per_device: 30.0,
+        duration_s: 10.0,
+        scenario: Scenario::Unpredictable,
+    };
+    let config = FleetConfig {
+        devices: vec![DeviceKind::AdaFlow; 4],
+        max_concurrent_drains: 1,
+        ..FleetConfig::default()
+    };
+    let mut total_switches = 0.0;
+    for seed in 1..=10u64 {
+        let s = FleetEngine::new(config.clone()).run(&lib, &spec, seed);
+        assert!(
+            s.observed_max_drains <= 1.0,
+            "seed {seed}: {} devices drained concurrently under a budget of 1",
+            s.observed_max_drains
+        );
+        total_switches += s.model_switches;
+    }
+    assert!(
+        total_switches > 0.0,
+        "witness is vacuous: no device ever switched (nothing was staggered)"
+    );
+}

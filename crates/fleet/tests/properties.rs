@@ -1,0 +1,142 @@
+//! Property-based tests of the fleet invariants: bit determinism across
+//! worker-thread counts, request conservation on the observable event
+//! record, and the stagger budget.
+
+use adaflow::{Library, LibraryGenerator};
+use adaflow_edge::{Scenario, WorkloadSpec};
+use adaflow_fleet::prelude::*;
+use adaflow_model::prelude::*;
+use adaflow_nn::DatasetKind;
+use adaflow_telemetry::{EventKind, SinkHandle};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use std::sync::OnceLock;
+
+fn library() -> &'static Library {
+    static LIB: OnceLock<Library> = OnceLock::new();
+    LIB.get_or_init(|| {
+        LibraryGenerator::default_edge_setup()
+            .generate(
+                topology::cnv_w2a2_cifar10().expect("builds"),
+                DatasetKind::Cifar10,
+            )
+            .expect("generates")
+    })
+}
+
+fn spec() -> WorkloadSpec {
+    WorkloadSpec {
+        devices: 6,
+        fps_per_device: 30.0,
+        duration_s: 2.5,
+        scenario: Scenario::Unpredictable,
+    }
+}
+
+fn kind(choice: u8) -> DeviceKind {
+    match choice % 3 {
+        0 => DeviceKind::AdaFlow,
+        1 => DeviceKind::FixedMax,
+        _ => DeviceKind::FlexibleOnly,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The multi-seed fleet mean is bit-identical for 1, 2 and N worker
+    /// threads: sharding runs across workers must never change a single
+    /// bit of the averaged summary.
+    #[test]
+    fn fleet_mean_identical_across_thread_counts(
+        seed in 0u64..1_000,
+        router_idx in 0usize..4,
+        n in 1usize..5,
+    ) {
+        let config = FleetConfig {
+            devices: vec![DeviceKind::AdaFlow; n],
+            router: RouterKind::ALL[router_idx],
+            ..FleetConfig::default()
+        };
+        let exp = FleetExperiment::new(library(), spec())
+            .config(config)
+            .runs(3)
+            .seed(seed);
+        let serial = exp.clone().threads(1).run();
+        let two = exp.clone().threads(2).run();
+        let auto = exp.threads(0).run();
+        prop_assert_eq!(&serial, &two, "2 workers diverged from serial");
+        prop_assert_eq!(&serial, &auto, "auto workers diverged from serial");
+        prop_assert!(serial.conservation_holds());
+    }
+
+    /// Conservation on the observable record: every generated request is
+    /// routed exactly once to a valid device, and every routed request is
+    /// either completed or shed exactly once — nothing lost, duplicated,
+    /// or left in flight.
+    #[test]
+    fn every_request_routed_once_and_resolved_once(
+        seed in 0u64..1_000,
+        router_idx in 0usize..4,
+        kinds in proptest::collection::vec(0u8..3, 1..5),
+    ) {
+        let devices: Vec<DeviceKind> = kinds.iter().copied().map(kind).collect();
+        let n = devices.len();
+        let config = FleetConfig {
+            devices,
+            router: RouterKind::ALL[router_idx],
+            ..FleetConfig::default()
+        };
+        let (sink, recorder) = SinkHandle::recorder(1 << 18);
+        let summary = FleetEngine::new(config).with_sink(sink).run(library(), &spec(), seed);
+        let mut routed = BTreeSet::new();
+        let mut completed = BTreeSet::new();
+        let mut shed = BTreeSet::new();
+        for e in recorder.drain() {
+            match e.kind {
+                EventKind::RequestRouted { id, device_idx, .. } => {
+                    prop_assert!((device_idx as usize) < n, "routed to device {device_idx} of {n}");
+                    prop_assert!(routed.insert(id), "id {id} routed twice");
+                }
+                EventKind::RequestCompleted { id, .. } => {
+                    prop_assert!(completed.insert(id), "id {id} completed twice");
+                    prop_assert!(routed.contains(&id), "id {id} completed unrouted");
+                }
+                EventKind::RequestShed { id, .. } => {
+                    prop_assert!(shed.insert(id), "id {id} shed twice");
+                }
+                _ => {}
+            }
+        }
+        prop_assert!(completed.is_disjoint(&shed), "id both completed and shed");
+        prop_assert_eq!(routed.len() as f64, summary.arrived);
+        prop_assert_eq!(completed.len() as f64, summary.completed);
+        prop_assert_eq!(shed.len() as f64, summary.shed);
+        prop_assert!(summary.conservation_holds());
+        let resolved: BTreeSet<_> = completed.union(&shed).copied().collect();
+        prop_assert_eq!(routed, resolved, "request neither completed nor shed");
+    }
+
+    /// The stagger budget holds for every K: no interleaving of device
+    /// reconfigurations ever has more than `max_concurrent_drains` drain
+    /// windows overlapping.
+    #[test]
+    fn stagger_budget_never_exceeded(
+        seed in 0u64..1_000,
+        k in 1usize..4,
+        n in 2usize..6,
+    ) {
+        let config = FleetConfig {
+            devices: vec![DeviceKind::AdaFlow; n],
+            max_concurrent_drains: k,
+            ..FleetConfig::default()
+        };
+        let summary = FleetEngine::new(config).run(library(), &spec(), seed);
+        prop_assert!(
+            summary.observed_max_drains <= k as f64,
+            "budget {k} exceeded: {} concurrent drains",
+            summary.observed_max_drains
+        );
+        prop_assert!(summary.conservation_holds());
+    }
+}

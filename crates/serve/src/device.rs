@@ -1,0 +1,578 @@
+//! The per-device serving core: one bounded queue, one dynamic batcher,
+//! one policy-controlled accelerator.
+//!
+//! [`DeviceCore`] is the single-server state machine that
+//! [`ServeEngine`](crate::engine::ServeEngine) runs one of and the fleet
+//! layer (`adaflow-fleet`) runs N of. It owns everything local to a
+//! device — admission queue, in-flight batch, observed-pressure EWMA,
+//! control-period rate limiting, per-request deadline accounting — and
+//! exposes *event candidates* (`next_completion_s`, `next_close_s`)
+//! instead of a run loop, so a caller can interleave any number of cores
+//! on one global simulation clock in deterministic time order.
+//!
+//! The semantics are exactly the single-device engine's (see
+//! `crate::engine` for the event model): batches close only while the
+//! server is idle, switch stalls delay the start of the next batch
+//! without dropping queued work, and an in-flight batch always completes
+//! under the state it started with. The only extension is the pluggable
+//! *drain gate* on [`DeviceCore::close_batch`]: a fleet-level
+//! reconfiguration coordinator can postpone the start of a stall window
+//! (staggering fabric switches across devices); the single-device engine
+//! passes the identity gate (drain starts immediately).
+
+use crate::config::ServeConfig;
+use crate::policy::ServePolicy;
+use crate::queue::{Admission, AdmissionQueue};
+use crate::request::{CompletedRequest, Request};
+use adaflow::PressureSignal;
+use adaflow_edge::ServingState;
+use adaflow_telemetry::{EventKind, LogHistogram, SinkHandle};
+
+/// Absolute slack for deadline and timer comparisons, seconds.
+pub(crate) const TIME_EPS: f64 = 1e-9;
+
+/// A batch in service.
+struct InFlight {
+    members: Vec<Request>,
+    close_s: f64,
+    start_s: f64,
+    service_s: f64,
+    done_s: f64,
+    accuracy: f64,
+}
+
+/// Running counters of one device core (integral during a run; exposed as
+/// plain integers/sums so callers can build whatever summary they need).
+#[derive(Debug, Clone, Default)]
+pub struct DeviceStats {
+    /// Requests offered to this device.
+    pub arrived: u64,
+    /// Requests served to completion.
+    pub completed: u64,
+    /// Requests shed by admission control.
+    pub shed: u64,
+    /// Completed requests that met the deadline.
+    pub deadline_hits: u64,
+    /// Batches closed.
+    pub batches: u64,
+    /// Requests across all closed batches.
+    pub batched_requests: u64,
+    /// Model switches performed by the policy.
+    pub model_switches: u64,
+    /// Model switches served by the flexible fabric (weight reloads).
+    pub flexible_switches: u64,
+    /// Full FPGA reconfigurations.
+    pub reconfigurations: u64,
+    /// Total service suspension charged by switches, seconds.
+    pub stall_total_s: f64,
+    /// Sum of per-request queue waits (arrival → batch close), seconds.
+    pub queue_wait_sum_s: f64,
+    /// Sum of per-request batch waits (close → service start), seconds.
+    pub batch_wait_sum_s: f64,
+    /// Sum of per-request service times, seconds.
+    pub service_sum_s: f64,
+    /// Sum of per-request end-to-end latencies, seconds.
+    pub latency_sum_s: f64,
+    /// Sum of per-request serving-model accuracies, percent.
+    pub accuracy_sum_pct: f64,
+    /// Accumulated *batch-level* service time — the device's busy time,
+    /// for utilisation (unlike `service_sum_s`, counted once per batch).
+    pub busy_service_s: f64,
+}
+
+/// What one [`DeviceCore::close_batch`] call did — the fleet layer turns
+/// this into per-device reconfiguration telemetry and stagger accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchClose {
+    /// Requests in the closed batch.
+    pub size: usize,
+    /// Model serving the batch.
+    pub model: String,
+    /// Stall charged by the policy at this close (zero when the policy was
+    /// not consulted or did not switch).
+    pub stall_s: f64,
+    /// When the stall window begins (equals the close instant under the
+    /// identity gate; later when a coordinator deferred the drain).
+    pub drain_start_s: f64,
+    /// When service starts (`drain_start_s + stall_s`).
+    pub start_s: f64,
+    /// When the batch completes.
+    pub done_s: f64,
+    /// Whether this close switched the CNN model.
+    pub model_switched: bool,
+    /// Whether this close reconfigured the FPGA fabric.
+    pub reconfigured: bool,
+}
+
+/// One policy-controlled single-server device: queue, batcher, pressure
+/// observation and deadline accounting.
+pub struct DeviceCore {
+    config: ServeConfig,
+    queue: AdmissionQueue,
+    busy: Option<InFlight>,
+    state: Option<ServingState>,
+    last_control: f64,
+    /// Observed arrival-rate EWMA, seeded with the operator's nominal
+    /// estimate until arrivals teach it.
+    ewma: f64,
+    last_arrival_s: Option<f64>,
+    stats: DeviceStats,
+    latency: LogHistogram,
+}
+
+impl DeviceCore {
+    /// Creates a device core. `initial_rate_fps` seeds the arrival-rate
+    /// EWMA (the operator's nominal estimate of this device's share of the
+    /// offered load); the caller resolves `config.initial_rate_fps == 0`
+    /// against the workload before constructing the core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate (`max_batch == 0`,
+    /// non-positive `ewma_tau_s` or `drain_target_s`).
+    #[must_use]
+    pub fn new(config: ServeConfig, initial_rate_fps: f64) -> Self {
+        assert!(config.max_batch > 0, "max_batch must be positive");
+        assert!(config.ewma_tau_s > 0.0, "ewma_tau_s must be positive");
+        assert!(
+            config.drain_target_s > 0.0,
+            "drain_target_s must be positive"
+        );
+        let queue = AdmissionQueue::new(config.queue_capacity, config.overflow);
+        Self {
+            config,
+            queue,
+            busy: None,
+            state: None,
+            last_control: f64::NEG_INFINITY,
+            ewma: initial_rate_fps,
+            last_arrival_s: None,
+            stats: DeviceStats::default(),
+            latency: LogHistogram::latency_s(),
+        }
+    }
+
+    /// The device's serving configuration.
+    #[must_use]
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Current admission-queue occupancy.
+    #[must_use]
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Requests in the in-flight batch (zero while idle).
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.busy.as_ref().map_or(0, |b| b.members.len())
+    }
+
+    /// Completion instant of the in-flight batch, if any — the earliest
+    /// time the server can accept new work.
+    #[must_use]
+    pub fn busy_until_s(&self) -> Option<f64> {
+        self.busy.as_ref().map(|b| b.done_s)
+    }
+
+    /// Throughput of the currently-applied serving state, if established.
+    #[must_use]
+    pub fn serving_fps(&self) -> Option<f64> {
+        self.state.as_ref().map(|s| s.throughput_fps)
+    }
+
+    /// The device's observed arrival-rate EWMA, FPS.
+    #[must_use]
+    pub fn ewma_fps(&self) -> f64 {
+        self.ewma
+    }
+
+    /// Running counters.
+    #[must_use]
+    pub fn stats(&self) -> &DeviceStats {
+        &self.stats
+    }
+
+    /// Whether the device holds no work (queue empty, server idle).
+    #[must_use]
+    pub fn is_drained(&self) -> bool {
+        self.queue.is_empty() && self.busy.is_none()
+    }
+
+    /// Consumes the core, returning final counters and the completed-
+    /// request latency distribution.
+    #[must_use]
+    pub fn finish(self) -> (DeviceStats, LogHistogram) {
+        (self.stats, self.latency)
+    }
+
+    /// Next batch-completion instant, if a batch is in flight.
+    #[must_use]
+    pub fn next_completion_s(&self) -> Option<f64> {
+        self.busy.as_ref().map(|b| b.done_s)
+    }
+
+    /// Next batch-close instant: only while the server is idle with queued
+    /// work — `now` when the queue already holds a full batch, otherwise
+    /// when the oldest queued request exhausts its batching wait.
+    #[must_use]
+    pub fn next_close_s(&self, now: f64) -> Option<f64> {
+        if self.busy.is_some() {
+            return None;
+        }
+        self.queue.oldest_arrival_s().map(|oldest| {
+            if self.queue.len() >= self.config.max_batch {
+                now
+            } else {
+                (oldest + self.config.max_wait_s).max(now)
+            }
+        })
+    }
+
+    /// Offers one request at `now`, teaching the arrival EWMA and
+    /// resolving admission per the overflow policy. Telemetry
+    /// (`RequestEnqueued` / `RequestShed`) goes to `sink`.
+    pub fn offer(&mut self, request: Request, now: f64, sink: &SinkHandle) -> Admission {
+        self.stats.arrived += 1;
+        // Teach the EWMA the instantaneous rate implied by the observed
+        // inter-arrival gap.
+        if let Some(prev) = self.last_arrival_s {
+            let dt = now - prev;
+            if dt > 0.0 {
+                let alpha = 1.0 - (-dt / self.config.ewma_tau_s).exp();
+                self.ewma += alpha * (1.0 / dt - self.ewma);
+            }
+        }
+        self.last_arrival_s = Some(now);
+
+        let depth_before = self.queue.len() as u64;
+        let admission = self.queue.offer(request);
+        match &admission {
+            Admission::Enqueued { depth } => {
+                if sink.enabled() {
+                    sink.emit(
+                        now,
+                        EventKind::RequestEnqueued {
+                            id: request.id,
+                            device: request.device,
+                            queue_depth: *depth,
+                        },
+                    );
+                }
+            }
+            Admission::Rejected => {
+                self.stats.shed += 1;
+                if sink.enabled() {
+                    sink.emit(
+                        now,
+                        EventKind::RequestShed {
+                            id: request.id,
+                            reason: self.config.overflow.shed_reason().to_string(),
+                            queue_depth: depth_before,
+                        },
+                    );
+                }
+            }
+            Admission::Displaced { victim, depth } => {
+                self.stats.shed += 1;
+                if sink.enabled() {
+                    sink.emit(
+                        now,
+                        EventKind::RequestShed {
+                            id: victim.id,
+                            reason: self.config.overflow.shed_reason().to_string(),
+                            queue_depth: depth_before,
+                        },
+                    );
+                    sink.emit(
+                        now,
+                        EventKind::RequestEnqueued {
+                            id: request.id,
+                            device: request.device,
+                            queue_depth: *depth,
+                        },
+                    );
+                }
+            }
+        }
+        admission
+    }
+
+    /// Completes the in-flight batch at `now`, accounting every member's
+    /// deadline outcome and pushing its latency decomposition onto
+    /// `details` (completion order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no batch is in flight — callers drive completions off
+    /// [`DeviceCore::next_completion_s`].
+    pub fn complete(&mut self, now: f64, sink: &SinkHandle, details: &mut Vec<CompletedRequest>) {
+        let batch = self
+            .busy
+            .take()
+            .expect("completion implies an in-flight batch");
+        for member in &batch.members {
+            let latency_s = now - member.arrival_s;
+            let deadline_met = latency_s <= self.config.deadline_s + TIME_EPS;
+            self.stats.completed += 1;
+            self.stats.deadline_hits += u64::from(deadline_met);
+            self.stats.latency_sum_s += latency_s;
+            self.stats.queue_wait_sum_s += batch.close_s - member.arrival_s;
+            self.stats.batch_wait_sum_s += batch.start_s - batch.close_s;
+            self.stats.service_sum_s += batch.service_s;
+            self.stats.accuracy_sum_pct += batch.accuracy;
+            self.latency.record(latency_s);
+            details.push(CompletedRequest {
+                id: member.id,
+                device: member.device,
+                arrival_s: member.arrival_s,
+                queue_wait_s: batch.close_s - member.arrival_s,
+                batch_wait_s: batch.start_s - batch.close_s,
+                service_s: batch.service_s,
+                latency_s,
+                deadline_met,
+            });
+            if sink.enabled() {
+                sink.emit(
+                    now,
+                    EventKind::RequestCompleted {
+                        id: member.id,
+                        latency_s,
+                        deadline_met,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Closes a batch at `now`: consults the policy (rate-limited to one
+    /// consultation per control period; the very first close must
+    /// establish a state), takes up to `max_batch` requests and puts them
+    /// in flight.
+    ///
+    /// `drain_gate` maps `(now, stall_s)` to the instant the stall window
+    /// may begin (`>= now`); service then starts at `drain_start +
+    /// stall_s`. The single-device engine passes the identity gate; a
+    /// fleet coordinator returns a later slot to stagger concurrent
+    /// drains. The gate is consulted only when a switch actually stalls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue is empty or a batch is already in flight —
+    /// callers drive closes off [`DeviceCore::next_close_s`].
+    pub fn close_batch(
+        &mut self,
+        now: f64,
+        policy: &mut dyn ServePolicy,
+        sink: &SinkHandle,
+        drain_gate: &mut dyn FnMut(f64, f64) -> f64,
+    ) -> BatchClose {
+        assert!(self.busy.is_none(), "close with a batch in flight");
+        // Consult the policy at most once per control period; the very
+        // first close must establish a state.
+        let mut stall_s = 0.0;
+        let mut model_switched = false;
+        let mut reconfigured = false;
+        if self.state.is_none()
+            || now - self.last_control >= self.config.control_period_s - TIME_EPS
+        {
+            let signal = PressureSignal {
+                arrival_fps_ewma: self.ewma,
+                queue_depth: self.queue.len() as f64,
+                drain_target_s: self.config.drain_target_s,
+            };
+            let new_state = policy.on_pressure(now, &signal);
+            if new_state.model_switched {
+                self.stats.model_switches += 1;
+                if new_state.reconfigured {
+                    self.stats.reconfigurations += 1;
+                } else {
+                    self.stats.flexible_switches += 1;
+                }
+            }
+            stall_s = new_state.stall_s;
+            model_switched = new_state.model_switched;
+            reconfigured = new_state.reconfigured;
+            self.stats.stall_total_s += stall_s;
+            self.state = Some(new_state);
+            self.last_control = now;
+        }
+        let st = self
+            .state
+            .as_ref()
+            .expect("state established at first close");
+        let members = self.queue.take_batch(self.config.max_batch);
+        assert!(!members.is_empty(), "close event with an empty queue");
+        let oldest_wait_s = now - members[0].arrival_s;
+        if sink.enabled() {
+            sink.emit(
+                now,
+                EventKind::BatchClosed {
+                    size: members.len() as u64,
+                    oldest_wait_s,
+                    model: st.model.clone(),
+                },
+            );
+        }
+        self.stats.batches += 1;
+        self.stats.batched_requests += members.len() as u64;
+        let drain_start_s = if stall_s > 0.0 {
+            drain_gate(now, stall_s).max(now)
+        } else {
+            now
+        };
+        let start_s = drain_start_s + stall_s;
+        let service_s = members.len() as f64 / st.throughput_fps.max(1e-9);
+        self.stats.busy_service_s += service_s;
+        let close = BatchClose {
+            size: members.len(),
+            model: st.model.clone(),
+            stall_s,
+            drain_start_s,
+            start_s,
+            done_s: start_s + service_s,
+            model_switched,
+            reconfigured,
+        };
+        self.busy = Some(InFlight {
+            close_s: now,
+            start_s,
+            service_s,
+            done_s: close.done_s,
+            accuracy: st.accuracy,
+            members,
+        });
+        close
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::OverflowPolicy;
+    use adaflow_dataflow::AcceleratorKind;
+    use adaflow_hls::{PowerModel, ResourceEstimate};
+
+    struct Fixed(f64);
+
+    impl ServePolicy for Fixed {
+        fn name(&self) -> &str {
+            "fixed"
+        }
+
+        fn on_pressure(&mut self, _now: f64, _signal: &PressureSignal) -> ServingState {
+            ServingState {
+                throughput_fps: self.0,
+                stall_s: 0.0,
+                accuracy: 80.0,
+                power: PowerModel::new(ResourceEstimate {
+                    lut: 1,
+                    ff: 1,
+                    bram36: 1,
+                    dsp: 0,
+                }),
+                activity: 1.0,
+                model: "fixed".into(),
+                accelerator: AcceleratorKind::Finn,
+                model_switched: false,
+                reconfigured: false,
+            }
+        }
+    }
+
+    fn req(id: u64, arrival_s: f64) -> Request {
+        Request {
+            id,
+            device: 0,
+            arrival_s,
+        }
+    }
+
+    #[test]
+    fn close_candidate_respects_batch_and_wait() {
+        let mut core = DeviceCore::new(
+            ServeConfig {
+                max_batch: 2,
+                max_wait_s: 0.5,
+                ..ServeConfig::default()
+            },
+            100.0,
+        );
+        let sink = SinkHandle::default();
+        assert_eq!(core.next_close_s(0.0), None, "empty queue never closes");
+        core.offer(req(0, 0.0), 0.0, &sink);
+        assert_eq!(core.next_close_s(0.1), Some(0.5), "timer from oldest");
+        core.offer(req(1, 0.1), 0.1, &sink);
+        assert_eq!(core.next_close_s(0.1), Some(0.1), "full batch closes now");
+    }
+
+    #[test]
+    fn drain_gate_shifts_service_start() {
+        let mut core = DeviceCore::new(ServeConfig::default(), 100.0);
+        let sink = SinkHandle::default();
+        core.offer(req(0, 0.0), 0.0, &sink);
+        // A policy that stalls on its very first consult.
+        struct Stall;
+        impl ServePolicy for Stall {
+            fn name(&self) -> &str {
+                "stall"
+            }
+            fn on_pressure(&mut self, now: f64, signal: &PressureSignal) -> ServingState {
+                let mut s = Fixed(100.0).on_pressure(now, signal);
+                s.stall_s = 0.1;
+                s.model_switched = true;
+                s.reconfigured = true;
+                s
+            }
+        }
+        let close = core.close_batch(0.02, &mut Stall, &sink, &mut |_, _| 0.25);
+        assert_eq!(close.drain_start_s, 0.25, "gate defers the drain");
+        assert!((close.start_s - 0.35).abs() < 1e-12, "service after stall");
+        assert!(close.reconfigured);
+        assert_eq!(core.next_completion_s(), Some(close.done_s));
+    }
+
+    #[test]
+    fn stats_track_batch_level_busy_time() {
+        let mut core = DeviceCore::new(ServeConfig::default(), 100.0);
+        let sink = SinkHandle::default();
+        let mut details = Vec::new();
+        for id in 0..4 {
+            core.offer(req(id, 0.0), 0.0, &sink);
+        }
+        let close = core.close_batch(0.0, &mut Fixed(100.0), &sink, &mut |now, _| now);
+        core.complete(close.done_s, &sink, &mut details);
+        let stats = core.stats();
+        assert_eq!(stats.completed, 4);
+        // Per-member service sums 4×, batch-level busy time once.
+        assert!((stats.service_sum_s - 4.0 * close.done_s).abs() < 1e-9);
+        assert!((stats.busy_service_s - (close.done_s - close.start_s)).abs() < 1e-12);
+        assert!(core.is_drained());
+        assert_eq!(details.len(), 4);
+    }
+
+    #[test]
+    fn zero_capacity_core_sheds_everything() {
+        let mut core = DeviceCore::new(
+            ServeConfig {
+                queue_capacity: 0,
+                overflow: OverflowPolicy::ShedOldest,
+                ..ServeConfig::default()
+            },
+            100.0,
+        );
+        let sink = SinkHandle::default();
+        for id in 0..5 {
+            assert_eq!(
+                core.offer(req(id, id as f64 * 0.01), id as f64 * 0.01, &sink),
+                Admission::Rejected
+            );
+        }
+        assert_eq!(core.stats().arrived, 5);
+        assert_eq!(core.stats().shed, 5);
+        assert_eq!(core.next_close_s(1.0), None, "nothing ever queues");
+        assert!(core.is_drained());
+    }
+}

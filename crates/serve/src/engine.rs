@@ -8,6 +8,12 @@
 //! global time order with the tie priority *completion < close < arrival*
 //! (finish work before starting more, start work before accepting more).
 //!
+//! The per-device mechanics (queue, batcher, pressure EWMA, deadline
+//! accounting) live in [`DeviceCore`](crate::device::DeviceCore); this
+//! module is the single-device event loop over one core. The fleet layer
+//! (`adaflow-fleet`) interleaves many cores on one clock with the same
+//! tie discipline.
+//!
 //! ## Batching
 //!
 //! A batch closes when the server is idle and either the queue holds
@@ -35,26 +41,15 @@
 
 use crate::arrivals::generate_requests;
 use crate::config::ServeConfig;
+use crate::device::DeviceCore;
 use crate::policy::ServePolicy;
-use crate::queue::{Admission, AdmissionQueue};
 use crate::request::{CompletedRequest, Request};
 use crate::summary::ServeSummary;
+use adaflow_edge::WorkloadSpec;
+use adaflow_telemetry::SinkHandle;
+
+#[cfg(test)]
 use adaflow::PressureSignal;
-use adaflow_edge::{ServingState, WorkloadSpec};
-use adaflow_telemetry::{EventKind, LogHistogram, SinkHandle};
-
-/// Absolute slack for deadline and timer comparisons, seconds.
-const TIME_EPS: f64 = 1e-9;
-
-/// A batch in service.
-struct InFlight {
-    members: Vec<Request>,
-    close_s: f64,
-    start_s: f64,
-    service_s: f64,
-    done_s: f64,
-    accuracy: f64,
-}
 
 /// Which event source fires next (discriminant doubles as tie priority).
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -137,7 +132,6 @@ impl ServeEngine {
         self.serve_loop(spec, requests, policy, &mut sink_details)
     }
 
-    #[allow(clippy::too_many_lines)]
     fn serve_loop(
         &self,
         spec: &WorkloadSpec,
@@ -145,60 +139,22 @@ impl ServeEngine {
         policy: &mut dyn ServePolicy,
         details: &mut Vec<CompletedRequest>,
     ) -> ServeSummary {
-        let cfg = &self.config;
-        assert!(cfg.max_batch > 0, "max_batch must be positive");
-        assert!(cfg.ewma_tau_s > 0.0, "ewma_tau_s must be positive");
-        assert!(cfg.drain_target_s > 0.0, "drain_target_s must be positive");
-
-        let mut queue = AdmissionQueue::new(cfg.queue_capacity, cfg.overflow);
-        let mut busy: Option<InFlight> = None;
-        let mut state: Option<ServingState> = None;
-        let mut next_arrival = 0usize;
-        let mut now = 0.0f64;
-        let mut last_control = f64::NEG_INFINITY;
-
-        // Observed arrival-rate EWMA, seeded with the operator's nominal
-        // estimate (fleet size × per-device rate) until arrivals teach it.
-        let mut ewma = if cfg.initial_rate_fps > 0.0 {
-            cfg.initial_rate_fps
+        // Observed arrival-rate EWMA seed: the operator's nominal estimate
+        // (fleet size × per-device rate) until arrivals teach it.
+        let initial_rate = if self.config.initial_rate_fps > 0.0 {
+            self.config.initial_rate_fps
         } else {
             spec.nominal_fps()
         };
-        let mut last_arrival_s: Option<f64> = None;
-
-        // Run accounting.
-        let mut arrived = 0u64;
-        let mut completed = 0u64;
-        let mut shed = 0u64;
-        let mut deadline_hits = 0u64;
-        let mut batches = 0u64;
-        let mut batched_requests = 0u64;
-        let mut model_switches = 0u64;
-        let mut flexible_switches = 0u64;
-        let mut reconfigurations = 0u64;
-        let mut stall_total_s = 0.0f64;
-        let mut queue_wait_sum = 0.0f64;
-        let mut batch_wait_sum = 0.0f64;
-        let mut service_sum = 0.0f64;
-        let mut latency_sum = 0.0f64;
-        let mut accuracy_sum = 0.0f64;
-        let mut latency = LogHistogram::latency_s();
+        let mut device = DeviceCore::new(self.config.clone(), initial_rate);
+        let mut next_arrival = 0usize;
+        let mut now = 0.0f64;
 
         loop {
             // Candidate events; the close candidate exists only while the
             // server is idle (batches form when it can accept work).
-            let t_completion = busy.as_ref().map(|b| b.done_s);
-            let t_close = if busy.is_none() {
-                queue.oldest_arrival_s().map(|oldest| {
-                    if queue.len() >= cfg.max_batch {
-                        now
-                    } else {
-                        (oldest + cfg.max_wait_s).max(now)
-                    }
-                })
-            } else {
-                None
-            };
+            let t_completion = device.next_completion_s();
+            let t_close = device.next_close_s(now);
             let t_arrival = requests.get(next_arrival).map(|r| r.arrival_s);
 
             let mut chosen: Option<(f64, Next)> = None;
@@ -223,190 +179,50 @@ impl ServeEngine {
             now = t;
 
             match kind {
-                Next::Completion => {
-                    let batch = busy.take().expect("completion implies in-flight batch");
-                    for member in &batch.members {
-                        let latency_s = now - member.arrival_s;
-                        let deadline_met = latency_s <= cfg.deadline_s + TIME_EPS;
-                        completed += 1;
-                        deadline_hits += u64::from(deadline_met);
-                        latency_sum += latency_s;
-                        queue_wait_sum += batch.close_s - member.arrival_s;
-                        batch_wait_sum += batch.start_s - batch.close_s;
-                        service_sum += batch.service_s;
-                        accuracy_sum += batch.accuracy;
-                        latency.record(latency_s);
-                        details.push(CompletedRequest {
-                            id: member.id,
-                            device: member.device,
-                            arrival_s: member.arrival_s,
-                            queue_wait_s: batch.close_s - member.arrival_s,
-                            batch_wait_s: batch.start_s - batch.close_s,
-                            service_s: batch.service_s,
-                            latency_s,
-                            deadline_met,
-                        });
-                        if self.sink.enabled() {
-                            self.sink.emit(
-                                now,
-                                EventKind::RequestCompleted {
-                                    id: member.id,
-                                    latency_s,
-                                    deadline_met,
-                                },
-                            );
-                        }
-                    }
-                }
+                Next::Completion => device.complete(now, &self.sink, details),
                 Next::Close => {
-                    // Consult the policy at most once per control period;
-                    // the very first close must establish a state.
-                    let mut stall_s = 0.0;
-                    if state.is_none() || now - last_control >= cfg.control_period_s - TIME_EPS {
-                        let signal = PressureSignal {
-                            arrival_fps_ewma: ewma,
-                            queue_depth: queue.len() as f64,
-                            drain_target_s: cfg.drain_target_s,
-                        };
-                        let new_state = policy.on_pressure(now, &signal);
-                        if new_state.model_switched {
-                            model_switches += 1;
-                            if new_state.reconfigured {
-                                reconfigurations += 1;
-                            } else {
-                                flexible_switches += 1;
-                            }
-                        }
-                        stall_s = new_state.stall_s;
-                        stall_total_s += stall_s;
-                        state = Some(new_state);
-                        last_control = now;
-                    }
-                    let st = state.as_ref().expect("state established at first close");
-                    let members = queue.take_batch(cfg.max_batch);
-                    debug_assert!(!members.is_empty(), "close event with empty queue");
-                    let oldest_wait_s = now - members[0].arrival_s;
-                    if self.sink.enabled() {
-                        self.sink.emit(
-                            now,
-                            EventKind::BatchClosed {
-                                size: members.len() as u64,
-                                oldest_wait_s,
-                                model: st.model.clone(),
-                            },
-                        );
-                    }
-                    batches += 1;
-                    batched_requests += members.len() as u64;
-                    let start_s = now + stall_s;
-                    let service_s = members.len() as f64 / st.throughput_fps.max(1e-9);
-                    busy = Some(InFlight {
-                        close_s: now,
-                        start_s,
-                        service_s,
-                        done_s: start_s + service_s,
-                        accuracy: st.accuracy,
-                        members,
-                    });
+                    // Single device: the drain (if any) starts immediately.
+                    device.close_batch(now, policy, &self.sink, &mut |close_now, _| close_now);
                 }
                 Next::Arrival => {
                     let request = requests[next_arrival];
                     next_arrival += 1;
-                    arrived += 1;
-                    // Teach the EWMA the instantaneous rate implied by the
-                    // observed inter-arrival gap.
-                    if let Some(prev) = last_arrival_s {
-                        let dt = now - prev;
-                        if dt > 0.0 {
-                            let alpha = 1.0 - (-dt / cfg.ewma_tau_s).exp();
-                            ewma += alpha * (1.0 / dt - ewma);
-                        }
-                    }
-                    last_arrival_s = Some(now);
-
-                    let depth_before = queue.len() as u64;
-                    match queue.offer(request) {
-                        Admission::Enqueued { depth } => {
-                            if self.sink.enabled() {
-                                self.sink.emit(
-                                    now,
-                                    EventKind::RequestEnqueued {
-                                        id: request.id,
-                                        device: request.device,
-                                        queue_depth: depth,
-                                    },
-                                );
-                            }
-                        }
-                        Admission::Rejected => {
-                            shed += 1;
-                            if self.sink.enabled() {
-                                self.sink.emit(
-                                    now,
-                                    EventKind::RequestShed {
-                                        id: request.id,
-                                        reason: cfg.overflow.shed_reason().to_string(),
-                                        queue_depth: depth_before,
-                                    },
-                                );
-                            }
-                        }
-                        Admission::Displaced { victim, depth } => {
-                            shed += 1;
-                            if self.sink.enabled() {
-                                self.sink.emit(
-                                    now,
-                                    EventKind::RequestShed {
-                                        id: victim.id,
-                                        reason: cfg.overflow.shed_reason().to_string(),
-                                        queue_depth: depth_before,
-                                    },
-                                );
-                                self.sink.emit(
-                                    now,
-                                    EventKind::RequestEnqueued {
-                                        id: request.id,
-                                        device: request.device,
-                                        queue_depth: depth,
-                                    },
-                                );
-                            }
-                        }
-                    }
+                    device.offer(request, now, &self.sink);
                 }
             }
         }
 
-        debug_assert_eq!(arrived, completed + shed, "request conservation");
+        let (stats, latency) = device.finish();
+        debug_assert_eq!(stats.arrived, stats.completed + stats.shed, "conservation");
         debug_assert_eq!(
-            batched_requests, completed,
+            stats.batched_requests, stats.completed,
             "every batched request completes"
         );
 
-        let completed_f = completed as f64;
-        let arrived_f = arrived as f64;
+        let completed_f = stats.completed as f64;
+        let arrived_f = stats.arrived as f64;
         ServeSummary {
             policy: policy.name().to_string(),
             arrived: arrived_f,
             completed: completed_f,
-            shed: shed as f64,
-            deadline_hits: deadline_hits as f64,
-            deadline_hit_pct: 100.0 * deadline_hits as f64 / arrived_f.max(1.0),
-            shed_pct: 100.0 * shed as f64 / arrived_f.max(1.0),
-            latency_mean_s: latency_sum / completed_f.max(1.0),
+            shed: stats.shed as f64,
+            deadline_hits: stats.deadline_hits as f64,
+            deadline_hit_pct: 100.0 * stats.deadline_hits as f64 / arrived_f.max(1.0),
+            shed_pct: 100.0 * stats.shed as f64 / arrived_f.max(1.0),
+            latency_mean_s: stats.latency_sum_s / completed_f.max(1.0),
             latency_p50_s: latency.p50(),
             latency_p95_s: latency.p95(),
             latency_p99_s: latency.p99(),
-            queue_wait_mean_s: queue_wait_sum / completed_f.max(1.0),
-            batch_wait_mean_s: batch_wait_sum / completed_f.max(1.0),
-            service_mean_s: service_sum / completed_f.max(1.0),
-            batches: batches as f64,
-            mean_batch_size: batched_requests as f64 / (batches as f64).max(1.0),
-            model_switches: model_switches as f64,
-            flexible_switches: flexible_switches as f64,
-            reconfigurations: reconfigurations as f64,
-            stall_total_s,
-            mean_accuracy_pct: accuracy_sum / completed_f.max(1.0),
+            queue_wait_mean_s: stats.queue_wait_sum_s / completed_f.max(1.0),
+            batch_wait_mean_s: stats.batch_wait_sum_s / completed_f.max(1.0),
+            service_mean_s: stats.service_sum_s / completed_f.max(1.0),
+            batches: stats.batches as f64,
+            mean_batch_size: stats.batched_requests as f64 / (stats.batches as f64).max(1.0),
+            model_switches: stats.model_switches as f64,
+            flexible_switches: stats.flexible_switches as f64,
+            reconfigurations: stats.reconfigurations as f64,
+            stall_total_s: stats.stall_total_s,
+            mean_accuracy_pct: stats.accuracy_sum_pct / completed_f.max(1.0),
         }
     }
 }
@@ -416,8 +232,9 @@ mod tests {
     use super::*;
     use crate::queue::OverflowPolicy;
     use adaflow_dataflow::AcceleratorKind;
-    use adaflow_edge::Scenario;
+    use adaflow_edge::{Scenario, ServingState};
     use adaflow_hls::{PowerModel, ResourceEstimate};
+    use adaflow_telemetry::EventKind;
 
     /// A constant-throughput scripted policy.
     struct ConstPolicy {

@@ -21,6 +21,9 @@
 //! * [`config`] — [`ServeConfig`] plus the SV001/SV002 lint rules;
 //! * [`policy`] — pressure-driven policies (AdaFlow, fixed-max,
 //!   flexible-only);
+//! * [`device`] — the reusable per-device core (queue + batcher +
+//!   deadline accounting) that both the single-device engine and the
+//!   `adaflow-fleet` simulator run;
 //! * [`engine`] — the discrete-event serving loop with telemetry;
 //! * [`experiment`] — seeded multi-run driver mirroring
 //!   `adaflow_edge::Experiment`.
@@ -49,6 +52,7 @@
 
 pub mod arrivals;
 pub mod config;
+pub mod device;
 pub mod engine;
 pub mod experiment;
 pub mod policy;
@@ -58,6 +62,7 @@ pub mod summary;
 
 pub use arrivals::generate_requests;
 pub use config::ServeConfig;
+pub use device::{BatchClose, DeviceCore, DeviceStats};
 pub use engine::ServeEngine;
 pub use experiment::ServeExperiment;
 pub use policy::{AdaFlowServePolicy, FixedMaxPolicy, FlexibleOnlyPolicy, ServePolicy};
@@ -69,6 +74,7 @@ pub use summary::ServeSummary;
 pub mod prelude {
     pub use crate::arrivals::generate_requests;
     pub use crate::config::ServeConfig;
+    pub use crate::device::{BatchClose, DeviceCore, DeviceStats};
     pub use crate::engine::ServeEngine;
     pub use crate::experiment::ServeExperiment;
     pub use crate::policy::{AdaFlowServePolicy, FixedMaxPolicy, FlexibleOnlyPolicy, ServePolicy};

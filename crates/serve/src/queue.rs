@@ -81,13 +81,13 @@ pub struct AdmissionQueue {
 impl AdmissionQueue {
     /// Creates an empty queue.
     ///
-    /// # Panics
-    ///
-    /// Panics if `capacity` is zero — a zero-capacity queue sheds every
-    /// request and can never serve.
+    /// A `capacity` of zero is legal and degenerate: every offer is
+    /// rejected (there is no room to admit and no queued victim to
+    /// displace), so such a queue sheds the entire arrival stream. The
+    /// serving engine stays conservation-clean over it — `arrived == shed`
+    /// with nothing ever served.
     #[must_use]
     pub fn new(capacity: usize, policy: OverflowPolicy) -> Self {
-        assert!(capacity > 0, "queue capacity must be positive");
         Self {
             capacity,
             policy,
@@ -102,6 +102,11 @@ impl AdmissionQueue {
             return Admission::Enqueued {
                 depth: self.items.len() as u64,
             };
+        }
+        if self.items.is_empty() {
+            // Capacity zero: nothing to displace, the newcomer is the only
+            // possible victim under every policy.
+            return Admission::Rejected;
         }
         match self.policy {
             OverflowPolicy::Block => Admission::Rejected,
@@ -252,8 +257,16 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "capacity must be positive")]
-    fn zero_capacity_rejected() {
-        let _ = AdmissionQueue::new(0, OverflowPolicy::Block);
+    fn zero_capacity_rejects_under_every_policy() {
+        for policy in [
+            OverflowPolicy::Block,
+            OverflowPolicy::ShedOldest,
+            OverflowPolicy::ShedNewest,
+        ] {
+            let mut q = AdmissionQueue::new(0, policy);
+            assert_eq!(q.offer(req(0)), Admission::Rejected, "{policy:?}");
+            assert!(q.is_empty());
+            assert!(q.take_batch(4).is_empty());
+        }
     }
 }

@@ -111,6 +111,42 @@ pub enum EventKind {
         /// Queue occupancy at the shed decision, requests.
         queue_depth: u64,
     },
+    /// The fleet router dispatched a request to a device (fleet mode).
+    RequestRouted {
+        /// The request id assigned at generation time.
+        id: u64,
+        /// Index of the chosen fleet device.
+        device_idx: u32,
+        /// The chosen device's queue occupancy at dispatch, requests.
+        queue_depth: u64,
+    },
+    /// A fleet device began draining for a fabric switch (fleet mode;
+    /// pairs with `DeviceReconfigEnd` on the same device).
+    DeviceReconfigStart {
+        /// Index of the reconfiguring fleet device.
+        device_idx: u32,
+        /// Model the fabric is switching to.
+        model: String,
+    },
+    /// The matching end of a fleet device's fabric switch.
+    DeviceReconfigEnd {
+        /// Index of the reconfiguring fleet device.
+        device_idx: u32,
+        /// Model the fabric switched to.
+        model: String,
+        /// Serving stall charged to this switch, seconds.
+        stall_s: f64,
+    },
+    /// Periodic fleet load-balance sample (fleet mode).
+    FleetImbalanceSample {
+        /// Coefficient of variation of per-device queue depths
+        /// (0 = perfectly balanced).
+        cv: f64,
+        /// Deepest per-device queue at the sample, requests.
+        max_queue: u64,
+        /// Shallowest per-device queue at the sample, requests.
+        min_queue: u64,
+    },
 }
 
 impl EventKind {
@@ -134,6 +170,10 @@ impl EventKind {
             EventKind::BatchClosed { .. } => "batch_closed",
             EventKind::RequestCompleted { .. } => "request_completed",
             EventKind::RequestShed { .. } => "request_shed",
+            EventKind::RequestRouted { .. } => "request_routed",
+            EventKind::DeviceReconfigStart { .. } => "device_reconfig",
+            EventKind::DeviceReconfigEnd { .. } => "device_reconfig",
+            EventKind::FleetImbalanceSample { .. } => "fleet_imbalance",
         }
     }
 }
@@ -233,5 +273,51 @@ mod tests {
             let back: Event = serde_json::from_str(&text).expect("parses");
             assert_eq!(*e, back);
         }
+    }
+
+    #[test]
+    fn fleet_events_round_trip_and_label() {
+        let events = vec![
+            Event::new(
+                0.1,
+                EventKind::RequestRouted {
+                    id: 42,
+                    device_idx: 2,
+                    queue_depth: 7,
+                },
+            ),
+            Event::new(
+                0.2,
+                EventKind::DeviceReconfigStart {
+                    device_idx: 2,
+                    model: "cnv_p25".into(),
+                },
+            ),
+            Event::new(
+                0.345,
+                EventKind::DeviceReconfigEnd {
+                    device_idx: 2,
+                    model: "cnv_p25".into(),
+                    stall_s: 0.145,
+                },
+            ),
+            Event::new(
+                0.5,
+                EventKind::FleetImbalanceSample {
+                    cv: 0.33,
+                    max_queue: 12,
+                    min_queue: 3,
+                },
+            ),
+        ];
+        for e in &events {
+            let text = serde_json::to_string(e).expect("serializes");
+            let back: Event = serde_json::from_str(&text).expect("parses");
+            assert_eq!(*e, back);
+        }
+        assert_eq!(events[0].kind.label(), "request_routed");
+        assert_eq!(events[1].kind.label(), "device_reconfig");
+        assert_eq!(events[2].kind.label(), "device_reconfig");
+        assert_eq!(events[3].kind.label(), "fleet_imbalance");
     }
 }

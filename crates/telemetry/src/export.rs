@@ -57,6 +57,10 @@ pub struct ChromeTraceEvent {
 const LANE_SERVING: u64 = 1;
 const LANE_CONTROL: u64 = 2;
 const LANE_DESIGN: u64 = 3;
+const LANE_FLEET: u64 = 4;
+/// Fleet device reconfiguration spans get one lane per device so that
+/// concurrent drains on different devices don't nest on the timeline.
+const LANE_FLEET_DEVICE0: u64 = 10;
 
 fn micros(t_s: f64) -> f64 {
     t_s * 1e6
@@ -260,6 +264,56 @@ pub fn to_chrome_trace(events: &[Event]) -> Vec<ChromeTraceEvent> {
                     args,
                 });
             }
+            // Per-request routing decisions would flood the timeline like
+            // enqueues do; routing is visible through the imbalance counter
+            // and the per-device reconfiguration spans.
+            EventKind::RequestRouted { .. } => {}
+            EventKind::DeviceReconfigStart { device_idx, model } => {
+                out.push(ChromeTraceEvent {
+                    name: "device_reconfig".into(),
+                    cat: "fleet".into(),
+                    ph: "B".into(),
+                    ts,
+                    pid: 1,
+                    tid: LANE_FLEET_DEVICE0 + u64::from(*device_idx),
+                    args: args1("model", Value::Str(model.clone())),
+                });
+            }
+            EventKind::DeviceReconfigEnd {
+                device_idx,
+                model,
+                stall_s,
+            } => {
+                let mut args = args1("model", Value::Str(model.clone()));
+                args.insert("stall_s".into(), Value::F64(*stall_s));
+                out.push(ChromeTraceEvent {
+                    name: "device_reconfig".into(),
+                    cat: "fleet".into(),
+                    ph: "E".into(),
+                    ts,
+                    pid: 1,
+                    tid: LANE_FLEET_DEVICE0 + u64::from(*device_idx),
+                    args,
+                });
+            }
+            EventKind::FleetImbalanceSample {
+                cv,
+                max_queue,
+                min_queue,
+            } => {
+                let mut args = args1("cv", Value::F64(*cv));
+                args.insert("max_queue".into(), Value::U64(*max_queue));
+                args.insert("min_queue".into(), Value::U64(*min_queue));
+                out.push(ChromeTraceEvent {
+                    name: "fleet_imbalance".into(),
+                    cat: "fleet".into(),
+                    ph: "C".into(),
+                    ts,
+                    pid: 1,
+                    tid: LANE_FLEET,
+                    args,
+                });
+            }
         }
     }
     out
@@ -297,6 +351,14 @@ pub struct TraceSummary {
     pub requests_shed: u64,
     /// Batches closed by the dynamic batcher.
     pub batches_closed: u64,
+    /// Requests dispatched by the fleet router (fleet mode).
+    pub requests_routed: u64,
+    /// Fleet device fabric switches (counted at `DeviceReconfigStart`).
+    pub device_reconfigs: u64,
+    /// Fleet load-balance samples observed.
+    pub imbalance_samples: u64,
+    /// Worst sampled fleet load-imbalance coefficient of variation.
+    pub imbalance_cv_max: f64,
     /// Distribution of per-request end-to-end latencies, seconds.
     pub request_latency: LogHistogram,
     /// Distribution of sampled queue depths.
@@ -324,6 +386,10 @@ impl TraceSummary {
             deadline_misses: 0,
             requests_shed: 0,
             batches_closed: 0,
+            requests_routed: 0,
+            device_reconfigs: 0,
+            imbalance_samples: 0,
+            imbalance_cv_max: 0.0,
             request_latency: LogHistogram::latency_s(),
             queue_depth: LogHistogram::queue_frames(),
             horizon_s: 0.0,
@@ -366,6 +432,13 @@ impl TraceSummary {
                 }
                 EventKind::RequestShed { .. } => s.requests_shed += 1,
                 EventKind::BatchClosed { .. } => s.batches_closed += 1,
+                EventKind::RequestRouted { .. } => s.requests_routed += 1,
+                EventKind::DeviceReconfigStart { .. } => s.device_reconfigs += 1,
+                EventKind::DeviceReconfigEnd { .. } => {}
+                EventKind::FleetImbalanceSample { cv, .. } => {
+                    s.imbalance_samples += 1;
+                    s.imbalance_cv_max = s.imbalance_cv_max.max(*cv);
+                }
             }
         }
         s
@@ -465,6 +538,26 @@ pub fn to_prometheus(summary: &TraceSummary) -> String {
         "Batches closed by the dynamic batcher.",
         format!("{}", summary.batches_closed),
     );
+    metric(
+        "adaflow_requests_routed_total",
+        "counter",
+        "Requests dispatched by the fleet router.",
+        format!("{}", summary.requests_routed),
+    );
+    metric(
+        "adaflow_device_reconfigs_total",
+        "counter",
+        "Fleet device fabric switches.",
+        format!("{}", summary.device_reconfigs),
+    );
+    if summary.imbalance_samples > 0 {
+        metric(
+            "adaflow_fleet_imbalance_cv_max",
+            "gauge",
+            "Worst sampled fleet load-imbalance coefficient of variation.",
+            format!("{}", summary.imbalance_cv_max),
+        );
+    }
     if summary.requests_completed > 0 {
         for (q, label) in [(0.5, "0.5"), (0.95, "0.95"), (0.99, "0.99")] {
             metric(
@@ -655,6 +748,85 @@ mod tests {
         assert!(trace.iter().any(|e| e.name == "request_shed"));
         assert!(!trace.iter().any(|e| e.name == "request_enqueued"));
         assert!(!trace.iter().any(|e| e.name == "request_completed"));
+    }
+
+    #[test]
+    fn fleet_events_flow_through_all_three_exporters() {
+        let events = vec![
+            Event::new(
+                0.1,
+                EventKind::RequestRouted {
+                    id: 1,
+                    device_idx: 0,
+                    queue_depth: 3,
+                },
+            ),
+            Event::new(
+                0.2,
+                EventKind::DeviceReconfigStart {
+                    device_idx: 1,
+                    model: "cnv".into(),
+                },
+            ),
+            Event::new(
+                0.3,
+                EventKind::DeviceReconfigEnd {
+                    device_idx: 1,
+                    model: "cnv".into(),
+                    stall_s: 0.1,
+                },
+            ),
+            Event::new(
+                0.4,
+                EventKind::FleetImbalanceSample {
+                    cv: 0.25,
+                    max_queue: 9,
+                    min_queue: 4,
+                },
+            ),
+            Event::new(
+                0.5,
+                EventKind::FleetImbalanceSample {
+                    cv: 0.75,
+                    max_queue: 20,
+                    min_queue: 1,
+                },
+            ),
+        ];
+        // JSONL round-trips the typed events.
+        let back = events_from_jsonl(&events_to_jsonl(&events)).expect("parses");
+        assert_eq!(events, back);
+        // Chrome trace: per-device span pair on its own lane, imbalance as
+        // a counter, routing aggregated away.
+        let trace = to_chrome_trace(&events);
+        assert!(!trace.iter().any(|e| e.name == "request_routed"));
+        let begin = trace
+            .iter()
+            .find(|e| e.name == "device_reconfig" && e.ph == "B")
+            .expect("reconfig span begins");
+        let end = trace
+            .iter()
+            .find(|e| e.name == "device_reconfig" && e.ph == "E")
+            .expect("reconfig span ends");
+        assert_eq!(begin.tid, end.tid);
+        assert_eq!(begin.tid, 11, "device 1 gets its own lane");
+        assert_eq!(
+            trace
+                .iter()
+                .filter(|e| e.name == "fleet_imbalance" && e.ph == "C")
+                .count(),
+            2
+        );
+        // Prometheus: routed/reconfig counters and the worst-sample gauge.
+        let s = TraceSummary::from_events(&events);
+        assert_eq!(s.requests_routed, 1);
+        assert_eq!(s.device_reconfigs, 1);
+        assert_eq!(s.imbalance_samples, 2);
+        assert!((s.imbalance_cv_max - 0.75).abs() < 1e-12);
+        let text = to_prometheus(&s);
+        assert!(text.contains("adaflow_requests_routed_total 1"));
+        assert!(text.contains("adaflow_device_reconfigs_total 1"));
+        assert!(text.contains("adaflow_fleet_imbalance_cv_max 0.75"));
     }
 
     #[test]
