@@ -1,0 +1,99 @@
+//! Criterion bench: the cost of causal request tracing.
+//!
+//! Measures the serving engine on Scenario 2 under three telemetry
+//! configurations:
+//!
+//! * `disabled` — the default [`SinkHandle`] (null sink): span emission is
+//!   a single `enabled()` branch per completed batch. Budget: < 2× the
+//!   PR 1 `telemetry_overhead` NullSink cost — i.e. indistinguishable from
+//!   the untraced engine.
+//! * `recorder` — a ring-buffer recorder receiving the full lifecycle
+//!   stream plus one span tree per completed request.
+//! * `registry` — a live [`RegistrySink`] folding every event into the
+//!   streaming metrics registry (counters, histograms, tumbling windows).
+//!
+//! Set `ADAFLOW_BENCH_SMOKE=1` for the fast CI configuration.
+
+use adaflow::{LibraryGenerator, RuntimeConfig};
+use adaflow_edge::{Scenario, WorkloadSpec};
+use adaflow_nn::DatasetKind;
+use adaflow_serve::{AdaFlowServePolicy, ServeConfig, ServeEngine};
+use adaflow_telemetry::{RegistryConfig, RegistrySink, SinkHandle};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn smoke_mode() -> bool {
+    std::env::var("ADAFLOW_BENCH_SMOKE").is_ok_and(|v| v == "1")
+}
+
+fn spec() -> WorkloadSpec {
+    if smoke_mode() {
+        WorkloadSpec {
+            devices: 5,
+            fps_per_device: 30.0,
+            duration_s: 3.0,
+            scenario: Scenario::Unpredictable,
+        }
+    } else {
+        WorkloadSpec::paper_edge(Scenario::Unpredictable)
+    }
+}
+
+fn bench_tracing(c: &mut Criterion) {
+    let library = LibraryGenerator::default_edge_setup()
+        .generate(
+            adaflow_model::topology::cnv_w2a2_cifar10().expect("builds"),
+            DatasetKind::Cifar10,
+        )
+        .expect("generates");
+    let spec = spec();
+    let tag = if smoke_mode() { "smoke" } else { "paper" };
+    let run = |engine: &ServeEngine| {
+        let mut policy = AdaFlowServePolicy::new(&library, RuntimeConfig::default())
+            .with_deadline(ServeConfig::default().deadline_s);
+        let summary = engine.run(&spec, black_box(7), &mut policy);
+        assert!(summary.conservation_holds());
+        summary
+    };
+
+    c.bench_function(&format!("tracing_disabled_scenario-2_{tag}"), |b| {
+        let engine = ServeEngine::new(ServeConfig::default());
+        b.iter(|| run(&engine));
+    });
+
+    c.bench_function(&format!("tracing_recorder_scenario-2_{tag}"), |b| {
+        b.iter(|| {
+            let (sink, recorder) = SinkHandle::recorder(1 << 18);
+            let engine = ServeEngine::new(ServeConfig::default()).with_sink(sink);
+            let summary = run(&engine);
+            black_box(recorder.drain().len());
+            summary
+        });
+    });
+
+    c.bench_function(&format!("tracing_registry_scenario-2_{tag}"), |b| {
+        b.iter(|| {
+            let registry = RegistrySink::new(RegistryConfig::default());
+            let engine = ServeEngine::new(ServeConfig::default())
+                .with_sink(SinkHandle::new(registry.clone()));
+            let summary = run(&engine);
+            black_box(registry.snapshot().counter("requests_completed"));
+            summary
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = {
+        let c = Criterion::default().sample_size(10);
+        if smoke_mode() {
+            c.measurement_time(Duration::from_millis(400))
+                .warm_up_time(Duration::from_millis(100))
+        } else {
+            c
+        }
+    };
+    targets = bench_tracing
+}
+criterion_main!(benches);

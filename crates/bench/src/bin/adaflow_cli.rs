@@ -50,6 +50,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "simulate" => cmd_simulate(&flags),
         "serve" => cmd_serve(&flags),
         "fleet" => cmd_fleet(&flags),
+        "report" => cmd_report(&flags),
         "trace" => cmd_trace(&flags),
         "explore" => cmd_explore(&flags),
         "lint" => cmd_lint(&flags),
@@ -77,6 +78,10 @@ fn usage() -> String {
      \x20          [--shed block|oldest|newest] [--batch N] [--batch-wait-ms N] [--seed N] [--runs N]\n\
      \x20          [--format text|json] [--out prefix] [--allow codes] [--deny codes] [--check 1]\n\
      \x20          multi-device fleet simulation behind a load-balancing router\n\
+     \x20 report   [--mode serve|fleet] [--library <file>] [--scenario 1|2|1+2] [--seed N]\n\
+     \x20          [--policy ...] [--fleet kinds] [--router r] [--top K] [--slo-target 0.97]\n\
+     \x20          [--slo-objective deadline|latency] [--format text|json] [--out prefix] [--check 1]\n\
+     \x20          per-stage latency waterfall, SLO error-budget burn and span-tree exports\n\
      \x20 trace    --library <file> [--scenario 1|2|1+2] [--policy ...] [--seed N] [--out prefix]\n\
      \x20          writes <prefix>.trace.json (Perfetto), <prefix>.jsonl, <prefix>.prom\n\
      \x20 explore  --model <name> [--target-fps F] [--cap 0.7]\n\
@@ -658,6 +663,200 @@ fn cmd_fleet(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Causal latency attribution: runs one traced serve or fleet simulation,
+/// reconstructs the span forest, and reports the per-stage waterfall plus
+/// the SLO error-budget burn — bit-identical per seed.
+#[allow(clippy::too_many_lines)]
+fn cmd_report(flags: &HashMap<String, String>) -> Result<(), String> {
+    use adaflow_telemetry::{
+        Event, MetricsRegistry, Objective, RegistryConfig, SloConfig, SloEngine, TraceForest,
+        Waterfall,
+    };
+
+    let mode = flags.get("mode").map_or("serve", String::as_str);
+    if !matches!(mode, "serve" | "fleet") {
+        return Err(format!("unknown --mode `{mode}` (serve | fleet)"));
+    }
+    let scenario_name = flags.get("scenario").map_or("2", String::as_str);
+    let scenario = parse_scenario(scenario_name)?;
+    let seed: u64 = flags
+        .get("seed")
+        .map_or(Ok(7), |s| s.parse().map_err(|e| format!("bad --seed: {e}")))?;
+    let top: usize = flags
+        .get("top")
+        .map_or(Ok(3), |v| v.parse().map_err(|e| format!("bad --top: {e}")))?;
+    let format = flags.get("format").map_or("text", String::as_str);
+    if !matches!(format, "text" | "json") {
+        return Err(format!("unknown --format `{format}` (text | json)"));
+    }
+    let check = flags.get("check").is_some_and(|v| v == "1");
+    let target: f64 = flags.get("slo-target").map_or(Ok(0.97), |v| {
+        v.parse().map_err(|e| format!("bad --slo-target: {e}"))
+    })?;
+    if !(target > 0.0 && target < 1.0) {
+        return Err("--slo-target must lie strictly inside (0, 1)".to_string());
+    }
+    let objective_name = flags
+        .get("slo-objective")
+        .map_or("deadline", String::as_str);
+    let objective = Objective::from_label(objective_name).ok_or_else(|| {
+        format!("unknown --slo-objective `{objective_name}` (deadline | latency)")
+    })?;
+
+    // An explicit library wins; otherwise generate the default edge setup
+    // in process so `report` works standalone.
+    let library = match flags.get("library") {
+        Some(_) => load_library(flags)?,
+        None => LibraryGenerator::default_edge_setup()
+            .generate(
+                build_model("cnv-w2a2", Some(DatasetKind::Cifar10))?,
+                DatasetKind::Cifar10,
+            )
+            .map_err(|e| e.to_string())?,
+    };
+    let spec = WorkloadSpec::paper_edge(scenario);
+    let config = parse_serve_knobs(flags)?;
+
+    // One traced run; returns (summary JSON, headline, events).
+    let run_once = || -> Result<(String, String, Vec<Event>), String> {
+        let (sink, recorder) = SinkHandle::recorder(1 << 20);
+        if mode == "serve" {
+            let policy_name = flags.get("policy").map_or("adaflow", String::as_str);
+            build_serve_policy(policy_name, &library, config.deadline_s)?;
+            let experiment = adaflow_serve::ServeExperiment::new(&library, spec.clone())
+                .runs(1)
+                .seed(seed)
+                .config(config.clone());
+            let summary = experiment.run_traced(seed, sink, || {
+                build_serve_policy(policy_name, &library, config.deadline_s)
+                    .expect("name validated above")
+            });
+            if !summary.conservation_holds() {
+                return Err("request conservation violated in traced run".to_string());
+            }
+            let headline = format!(
+                "serve/{policy_name} under {} (seed {seed}): {:.0} arrived, {:.0} completed \
+                 ({:.2}% deadline hits), {:.0} shed",
+                scenario.name(),
+                summary.arrived,
+                summary.completed,
+                summary.deadline_hit_pct,
+                summary.shed
+            );
+            let json = serde_json::to_string(&summary).map_err(|e| e.to_string())?;
+            Ok((json, headline, recorder.drain()))
+        } else {
+            let fleet_config = parse_fleet_config(flags)?;
+            let experiment = adaflow_fleet::FleetExperiment::new(&library, spec.clone())
+                .config(fleet_config.clone())
+                .runs(1)
+                .seed(seed);
+            let summary = experiment.run_traced(seed, sink);
+            if !summary.conservation_holds() {
+                return Err("fleet conservation violated in traced run".to_string());
+            }
+            let headline = format!(
+                "fleet of {} via {} under {} (seed {seed}): {:.0} arrived, {:.0} completed \
+                 ({:.2}% deadline hits), {:.0} shed; stage means queue {:.2} ms / \
+                 batch-wait {:.2} ms (stall {:.2} ms) / service {:.2} ms",
+                fleet_config.devices.len(),
+                summary.router,
+                scenario.name(),
+                summary.arrived,
+                summary.completed,
+                summary.deadline_hit_pct,
+                summary.shed,
+                summary.queue_wait_mean_s * 1e3,
+                summary.batch_wait_mean_s * 1e3,
+                summary.stall_mean_s * 1e3,
+                summary.service_mean_s * 1e3
+            );
+            let json = serde_json::to_string(&summary).map_err(|e| e.to_string())?;
+            Ok((json, headline, recorder.drain()))
+        }
+    };
+
+    let (summary_json, headline, events) = run_once()?;
+    let forest = TraceForest::from_events(&events);
+    forest
+        .validate()
+        .map_err(|e| format!("invalid span forest: {e}"))?;
+    let waterfall = Waterfall::from_forest(&forest, top);
+    let mut registry = MetricsRegistry::new(RegistryConfig {
+        latency_objective_s: config.deadline_s,
+        ..RegistryConfig::default()
+    });
+    registry.observe_all(&events);
+    let slo = SloEngine::new(SloConfig {
+        objective,
+        target,
+        ..SloConfig::default()
+    })
+    .evaluate(&registry);
+    let waterfall_json = serde_json::to_string(&waterfall).map_err(|e| e.to_string())?;
+    let slo_json = serde_json::to_string(&slo).map_err(|e| e.to_string())?;
+
+    if check {
+        let (summary2, _, events2) = run_once()?;
+        if summary_json != summary2 || events != events2 {
+            return Err("determinism check failed: repeated traced run diverged".to_string());
+        }
+    }
+
+    if format == "json" {
+        println!(
+            "{{\"mode\":\"{mode}\",\"scenario\":\"{scenario_name}\",\"seed\":{seed},\
+             \"summary\":{summary_json},\"waterfall\":{waterfall_json},\"slo\":{slo_json}}}"
+        );
+    } else {
+        println!("{headline}");
+        print!("{}", waterfall.render_text());
+        println!(
+            "slo ({}, target {:.2}%): good {:.2}%, error budget {:.1} requests, consumed {:.1}%",
+            slo.objective,
+            slo.target * 100.0,
+            slo.good_fraction * 100.0,
+            slo.error_budget,
+            slo.budget_consumed_pct
+        );
+        println!(
+            "  burn: overall {:.2}x, worst short({:.0}s) {:.2}x, worst long({:.0}s) {:.2}x, \
+             alert threshold {:.1}x, alerts {}",
+            slo.overall_burn_rate,
+            slo.short_window_s,
+            slo.worst_short_burn,
+            slo.long_window_s,
+            slo.worst_long_burn,
+            slo.alert_burn_rate,
+            slo.alerts.len()
+        );
+        if check {
+            println!("  determinism: repeated run identical");
+        }
+    }
+
+    if let Some(prefix) = flags.get("out") {
+        // Fold the SLO alerts into the exported stream (they carry their
+        // own sim timestamps), so the Perfetto view shows burns in place.
+        let mut exported = events.clone();
+        exported.extend(slo.alerts.iter().cloned());
+        let trace_summary = TraceSummary::from_events(&exported);
+        let write = |suffix: &str, contents: String| -> Result<(), String> {
+            let path = format!("{prefix}.{suffix}");
+            std::fs::write(&path, &contents).map_err(|e| format!("writing {path}: {e}"))?;
+            if format == "text" {
+                println!("  wrote {path} ({} bytes)", contents.len());
+            }
+            Ok(())
+        };
+        write("trace.json", chrome_trace_json(&exported))?;
+        write("jsonl", events_to_jsonl(&exported))?;
+        write("prom", to_prometheus(&trace_summary))?;
+        write("metrics.prom", registry.to_prometheus())?;
+    }
+    Ok(())
+}
+
 /// Builds a serving policy by name, attaching a telemetry sink.
 fn build_policy<'l>(
     name: &str,
@@ -1153,6 +1352,62 @@ mod tests {
         assert!(chrome.trim_start().starts_with('['));
         let _ = std::fs::remove_file(lib_path);
         for suffix in ["trace.json", "jsonl", "prom"] {
+            let _ = std::fs::remove_file(format!("{prefix_str}.{suffix}"));
+        }
+    }
+
+    #[test]
+    fn report_command_covers_serve_and_fleet_modes() {
+        let lib_path = std::env::temp_dir().join("adaflow_cli_report_test_library.json");
+        let lib_str = lib_path.to_string_lossy().to_string();
+        cmd_generate(&flags(&[
+            ("model", "cnv-w2a2"),
+            ("dataset", "cifar10"),
+            ("rates", "0,0.5"),
+            ("out", &lib_str),
+        ]))
+        .expect("generate");
+        // Serve mode with the determinism replay.
+        cmd_report(&flags(&[
+            ("library", &lib_str),
+            ("mode", "serve"),
+            ("scenario", "2"),
+            ("seed", "7"),
+            ("check", "1"),
+        ]))
+        .expect("serve report with replay");
+        // Fleet mode in JSON with full exports.
+        let prefix = std::env::temp_dir().join("adaflow_cli_report_test_run");
+        let prefix_str = prefix.to_string_lossy().to_string();
+        cmd_report(&flags(&[
+            ("library", &lib_str),
+            ("mode", "fleet"),
+            ("scenario", "2"),
+            ("seed", "7"),
+            ("format", "json"),
+            ("out", &prefix_str),
+        ]))
+        .expect("fleet report with exports");
+        let chrome = std::fs::read_to_string(format!("{prefix_str}.trace.json")).expect("chrome");
+        assert!(chrome.contains("\"b\""), "async span begins exported");
+        assert!(chrome.contains("\"e\""), "async span ends exported");
+        assert!(chrome.contains("queue_wait"), "stage spans exported");
+        let jsonl = std::fs::read_to_string(format!("{prefix_str}.jsonl")).expect("jsonl");
+        assert!(jsonl.contains("TraceSpan"));
+        let metrics =
+            std::fs::read_to_string(format!("{prefix_str}.metrics.prom")).expect("metrics");
+        assert!(metrics.contains("adaflow_requests_completed_total"));
+        assert!(metrics.contains("quantile"));
+        // Flag validation.
+        assert!(cmd_report(&flags(&[("library", &lib_str), ("mode", "edge")])).is_err());
+        assert!(cmd_report(&flags(&[("library", &lib_str), ("slo-target", "1.5")])).is_err());
+        assert!(cmd_report(&flags(&[
+            ("library", &lib_str),
+            ("slo-objective", "uptime")
+        ]))
+        .is_err());
+        let _ = std::fs::remove_file(lib_path);
+        for suffix in ["trace.json", "jsonl", "prom", "metrics.prom"] {
             let _ = std::fs::remove_file(format!("{prefix_str}.{suffix}"));
         }
     }

@@ -149,6 +149,7 @@ impl FleetEngine {
         let mut next_sample = cfg.imbalance_period_s;
 
         let mut fleet_latency = LogHistogram::latency_s();
+        let mut request_stall_sum_s = 0.0f64;
         let mut scratch: Vec<CompletedRequest> = Vec::new();
         let mut drains: Vec<(f64, f64)> = Vec::new();
         let mut cv_sum = 0.0f64;
@@ -198,7 +199,9 @@ impl FleetEngine {
                     devices[i].complete(now, &self.sink, &mut scratch);
                     for d in &scratch {
                         fleet_latency.record(d.latency_s);
+                        request_stall_sum_s += d.stall_s;
                     }
+                    adaflow_serve::emit_request_traces(&self.sink, &scratch, i as u32, true);
                     scratch.clear();
                 }
                 Pick::Close(i) => {
@@ -337,6 +340,10 @@ impl FleetEngine {
             latency_p50_s: fleet_latency.p50(),
             latency_p95_s: fleet_latency.p95(),
             latency_p99_s: fleet_latency.p99(),
+            queue_wait_mean_s: sum(|s| s.queue_wait_sum_s) / completed.max(1.0),
+            batch_wait_mean_s: sum(|s| s.batch_wait_sum_s) / completed.max(1.0),
+            stall_mean_s: request_stall_sum_s / completed.max(1.0),
+            service_mean_s: sum(|s| s.service_sum_s) / completed.max(1.0),
             batches,
             mean_batch_size: batched / batches.max(1.0),
             model_switches: sum(|s| s.model_switches as f64),
@@ -434,6 +441,46 @@ mod tests {
         assert_eq!(fleet.shed, serve.shed);
         assert_eq!(fleet.deadline_hits, serve.deadline_hits);
         assert_eq!(fleet.reconfigurations, serve.reconfigurations);
+    }
+
+    #[test]
+    fn fleet_span_forest_is_routed_well_formed_and_tiles_latency() {
+        use adaflow_telemetry::{SpanRecord, Stage, TraceForest};
+        let lib = library();
+        let (sink, recorder) = SinkHandle::recorder(1 << 18);
+        let s = FleetEngine::new(FleetConfig::default())
+            .with_sink(sink)
+            .run(&lib, &small_spec(4), 3);
+        let forest = TraceForest::from_events(&recorder.drain());
+        forest.validate().expect("span trees well-formed");
+        assert_eq!(forest.len() as f64, s.completed, "one trace per completion");
+        let n = s.per_device.len() as u32;
+        for trace in &forest.traces {
+            let root = trace.root().expect("root span");
+            assert!(root.device_idx < n, "root carries the serving device");
+            assert!(
+                trace.spans.iter().any(|r| r.span == Stage::Route.span_id()),
+                "fleet traces carry the route marker"
+            );
+            let leaf_sum: f64 = Stage::LEAVES
+                .iter()
+                .map(|stage| {
+                    trace
+                        .spans
+                        .iter()
+                        .find(|r| r.span == stage.span_id())
+                        .map_or(0.0, SpanRecord::duration_s)
+                })
+                .sum();
+            assert!(
+                (leaf_sum - root.duration_s()).abs() < 1e-9,
+                "stage sums tile the root"
+            );
+        }
+        // The summary's stage means decompose its latency mean.
+        let total = s.queue_wait_mean_s + s.batch_wait_mean_s + s.service_mean_s;
+        assert!((total - s.latency_mean_s).abs() < 1e-9);
+        assert!(s.stall_mean_s <= s.batch_wait_mean_s + 1e-12);
     }
 
     #[test]

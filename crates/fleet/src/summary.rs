@@ -53,6 +53,15 @@ pub struct FleetSummary {
     pub latency_p95_s: f64,
     /// 99th percentile fleet latency, seconds.
     pub latency_p99_s: f64,
+    /// Mean time completed requests spent in an admission queue, seconds.
+    pub queue_wait_mean_s: f64,
+    /// Mean time between batch close and service start (stall plus
+    /// coordinator deferral), seconds.
+    pub batch_wait_mean_s: f64,
+    /// Mean reconfiguration-stall share of `batch_wait_mean_s`, seconds.
+    pub stall_mean_s: f64,
+    /// Mean in-batch service time, seconds.
+    pub service_mean_s: f64,
     /// Batches closed across the fleet.
     pub batches: f64,
     /// Mean closed-batch size, requests.
@@ -128,6 +137,10 @@ impl FleetSummary {
             latency_p50_s: avg(|s| s.latency_p50_s),
             latency_p95_s: avg(|s| s.latency_p95_s),
             latency_p99_s: avg(|s| s.latency_p99_s),
+            queue_wait_mean_s: avg(|s| s.queue_wait_mean_s),
+            batch_wait_mean_s: avg(|s| s.batch_wait_mean_s),
+            stall_mean_s: avg(|s| s.stall_mean_s),
+            service_mean_s: avg(|s| s.service_mean_s),
             batches: avg(|s| s.batches),
             mean_batch_size: avg(|s| s.mean_batch_size),
             model_switches: avg(|s| s.model_switches),
@@ -173,6 +186,10 @@ mod tests {
             latency_p50_s: 0.04,
             latency_p95_s: 0.1,
             latency_p99_s: 0.2,
+            queue_wait_mean_s: 0.02,
+            batch_wait_mean_s: 0.01,
+            stall_mean_s: 0.004,
+            service_mean_s: 0.02,
             batches: 20.0,
             mean_batch_size: 4.5,
             model_switches: 3.0,

@@ -117,6 +117,54 @@ proptest! {
         prop_assert_eq!(routed, resolved, "request neither completed nor shed");
     }
 
+    /// Fleet span trees are well-formed for every random fleet shape ×
+    /// router × seed: one tree per completion, every tree carries the
+    /// route marker and a valid serving-device index, and the waterfall's
+    /// stage durations tile the end-to-end latency.
+    #[test]
+    fn fleet_span_forest_well_formed_and_tiles(
+        seed in 0u64..1_000,
+        router_idx in 0usize..4,
+        kinds in proptest::collection::vec(0u8..3, 1..5),
+    ) {
+        use adaflow_telemetry::{SpanRecord, Stage, TraceForest, Waterfall};
+        let devices: Vec<DeviceKind> = kinds.iter().copied().map(kind).collect();
+        let n = devices.len() as u32;
+        let config = FleetConfig {
+            devices,
+            router: RouterKind::ALL[router_idx],
+            ..FleetConfig::default()
+        };
+        let (sink, recorder) = SinkHandle::recorder(1 << 18);
+        let summary = FleetEngine::new(config).with_sink(sink).run(library(), &spec(), seed);
+        let forest = TraceForest::from_events(&recorder.drain());
+        prop_assert!(forest.validate().is_ok(), "invalid forest: {:?}", forest.validate());
+        prop_assert_eq!(forest.len() as f64, summary.completed, "one trace per completion");
+        for trace in &forest.traces {
+            let root = trace.root().expect("validated");
+            prop_assert!(root.device_idx < n, "device {} of {n}", root.device_idx);
+            prop_assert!(
+                trace.spans.iter().any(|r| r.span == Stage::Route.span_id()),
+                "fleet trace {} lacks the route marker", trace.id.0
+            );
+            let leaf_sum: f64 = Stage::LEAVES
+                .iter()
+                .map(|stage| {
+                    trace
+                        .spans
+                        .iter()
+                        .find(|r| r.span == stage.span_id())
+                        .map_or(0.0, SpanRecord::duration_s)
+                })
+                .sum();
+            prop_assert!((leaf_sum - root.duration_s()).abs() < 1e-9,
+                "trace {}: stages must tile end-to-end", trace.id.0);
+        }
+        let waterfall = Waterfall::from_forest(&forest, 3);
+        prop_assert!(waterfall.attribution_residual_s < 1e-9);
+        prop_assert!(waterfall.per_device.len() <= n as usize);
+    }
+
     /// The stagger budget holds for every K: no interleaving of device
     /// reconfigurations ever has more than `max_concurrent_drains` drain
     /// windows overlapping.

@@ -35,6 +35,7 @@ pub(crate) const TIME_EPS: f64 = 1e-9;
 struct InFlight {
     members: Vec<Request>,
     close_s: f64,
+    drain_start_s: f64,
     start_s: f64,
     service_s: f64,
     done_s: f64,
@@ -330,6 +331,7 @@ impl DeviceCore {
                 arrival_s: member.arrival_s,
                 queue_wait_s: batch.close_s - member.arrival_s,
                 batch_wait_s: batch.start_s - batch.close_s,
+                stall_s: batch.start_s - batch.drain_start_s,
                 service_s: batch.service_s,
                 latency_s,
                 deadline_met,
@@ -438,6 +440,7 @@ impl DeviceCore {
         };
         self.busy = Some(InFlight {
             close_s: now,
+            drain_start_s,
             start_s,
             service_s,
             done_s: close.done_s,

@@ -179,7 +179,11 @@ impl ServeEngine {
             now = t;
 
             match kind {
-                Next::Completion => device.complete(now, &self.sink, details),
+                Next::Completion => {
+                    let before = details.len();
+                    device.complete(now, &self.sink, details);
+                    crate::tracing::emit_request_traces(&self.sink, &details[before..], 0, false);
+                }
                 Next::Close => {
                     // Single device: the drain (if any) starts immediately.
                     device.close_batch(now, policy, &self.sink, &mut |close_now, _| close_now);
@@ -381,6 +385,45 @@ mod tests {
             .count() as f64;
         assert_eq!(enq, s.arrived - s.shed);
         assert_eq!(done, s.completed);
+    }
+
+    #[test]
+    fn emitted_span_forest_is_well_formed_and_tiles_latency() {
+        use adaflow_telemetry::{SpanRecord, Stage, TraceForest};
+        let (sink, recorder) = SinkHandle::recorder(1 << 16);
+        let engine = ServeEngine::new(ServeConfig {
+            control_period_s: 0.0,
+            ..ServeConfig::default()
+        })
+        .with_sink(sink);
+        let mut policy = ConstPolicy::new(400.0);
+        policy.stall_every = 3;
+        policy.stall_s = 0.05;
+        let s = engine.run(&small_spec(), 5, &mut policy);
+        let forest = TraceForest::from_events(&recorder.drain());
+        forest.validate().expect("span trees well-formed");
+        assert_eq!(forest.len() as f64, s.completed, "one trace per completion");
+        for trace in &forest.traces {
+            let root = trace.root().expect("root span");
+            let leaf_sum: f64 = Stage::LEAVES
+                .iter()
+                .map(|stage| {
+                    trace
+                        .spans
+                        .iter()
+                        .find(|r| r.span == stage.span_id())
+                        .map_or(0.0, SpanRecord::duration_s)
+                })
+                .sum();
+            assert!(
+                (leaf_sum - root.duration_s()).abs() < 1e-9,
+                "stage sums tile the root"
+            );
+            assert!(
+                trace.spans.iter().all(|r| r.span != Stage::Route.span_id()),
+                "single-device traces carry no route span"
+            );
+        }
     }
 
     #[test]

@@ -59,6 +59,7 @@ pub mod policy;
 pub mod queue;
 pub mod request;
 pub mod summary;
+pub mod tracing;
 
 pub use arrivals::generate_requests;
 pub use config::ServeConfig;
@@ -69,6 +70,7 @@ pub use policy::{AdaFlowServePolicy, FixedMaxPolicy, FlexibleOnlyPolicy, ServePo
 pub use queue::{Admission, AdmissionQueue, OverflowPolicy};
 pub use request::{CompletedRequest, Request};
 pub use summary::ServeSummary;
+pub use tracing::{emit_request_trace, emit_request_traces};
 
 /// Convenience re-exports.
 pub mod prelude {
@@ -81,4 +83,5 @@ pub mod prelude {
     pub use crate::queue::{Admission, AdmissionQueue, OverflowPolicy};
     pub use crate::request::{CompletedRequest, Request};
     pub use crate::summary::ServeSummary;
+    pub use crate::tracing::{emit_request_trace, emit_request_traces};
 }

@@ -37,6 +37,9 @@ pub struct CompletedRequest {
     pub queue_wait_s: f64,
     /// Time between batch close and service start (switch stalls).
     pub batch_wait_s: f64,
+    /// The reconfiguration-stall portion of `batch_wait_s`; the remainder
+    /// is coordinator deferral while the batch waited for a drain slot.
+    pub stall_s: f64,
     /// Time being served as part of its batch.
     pub service_s: f64,
     /// End-to-end sojourn time, arrival to completion.
@@ -69,11 +72,13 @@ mod tests {
             arrival_s: 0.0,
             queue_wait_s: 0.01,
             batch_wait_s: 0.0,
+            stall_s: 0.0,
             service_s: 0.02,
             latency_s: 0.03,
             deadline_met: true,
         };
         let total = c.queue_wait_s + c.batch_wait_s + c.service_s;
         assert!((total - c.latency_s).abs() < 1e-12);
+        assert!(c.stall_s <= c.batch_wait_s);
     }
 }

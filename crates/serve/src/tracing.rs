@@ -1,0 +1,139 @@
+//! Causal span-tree emission for completed requests.
+//!
+//! Every completed request already carries its full latency decomposition
+//! in [`CompletedRequest`]; this module lowers that decomposition into the
+//! telemetry span taxonomy (`request` root tiled by `queue_wait` →
+//! `batch_form` → `reconfig_stall` → `compute`, plus a zero-width `route`
+//! marker in fleet mode). Stage boundaries are built by telescoping the
+//! per-stage durations from the arrival instant, so consecutive children
+//! share their boundary instants *exactly* and their durations sum to the
+//! root duration up to ulp-level rounding of the boundary subtractions —
+//! the waterfall analyzer's tiling invariant.
+//!
+//! Trees are emitted at completion time (never at arrival), so shed
+//! requests leave no orphan spans, and everything rides the simulation
+//! clock: traces are bit-identical per seed.
+
+use crate::request::CompletedRequest;
+use adaflow_telemetry::{SinkHandle, Stage, TraceBuilder, TraceId};
+
+/// Emits the span tree of one completed request.
+///
+/// `device_idx` is the fleet device that served the request (0 in
+/// single-device mode); `routed` adds the zero-width `route` child at the
+/// arrival instant (the fleet router decides synchronously on arrival).
+/// No-op when the sink is disabled.
+pub fn emit_request_trace(
+    sink: &SinkHandle,
+    done: &CompletedRequest,
+    device_idx: u32,
+    routed: bool,
+) {
+    if !sink.enabled() {
+        return;
+    }
+    let t_arrival = done.arrival_s;
+    let t_close = t_arrival + done.queue_wait_s;
+    // The deferral part of batch_wait; clamp the fp residue of the
+    // subtraction so stage durations never go negative.
+    let t_drain = t_close + (done.batch_wait_s - done.stall_s).max(0.0);
+    let t_start = t_drain + done.stall_s;
+    let t_done = t_start + done.service_s;
+    let mut tree = TraceBuilder::new(TraceId(done.id), device_idx)
+        .root(t_arrival, t_done)
+        .child(Stage::QueueWait, t_arrival, t_close)
+        .child(Stage::BatchForm, t_close, t_drain)
+        .child(Stage::ReconfigStall, t_drain, t_start)
+        .child(Stage::Compute, t_start, t_done);
+    if routed {
+        tree = tree.child(Stage::Route, t_arrival, t_arrival);
+    }
+    tree.emit(sink);
+}
+
+/// Emits span trees for a batch of completions (a `details` suffix fresh
+/// out of `DeviceCore::complete`).
+pub fn emit_request_traces(
+    sink: &SinkHandle,
+    done: &[CompletedRequest],
+    device_idx: u32,
+    routed: bool,
+) {
+    for d in done {
+        emit_request_trace(sink, d, device_idx, routed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaflow_telemetry::{SpanRecord, TraceForest};
+
+    fn completed(stall_s: f64) -> CompletedRequest {
+        CompletedRequest {
+            id: 11,
+            device: 2,
+            arrival_s: 1.0,
+            queue_wait_s: 0.02,
+            batch_wait_s: 0.05 + stall_s,
+            stall_s,
+            service_s: 0.04,
+            latency_s: 0.11 + stall_s,
+            deadline_met: false,
+        }
+    }
+
+    #[test]
+    fn emitted_tree_is_well_formed_and_tiles_exactly() {
+        let (sink, recorder) = SinkHandle::recorder(64);
+        emit_request_trace(&sink, &completed(0.145), 3, true);
+        let forest = TraceForest::from_events(&recorder.drain());
+        assert_eq!(forest.len(), 1);
+        forest.validate().expect("well-formed");
+        let trace = &forest.traces[0];
+        assert_eq!(trace.id, TraceId(11));
+        assert_eq!(trace.spans.len(), 6, "root + route + 4 leaf stages");
+        let root = trace.root().expect("root");
+        assert_eq!(root.device_idx, 3);
+        let leaf_sum: f64 = Stage::LEAVES
+            .iter()
+            .map(|s| {
+                trace
+                    .spans
+                    .iter()
+                    .find(|r| r.span == s.span_id())
+                    .map_or(0.0, SpanRecord::duration_s)
+            })
+            .sum();
+        assert!(
+            (leaf_sum - root.duration_s()).abs() < 1e-12,
+            "telescoped boundaries tile the root"
+        );
+        let route = trace
+            .spans
+            .iter()
+            .find(|r| r.span == Stage::Route.span_id())
+            .expect("route span");
+        assert_eq!(route.duration_s(), 0.0);
+        assert_eq!(route.begin_s, 1.0);
+    }
+
+    #[test]
+    fn unrouted_trace_omits_the_route_span() {
+        let (sink, recorder) = SinkHandle::recorder(64);
+        emit_request_trace(&sink, &completed(0.0), 0, false);
+        let forest = TraceForest::from_events(&recorder.drain());
+        forest.validate().expect("well-formed");
+        assert_eq!(forest.traces[0].spans.len(), 5);
+        assert!(forest.traces[0]
+            .spans
+            .iter()
+            .all(|s| s.span != Stage::Route.span_id()));
+    }
+
+    #[test]
+    fn disabled_sink_emits_nothing() {
+        let sink = SinkHandle::null();
+        emit_request_trace(&sink, &completed(0.0), 0, false);
+    }
+}

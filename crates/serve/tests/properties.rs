@@ -230,6 +230,52 @@ proptest! {
         prop_assert_eq!(e1, e2);
     }
 
+    /// Span trees are well-formed for every random config × seed — each
+    /// completed request yields exactly one tree with a live root, nested
+    /// intervals and no orphans — and the waterfall's per-stage durations
+    /// sum to the end-to-end latency, exactly per trace and up to
+    /// floating-point noise in the aggregate.
+    #[test]
+    fn span_forest_well_formed_and_waterfall_tiles(
+        seed in 0u64..1_000,
+        fps in 20.0f64..800.0,
+        cap in 4usize..128,
+        choice in 0u8..3,
+        stall_every in 0usize..6,
+    ) {
+        use adaflow_telemetry::{SpanRecord, Stage, TraceForest, Waterfall};
+        let config = ServeConfig {
+            queue_capacity: cap,
+            overflow: overflow(choice),
+            control_period_s: 0.05,
+            ..ServeConfig::default()
+        };
+        let (summary, events) = recorded_run(config, seed, fps, stall_every, 0.08);
+        let forest = TraceForest::from_events(&events);
+        prop_assert!(forest.validate().is_ok(), "invalid forest: {:?}", forest.validate());
+        prop_assert_eq!(forest.len() as f64, summary.completed, "one trace per completion");
+        for trace in &forest.traces {
+            let root = trace.root().expect("validated");
+            let leaf_sum: f64 = Stage::LEAVES
+                .iter()
+                .map(|stage| {
+                    trace
+                        .spans
+                        .iter()
+                        .find(|r| r.span == stage.span_id())
+                        .map_or(0.0, SpanRecord::duration_s)
+                })
+                .sum();
+            prop_assert!((leaf_sum - root.duration_s()).abs() < 1e-9,
+                "trace {}: stages must tile end-to-end", trace.id.0);
+        }
+        let waterfall = Waterfall::from_forest(&forest, 3);
+        prop_assert_eq!(waterfall.traces as f64, summary.completed);
+        prop_assert!(waterfall.attribution_residual_s < 1e-9,
+            "stage means drifted from the end-to-end mean: {:e}",
+            waterfall.attribution_residual_s);
+    }
+
     /// Batch sizes respect the configured maximum, and every batch-closed
     /// size is covered by matching completions.
     #[test]

@@ -1,0 +1,369 @@
+//! Critical-path analysis: per-stage latency waterfalls over a trace
+//! forest.
+//!
+//! The analyzer folds every well-formed trace into a per-stage attribution
+//! (where does end-to-end latency go?), a per-device breakdown, and the
+//! top-K slowest traces with their span trees. Because the leaf stages
+//! tile the root span exactly (see [`crate::span::Stage`]), the stage
+//! means sum to the end-to-end mean up to floating-point noise, which the
+//! report records as `attribution_residual_s`.
+
+use crate::histogram::LogHistogram;
+use crate::span::{SpanRecord, Stage};
+use crate::trace::{Trace, TraceForest};
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// Where one stage's time goes, across all traces.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct StageAttribution {
+    /// Stage label.
+    pub stage: String,
+    /// Spans observed for this stage.
+    pub count: u64,
+    /// Sum of span durations, seconds.
+    pub total_s: f64,
+    /// Mean span duration, seconds.
+    pub mean_s: f64,
+    /// Median span duration, seconds (log-bucketed estimate).
+    pub p50_s: f64,
+    /// 99th-percentile span duration, seconds (log-bucketed estimate).
+    pub p99_s: f64,
+    /// Share of total attributed time, percent.
+    pub share_pct: f64,
+}
+
+/// Latency decomposition for one device.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct DeviceBreakdown {
+    /// Fleet device index (0 in single-device mode).
+    pub device_idx: u32,
+    /// Traces served by the device.
+    pub traces: u64,
+    /// Mean end-to-end latency, seconds.
+    pub mean_latency_s: f64,
+    /// Mean queue-wait stage duration, seconds.
+    pub mean_queue_wait_s: f64,
+    /// Mean reconfiguration-stall stage duration, seconds.
+    pub mean_stall_s: f64,
+    /// Mean compute stage duration, seconds.
+    pub mean_compute_s: f64,
+}
+
+/// One slow trace, flattened for reporting.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SlowTrace {
+    /// Trace id (request id).
+    pub trace: u64,
+    /// Device that served it.
+    pub device_idx: u32,
+    /// Root begin, seconds.
+    pub begin_s: f64,
+    /// End-to-end latency, seconds.
+    pub latency_s: f64,
+    /// The full span tree, in span-id order.
+    pub spans: Vec<SpanRecord>,
+}
+
+/// The full waterfall report.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Waterfall {
+    /// Traces analyzed.
+    pub traces: u64,
+    /// Mean end-to-end latency, seconds.
+    pub end_to_end_mean_s: f64,
+    /// Median end-to-end latency, seconds.
+    pub end_to_end_p50_s: f64,
+    /// 99th-percentile end-to-end latency, seconds.
+    pub end_to_end_p99_s: f64,
+    /// Per-stage attribution, in stage order (root and zero-width route
+    /// marker excluded; the listed stages tile the end-to-end interval).
+    pub stages: Vec<StageAttribution>,
+    /// `|Σ stage means − end-to-end mean|`: floating-point residual of the
+    /// tiling invariant, seconds.
+    pub attribution_residual_s: f64,
+    /// Per-device breakdown, sorted by device index.
+    pub per_device: Vec<DeviceBreakdown>,
+    /// The `top_k` slowest traces, slowest first (ties broken by trace id).
+    pub top: Vec<SlowTrace>,
+}
+
+struct StageFold {
+    count: u64,
+    total_s: f64,
+    hist: LogHistogram,
+}
+
+impl StageFold {
+    fn new() -> Self {
+        StageFold {
+            count: 0,
+            total_s: 0.0,
+            hist: LogHistogram::latency_s(),
+        }
+    }
+
+    fn push(&mut self, duration_s: f64) {
+        self.count += 1;
+        self.total_s += duration_s;
+        self.hist.record(duration_s);
+    }
+}
+
+#[derive(Default)]
+struct DeviceFold {
+    traces: u64,
+    latency_s: f64,
+    queue_wait_s: f64,
+    stall_s: f64,
+    compute_s: f64,
+}
+
+fn stage_duration(trace: &Trace, stage: Stage) -> f64 {
+    trace
+        .spans
+        .iter()
+        .find(|s| s.span == stage.span_id())
+        .map_or(0.0, SpanRecord::duration_s)
+}
+
+impl Waterfall {
+    /// Analyzes a forest, keeping the `top_k` slowest traces in full.
+    #[must_use]
+    pub fn from_forest(forest: &TraceForest, top_k: usize) -> Waterfall {
+        let mut end_to_end = StageFold::new();
+        let mut stages: Vec<StageFold> = Stage::LEAVES.iter().map(|_| StageFold::new()).collect();
+        let mut devices: BTreeMap<u32, DeviceFold> = BTreeMap::new();
+        for trace in &forest.traces {
+            let Some(root) = trace.root() else { continue };
+            end_to_end.push(root.duration_s());
+            for (fold, &stage) in stages.iter_mut().zip(Stage::LEAVES.iter()) {
+                fold.push(stage_duration(trace, stage));
+            }
+            let d = devices.entry(root.device_idx).or_default();
+            d.traces += 1;
+            d.latency_s += root.duration_s();
+            d.queue_wait_s += stage_duration(trace, Stage::QueueWait);
+            d.stall_s += stage_duration(trace, Stage::ReconfigStall);
+            d.compute_s += stage_duration(trace, Stage::Compute);
+        }
+        let attributed_total: f64 = stages.iter().map(|f| f.total_s).sum();
+        let stage_reports: Vec<StageAttribution> = stages
+            .iter()
+            .zip(Stage::LEAVES.iter())
+            .map(|(fold, &stage)| StageAttribution {
+                stage: stage.label().to_string(),
+                count: fold.count,
+                total_s: fold.total_s,
+                mean_s: if fold.count > 0 {
+                    fold.total_s / fold.count as f64
+                } else {
+                    0.0
+                },
+                p50_s: fold.hist.p50(),
+                p99_s: fold.hist.p99(),
+                share_pct: if attributed_total > 0.0 {
+                    fold.total_s / attributed_total * 100.0
+                } else {
+                    0.0
+                },
+            })
+            .collect();
+        let end_mean = if end_to_end.count > 0 {
+            end_to_end.total_s / end_to_end.count as f64
+        } else {
+            0.0
+        };
+        let stage_mean_sum: f64 = stage_reports.iter().map(|s| s.mean_s).sum();
+        let mut ranked: Vec<&Trace> = forest
+            .traces
+            .iter()
+            .filter(|t| t.root().is_some())
+            .collect();
+        ranked.sort_by(|a, b| {
+            b.duration_s()
+                .partial_cmp(&a.duration_s())
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.id.cmp(&b.id))
+        });
+        let top = ranked
+            .into_iter()
+            .take(top_k)
+            .map(|t| {
+                let root = t.root().expect("filtered on root presence");
+                SlowTrace {
+                    trace: t.id.0,
+                    device_idx: root.device_idx,
+                    begin_s: root.begin_s,
+                    latency_s: root.duration_s(),
+                    spans: t.spans.clone(),
+                }
+            })
+            .collect();
+        Waterfall {
+            traces: end_to_end.count,
+            end_to_end_mean_s: end_mean,
+            end_to_end_p50_s: end_to_end.hist.p50(),
+            end_to_end_p99_s: end_to_end.hist.p99(),
+            stages: stage_reports,
+            attribution_residual_s: (stage_mean_sum - end_mean).abs(),
+            per_device: devices
+                .into_iter()
+                .map(|(device_idx, d)| {
+                    let n = d.traces.max(1) as f64;
+                    DeviceBreakdown {
+                        device_idx,
+                        traces: d.traces,
+                        mean_latency_s: d.latency_s / n,
+                        mean_queue_wait_s: d.queue_wait_s / n,
+                        mean_stall_s: d.stall_s / n,
+                        mean_compute_s: d.compute_s / n,
+                    }
+                })
+                .collect(),
+            top,
+        }
+    }
+
+    /// Renders the waterfall as an aligned text table plus the top-K span
+    /// trees.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "traces: {}  end-to-end mean {:.3} ms  p50 {:.3} ms  p99 {:.3} ms\n",
+            self.traces,
+            self.end_to_end_mean_s * 1e3,
+            self.end_to_end_p50_s * 1e3,
+            self.end_to_end_p99_s * 1e3,
+        ));
+        out.push_str(&format!(
+            "{:<15} {:>10} {:>12} {:>12} {:>12} {:>8}\n",
+            "stage", "count", "mean ms", "p50 ms", "p99 ms", "share %"
+        ));
+        for s in &self.stages {
+            out.push_str(&format!(
+                "{:<15} {:>10} {:>12.4} {:>12.4} {:>12.4} {:>8.2}\n",
+                s.stage,
+                s.count,
+                s.mean_s * 1e3,
+                s.p50_s * 1e3,
+                s.p99_s * 1e3,
+                s.share_pct,
+            ));
+        }
+        out.push_str(&format!(
+            "attribution residual: {:.3e} s\n",
+            self.attribution_residual_s
+        ));
+        if !self.per_device.is_empty() {
+            out.push_str("per-device:\n");
+            for d in &self.per_device {
+                out.push_str(&format!(
+                    "  device {:>2}: {:>8} traces  latency {:>9.4} ms  queue {:>9.4} ms  stall {:>9.4} ms  compute {:>9.4} ms\n",
+                    d.device_idx,
+                    d.traces,
+                    d.mean_latency_s * 1e3,
+                    d.mean_queue_wait_s * 1e3,
+                    d.mean_stall_s * 1e3,
+                    d.mean_compute_s * 1e3,
+                ));
+            }
+        }
+        if !self.top.is_empty() {
+            out.push_str("slowest traces:\n");
+            for t in &self.top {
+                out.push_str(&format!(
+                    "  trace {:>6} @ {:>9.3} s  device {}  latency {:.4} ms\n",
+                    t.trace,
+                    t.begin_s,
+                    t.device_idx,
+                    t.latency_s * 1e3
+                ));
+                for s in &t.spans {
+                    let indent = if s.parent.is_none() { "    " } else { "      " };
+                    out.push_str(&format!(
+                        "{indent}{:<15} [{:.6}, {:.6}]  {:.4} ms\n",
+                        s.stage,
+                        s.begin_s,
+                        s.end_s,
+                        s.duration_s() * 1e3
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::SinkHandle;
+    use crate::span::TraceBuilder;
+    use crate::trace::TraceId;
+
+    fn forest() -> TraceForest {
+        let (sink, recorder) = SinkHandle::recorder(256);
+        // Trace 1 on device 0: 10 ms queue, 5 ms stall, 15 ms compute.
+        TraceBuilder::new(TraceId(1), 0)
+            .root(0.0, 0.030)
+            .child(Stage::QueueWait, 0.0, 0.010)
+            .child(Stage::BatchForm, 0.010, 0.010)
+            .child(Stage::ReconfigStall, 0.010, 0.015)
+            .child(Stage::Compute, 0.015, 0.030)
+            .emit(&sink);
+        // Trace 2 on device 1: pure compute.
+        TraceBuilder::new(TraceId(2), 1)
+            .root(1.0, 1.020)
+            .child(Stage::QueueWait, 1.0, 1.0)
+            .child(Stage::BatchForm, 1.0, 1.0)
+            .child(Stage::ReconfigStall, 1.0, 1.0)
+            .child(Stage::Compute, 1.0, 1.020)
+            .emit(&sink);
+        TraceForest::from_events(&recorder.drain())
+    }
+
+    #[test]
+    fn stage_means_tile_the_end_to_end_mean() {
+        let w = Waterfall::from_forest(&forest(), 1);
+        assert_eq!(w.traces, 2);
+        assert!((w.end_to_end_mean_s - 0.025).abs() < 1e-12);
+        let stage_sum: f64 = w.stages.iter().map(|s| s.mean_s).sum();
+        assert!((stage_sum - w.end_to_end_mean_s).abs() < 1e-9);
+        assert!(w.attribution_residual_s < 1e-9);
+        let shares: f64 = w.stages.iter().map(|s| s.share_pct).sum();
+        assert!((shares - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn top_k_ranks_by_latency_and_devices_split() {
+        let w = Waterfall::from_forest(&forest(), 5);
+        assert_eq!(w.top.len(), 2);
+        assert_eq!(w.top[0].trace, 1, "30 ms trace is slowest");
+        assert_eq!(w.top[0].spans.len(), 5);
+        assert_eq!(w.per_device.len(), 2);
+        assert_eq!(w.per_device[0].device_idx, 0);
+        assert!((w.per_device[0].mean_stall_s - 0.005).abs() < 1e-12);
+        assert!((w.per_device[1].mean_compute_s - 0.020).abs() < 1e-12);
+    }
+
+    #[test]
+    fn text_rendering_mentions_every_stage() {
+        let w = Waterfall::from_forest(&forest(), 1);
+        let text = w.render_text();
+        for stage in Stage::LEAVES {
+            assert!(text.contains(stage.label()), "missing {}", stage.label());
+        }
+        assert!(text.contains("slowest traces:"));
+    }
+
+    #[test]
+    fn empty_forest_is_all_zero() {
+        let w = Waterfall::from_forest(&TraceForest::default(), 3);
+        assert_eq!(w.traces, 0);
+        assert_eq!(w.end_to_end_mean_s, 0.0);
+        assert!(w.top.is_empty());
+        assert!(w.per_device.is_empty());
+    }
+}

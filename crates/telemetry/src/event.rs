@@ -137,6 +137,42 @@ pub enum EventKind {
         /// Serving stall charged to this switch, seconds.
         stall_s: f64,
     },
+    /// One closed causal span of a request's lifecycle. `t_s` is the span
+    /// *end*; the interval is `[begin_s, t_s]`. The whole tree of a request
+    /// is emitted at its completion, so shed requests leave no orphans.
+    TraceSpan {
+        /// Owning trace: the request id assigned at generation time.
+        trace: u64,
+        /// Span id, unique within the trace (a stage ordinal, see
+        /// `span::Stage`).
+        span: u64,
+        /// Parent span id; `None` marks the trace root.
+        parent: Option<u64>,
+        /// Stage label (`"request"`, `"route"`, `"queue_wait"`,
+        /// `"batch_form"`, `"reconfig_stall"`, `"compute"`).
+        stage: String,
+        /// Span begin, simulation seconds.
+        begin_s: f64,
+        /// Fleet device index that served the request (0 single-device).
+        device_idx: u32,
+    },
+    /// The SLO engine detected sustained error-budget burn over both of
+    /// its alert windows.
+    SloBurnAlert {
+        /// Objective name (`"deadline"`).
+        objective: String,
+        /// Short alert window, seconds.
+        short_window_s: f64,
+        /// Long alert window, seconds.
+        long_window_s: f64,
+        /// Burn rate over the short window (1 = burning exactly the
+        /// budget).
+        short_burn: f64,
+        /// Burn rate over the long window.
+        long_burn: f64,
+        /// Cumulative error budget consumed at the alert, percent.
+        budget_consumed_pct: f64,
+    },
     /// Periodic fleet load-balance sample (fleet mode).
     FleetImbalanceSample {
         /// Coefficient of variation of per-device queue depths
@@ -173,6 +209,8 @@ impl EventKind {
             EventKind::RequestRouted { .. } => "request_routed",
             EventKind::DeviceReconfigStart { .. } => "device_reconfig",
             EventKind::DeviceReconfigEnd { .. } => "device_reconfig",
+            EventKind::TraceSpan { .. } => "trace_span",
+            EventKind::SloBurnAlert { .. } => "slo_burn_alert",
             EventKind::FleetImbalanceSample { .. } => "fleet_imbalance",
         }
     }
@@ -319,5 +357,51 @@ mod tests {
         assert_eq!(events[1].kind.label(), "device_reconfig");
         assert_eq!(events[2].kind.label(), "device_reconfig");
         assert_eq!(events[3].kind.label(), "fleet_imbalance");
+    }
+
+    #[test]
+    fn tracing_events_round_trip_and_label() {
+        let events = vec![
+            Event::new(
+                0.25,
+                EventKind::TraceSpan {
+                    trace: 17,
+                    span: 0,
+                    parent: None,
+                    stage: "request".into(),
+                    begin_s: 0.1,
+                    device_idx: 2,
+                },
+            ),
+            Event::new(
+                0.25,
+                EventKind::TraceSpan {
+                    trace: 17,
+                    span: 5,
+                    parent: Some(0),
+                    stage: "compute".into(),
+                    begin_s: 0.2,
+                    device_idx: 2,
+                },
+            ),
+            Event::new(
+                5.0,
+                EventKind::SloBurnAlert {
+                    objective: "deadline".into(),
+                    short_window_s: 5.0,
+                    long_window_s: 25.0,
+                    short_burn: 3.5,
+                    long_burn: 2.1,
+                    budget_consumed_pct: 40.0,
+                },
+            ),
+        ];
+        for e in &events {
+            let text = serde_json::to_string(e).expect("serializes");
+            let back: Event = serde_json::from_str(&text).expect("parses");
+            assert_eq!(*e, back);
+        }
+        assert_eq!(events[0].kind.label(), "trace_span");
+        assert_eq!(events[2].kind.label(), "slo_burn_alert");
     }
 }

@@ -35,13 +35,14 @@ pub fn events_from_jsonl(text: &str) -> Result<Vec<Event>, serde_json::Error> {
 /// One Chrome trace event, per the Trace Event Format spec. Loadable in
 /// Perfetto (<https://ui.perfetto.dev>) and `chrome://tracing` when exported
 /// as a JSON array.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ChromeTraceEvent {
     /// Event name shown on the timeline.
     pub name: String,
     /// Category (comma-separated tags).
     pub cat: String,
-    /// Phase: `"i"` instant, `"B"`/`"E"` span begin/end, `"C"` counter.
+    /// Phase: `"i"` instant, `"B"`/`"E"` span begin/end, `"b"`/`"e"` async
+    /// begin/end, `"C"` counter.
     pub ph: String,
     /// Timestamp in **microseconds** (simulation clock × 10⁶).
     pub ts: f64,
@@ -50,14 +51,59 @@ pub struct ChromeTraceEvent {
     /// Thread id, used to group lanes (1 = serving, 2 = control, 3 =
     /// design-time).
     pub tid: u64,
+    /// Async-event correlation id (the trace id for request spans).
+    /// Required for `"b"`/`"e"` phases; absent elsewhere.
+    pub id: Option<u64>,
     /// Free-form payload.
     pub args: BTreeMap<String, Value>,
+}
+
+// Hand-written so `id` is *omitted* (not `null`) when absent: trace viewers
+// only accept an `id` key on async phases.
+impl Serialize for ChromeTraceEvent {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("name".to_string(), self.name.to_value()),
+            ("cat".to_string(), self.cat.to_value()),
+            ("ph".to_string(), self.ph.to_value()),
+            ("ts".to_string(), Value::F64(self.ts)),
+            ("pid".to_string(), Value::U64(self.pid)),
+            ("tid".to_string(), Value::U64(self.tid)),
+        ];
+        if let Some(id) = self.id {
+            fields.push(("id".to_string(), Value::U64(id)));
+        }
+        fields.push(("args".to_string(), self.args.to_value()));
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for ChromeTraceEvent {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        fn field<T: Deserialize>(v: &Value, key: &str) -> Result<T, serde::Error> {
+            T::from_value(v.get(key).unwrap_or(&Value::Null))
+                .map_err(|e| serde::Error::custom(format!("ChromeTraceEvent.{key}: {e}")))
+        }
+        Ok(ChromeTraceEvent {
+            name: field(v, "name")?,
+            cat: field(v, "cat")?,
+            ph: field(v, "ph")?,
+            ts: field(v, "ts")?,
+            pid: field(v, "pid")?,
+            tid: field(v, "tid")?,
+            id: field(v, "id")?,
+            args: field(v, "args")?,
+        })
+    }
 }
 
 const LANE_SERVING: u64 = 1;
 const LANE_CONTROL: u64 = 2;
 const LANE_DESIGN: u64 = 3;
 const LANE_FLEET: u64 = 4;
+/// Request span trees ride one async lane; async events correlate by `id`
+/// (the trace id), so overlapping requests don't have to nest per-thread.
+const LANE_TRACE: u64 = 5;
 /// Fleet device reconfiguration spans get one lane per device so that
 /// concurrent drains on different devices don't nest on the timeline.
 const LANE_FLEET_DEVICE0: u64 = 10;
@@ -98,6 +144,7 @@ pub fn to_chrome_trace(events: &[Event]) -> Vec<ChromeTraceEvent> {
                     ph: "i".into(),
                     ts,
                     pid: 1,
+                    id: None,
                     tid: LANE_SERVING,
                     args,
                 });
@@ -108,6 +155,7 @@ pub fn to_chrome_trace(events: &[Event]) -> Vec<ChromeTraceEvent> {
                 ph: "C".into(),
                 ts,
                 pid: 1,
+                id: None,
                 tid: LANE_SERVING,
                 args: args1("frames", Value::F64(*frames)),
             }),
@@ -129,6 +177,7 @@ pub fn to_chrome_trace(events: &[Event]) -> Vec<ChromeTraceEvent> {
                     ph: "i".into(),
                     ts,
                     pid: 1,
+                    id: None,
                     tid: LANE_CONTROL,
                     args,
                 });
@@ -139,6 +188,7 @@ pub fn to_chrome_trace(events: &[Event]) -> Vec<ChromeTraceEvent> {
                 ph: "B".into(),
                 ts,
                 pid: 1,
+                id: None,
                 tid: LANE_CONTROL,
                 args: args1("model", Value::Str(model.clone())),
             }),
@@ -151,6 +201,7 @@ pub fn to_chrome_trace(events: &[Event]) -> Vec<ChromeTraceEvent> {
                     ph: "E".into(),
                     ts,
                     pid: 1,
+                    id: None,
                     tid: LANE_CONTROL,
                     args,
                 });
@@ -165,6 +216,7 @@ pub fn to_chrome_trace(events: &[Event]) -> Vec<ChromeTraceEvent> {
                     ph: "i".into(),
                     ts,
                     pid: 1,
+                    id: None,
                     tid: LANE_CONTROL,
                     args,
                 });
@@ -179,6 +231,7 @@ pub fn to_chrome_trace(events: &[Event]) -> Vec<ChromeTraceEvent> {
                     ph: "i".into(),
                     ts,
                     pid: 1,
+                    id: None,
                     tid: LANE_DESIGN,
                     args,
                 });
@@ -201,6 +254,7 @@ pub fn to_chrome_trace(events: &[Event]) -> Vec<ChromeTraceEvent> {
                     ph: "i".into(),
                     ts,
                     pid: 1,
+                    id: None,
                     tid: LANE_DESIGN,
                     args,
                 });
@@ -211,6 +265,7 @@ pub fn to_chrome_trace(events: &[Event]) -> Vec<ChromeTraceEvent> {
                 ph: "B".into(),
                 ts,
                 pid: 1,
+                id: None,
                 tid: LANE_SERVING,
                 args: BTreeMap::new(),
             }),
@@ -220,6 +275,7 @@ pub fn to_chrome_trace(events: &[Event]) -> Vec<ChromeTraceEvent> {
                 ph: "E".into(),
                 ts,
                 pid: 1,
+                id: None,
                 tid: LANE_SERVING,
                 args: BTreeMap::new(),
             }),
@@ -242,6 +298,7 @@ pub fn to_chrome_trace(events: &[Event]) -> Vec<ChromeTraceEvent> {
                     ph: "i".into(),
                     ts,
                     pid: 1,
+                    id: None,
                     tid: LANE_SERVING,
                     args,
                 });
@@ -260,6 +317,7 @@ pub fn to_chrome_trace(events: &[Event]) -> Vec<ChromeTraceEvent> {
                     ph: "i".into(),
                     ts,
                     pid: 1,
+                    id: None,
                     tid: LANE_SERVING,
                     args,
                 });
@@ -275,6 +333,7 @@ pub fn to_chrome_trace(events: &[Event]) -> Vec<ChromeTraceEvent> {
                     ph: "B".into(),
                     ts,
                     pid: 1,
+                    id: None,
                     tid: LANE_FLEET_DEVICE0 + u64::from(*device_idx),
                     args: args1("model", Value::Str(model.clone())),
                 });
@@ -292,7 +351,73 @@ pub fn to_chrome_trace(events: &[Event]) -> Vec<ChromeTraceEvent> {
                     ph: "E".into(),
                     ts,
                     pid: 1,
+                    id: None,
                     tid: LANE_FLEET_DEVICE0 + u64::from(*device_idx),
+                    args,
+                });
+            }
+            EventKind::TraceSpan {
+                trace,
+                span,
+                parent,
+                stage,
+                begin_s,
+                device_idx,
+            } => {
+                // Async begin/end pair correlated by the trace id, so every
+                // request's span tree nests under one timeline row without
+                // fighting the per-thread nesting rules of `B`/`E`.
+                let mut args = args1("span", Value::U64(*span));
+                if let Some(p) = parent {
+                    args.insert("parent".into(), Value::U64(*p));
+                }
+                args.insert("device_idx".into(), Value::U64(u64::from(*device_idx)));
+                out.push(ChromeTraceEvent {
+                    name: stage.clone(),
+                    cat: "request".into(),
+                    ph: "b".into(),
+                    ts: micros(*begin_s),
+                    pid: 1,
+                    id: Some(*trace),
+                    tid: LANE_TRACE,
+                    args: args.clone(),
+                });
+                out.push(ChromeTraceEvent {
+                    name: stage.clone(),
+                    cat: "request".into(),
+                    ph: "e".into(),
+                    ts,
+                    pid: 1,
+                    id: Some(*trace),
+                    tid: LANE_TRACE,
+                    args,
+                });
+            }
+            EventKind::SloBurnAlert {
+                objective,
+                short_window_s,
+                long_window_s,
+                short_burn,
+                long_burn,
+                budget_consumed_pct,
+            } => {
+                let mut args = args1("objective", Value::Str(objective.clone()));
+                args.insert("short_window_s".into(), Value::F64(*short_window_s));
+                args.insert("long_window_s".into(), Value::F64(*long_window_s));
+                args.insert("short_burn".into(), Value::F64(*short_burn));
+                args.insert("long_burn".into(), Value::F64(*long_burn));
+                args.insert(
+                    "budget_consumed_pct".into(),
+                    Value::F64(*budget_consumed_pct),
+                );
+                out.push(ChromeTraceEvent {
+                    name: "slo_burn_alert".into(),
+                    cat: "control".into(),
+                    ph: "i".into(),
+                    ts,
+                    pid: 1,
+                    id: None,
+                    tid: LANE_CONTROL,
                     args,
                 });
             }
@@ -310,6 +435,7 @@ pub fn to_chrome_trace(events: &[Event]) -> Vec<ChromeTraceEvent> {
                     ph: "C".into(),
                     ts,
                     pid: 1,
+                    id: None,
                     tid: LANE_FLEET,
                     args,
                 });
@@ -359,6 +485,10 @@ pub struct TraceSummary {
     pub imbalance_samples: u64,
     /// Worst sampled fleet load-imbalance coefficient of variation.
     pub imbalance_cv_max: f64,
+    /// Causal request spans emitted by the tracing layer.
+    pub trace_spans: u64,
+    /// SLO burn-rate alerts fired.
+    pub slo_alerts: u64,
     /// Distribution of per-request end-to-end latencies, seconds.
     pub request_latency: LogHistogram,
     /// Distribution of sampled queue depths.
@@ -390,6 +520,8 @@ impl TraceSummary {
             device_reconfigs: 0,
             imbalance_samples: 0,
             imbalance_cv_max: 0.0,
+            trace_spans: 0,
+            slo_alerts: 0,
             request_latency: LogHistogram::latency_s(),
             queue_depth: LogHistogram::queue_frames(),
             horizon_s: 0.0,
@@ -435,6 +567,8 @@ impl TraceSummary {
                 EventKind::RequestRouted { .. } => s.requests_routed += 1,
                 EventKind::DeviceReconfigStart { .. } => s.device_reconfigs += 1,
                 EventKind::DeviceReconfigEnd { .. } => {}
+                EventKind::TraceSpan { .. } => s.trace_spans += 1,
+                EventKind::SloBurnAlert { .. } => s.slo_alerts += 1,
                 EventKind::FleetImbalanceSample { cv, .. } => {
                     s.imbalance_samples += 1;
                     s.imbalance_cv_max = s.imbalance_cv_max.max(*cv);
@@ -446,12 +580,17 @@ impl TraceSummary {
 }
 
 /// Renders a summary in the Prometheus text exposition format.
+///
+/// Metric families are emitted in sorted name order (labels included), so
+/// the exposition is byte-stable for a given summary and safe to
+/// snapshot-test or diff between replays.
 #[must_use]
 pub fn to_prometheus(summary: &TraceSummary) -> String {
-    let mut out = String::new();
+    let mut blocks: Vec<(String, String)> = Vec::new();
     let mut metric = |name: &str, kind: &str, help: &str, value: String| {
-        out.push_str(&format!(
-            "# HELP {name} {help}\n# TYPE {name} {kind}\n{name} {value}\n"
+        blocks.push((
+            name.to_string(),
+            format!("# HELP {name} {help}\n# TYPE {name} {kind}\n{name} {value}\n"),
         ));
     };
     metric(
@@ -550,6 +689,18 @@ pub fn to_prometheus(summary: &TraceSummary) -> String {
         "Fleet device fabric switches.",
         format!("{}", summary.device_reconfigs),
     );
+    metric(
+        "adaflow_trace_spans_total",
+        "counter",
+        "Causal request spans emitted by the tracing layer.",
+        format!("{}", summary.trace_spans),
+    );
+    metric(
+        "adaflow_slo_burn_alerts_total",
+        "counter",
+        "SLO burn-rate alerts fired.",
+        format!("{}", summary.slo_alerts),
+    );
     if summary.imbalance_samples > 0 {
         metric(
             "adaflow_fleet_imbalance_cv_max",
@@ -576,7 +727,8 @@ pub fn to_prometheus(summary: &TraceSummary) -> String {
             format!("{}", summary.queue_depth.quantile(q)),
         );
     }
-    out
+    blocks.sort_by(|a, b| a.0.cmp(&b.0));
+    blocks.into_iter().map(|(_, body)| body).collect()
 }
 
 #[cfg(test)]
@@ -840,5 +992,100 @@ mod tests {
         for line in text.lines().filter(|l| !l.starts_with('#')) {
             assert_eq!(line.split_whitespace().count(), 2, "line: {line}");
         }
+    }
+
+    #[test]
+    fn prometheus_families_are_sorted() {
+        let text = to_prometheus(&TraceSummary::from_events(&sample_events()));
+        let families: Vec<&str> = text
+            .lines()
+            .filter(|l| l.starts_with("# TYPE"))
+            .map(|l| l.split_whitespace().nth(2).unwrap())
+            .collect();
+        let mut sorted = families.clone();
+        sorted.sort_unstable();
+        assert_eq!(families, sorted);
+    }
+
+    #[test]
+    fn trace_spans_lower_to_async_pairs_with_ids() {
+        let events = vec![
+            Event::new(
+                0.3,
+                EventKind::TraceSpan {
+                    trace: 9,
+                    span: 0,
+                    parent: None,
+                    stage: "request".into(),
+                    begin_s: 0.1,
+                    device_idx: 1,
+                },
+            ),
+            Event::new(
+                0.3,
+                EventKind::TraceSpan {
+                    trace: 9,
+                    span: 5,
+                    parent: Some(0),
+                    stage: "compute".into(),
+                    begin_s: 0.2,
+                    device_idx: 1,
+                },
+            ),
+            Event::new(
+                6.0,
+                EventKind::SloBurnAlert {
+                    objective: "deadline".into(),
+                    short_window_s: 5.0,
+                    long_window_s: 25.0,
+                    short_burn: 4.0,
+                    long_burn: 2.5,
+                    budget_consumed_pct: 55.0,
+                },
+            ),
+        ];
+        let trace = to_chrome_trace(&events);
+        let asyncs: Vec<&ChromeTraceEvent> = trace
+            .iter()
+            .filter(|e| e.ph == "b" || e.ph == "e")
+            .collect();
+        assert_eq!(asyncs.len(), 4, "each span becomes a b/e pair");
+        assert!(asyncs.iter().all(|e| e.id == Some(9) && e.cat == "request"));
+        let root_begin = asyncs
+            .iter()
+            .find(|e| e.name == "request" && e.ph == "b")
+            .expect("root begin");
+        assert_eq!(root_begin.ts, 0.1 * 1e6);
+        let compute_end = asyncs
+            .iter()
+            .find(|e| e.name == "compute" && e.ph == "e")
+            .expect("compute end");
+        assert_eq!(compute_end.ts, 0.3 * 1e6);
+        assert_eq!(compute_end.args.get("parent"), Some(&Value::U64(0)));
+        let alert = trace
+            .iter()
+            .find(|e| e.name == "slo_burn_alert")
+            .expect("alert instant");
+        assert_eq!(alert.ph, "i");
+        assert_eq!(alert.id, None);
+        // The JSON carries an `id` key only on async phases.
+        let json = chrome_trace_json(&events);
+        let back: Vec<ChromeTraceEvent> = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back, trace);
+        let value = serde_json::from_str_value(&json).expect("parses as value");
+        let Value::Array(objects) = value else {
+            panic!("trace json is an array");
+        };
+        for obj in &objects {
+            let is_async = matches!(obj.get("ph"), Some(Value::Str(ph)) if ph == "b" || ph == "e");
+            assert_eq!(obj.get("id").is_some(), is_async, "id iff async: {obj:?}");
+        }
+        // And the summary counts the new kinds.
+        let s = TraceSummary::from_events(&events);
+        assert_eq!(s.trace_spans, 2);
+        assert_eq!(s.slo_alerts, 1);
+        let text = to_prometheus(&s);
+        assert!(text.contains("adaflow_trace_spans_total 2"));
+        assert!(text.contains("adaflow_slo_burn_alerts_total 1"));
     }
 }

@@ -13,7 +13,12 @@
 //! * log-bucketed [`LogHistogram`]s with p50/p95/p99 extraction for latency
 //!   and queue-depth distributions;
 //! * exporters in [`export`]: JSONL, Chrome trace-event JSON (loadable in
-//!   Perfetto / `chrome://tracing`) and Prometheus-style text exposition.
+//!   Perfetto / `chrome://tracing`) and Prometheus-style text exposition;
+//! * causal request tracing: [`trace`] / [`span`] give every request a
+//!   deterministic span tree (admit → queue-wait → batch-form →
+//!   reconfig-stall → compute), [`analysis`] decomposes end-to-end latency
+//!   into a per-stage waterfall, and [`metrics`] / [`slo`] fold the event
+//!   stream into a windowed registry with error-budget burn-rate alerting.
 //!
 //! Design-time stages (retraining, synthesis) have no simulation clock; they
 //! stamp events with a stage-local ordinal clock (e.g. the epoch index),
@@ -21,15 +26,25 @@
 
 #![forbid(unsafe_code)]
 
+pub mod analysis;
 pub mod event;
 pub mod export;
 pub mod histogram;
+pub mod metrics;
 pub mod sink;
+pub mod slo;
+pub mod span;
+pub mod trace;
 
+pub use analysis::{DeviceBreakdown, SlowTrace, StageAttribution, Waterfall};
 pub use event::{Event, EventKind};
 pub use export::{
     chrome_trace_json, events_from_jsonl, events_to_jsonl, to_prometheus, ChromeTraceEvent,
     TraceSummary,
 };
 pub use histogram::LogHistogram;
+pub use metrics::{MetricsRegistry, RegistryConfig, RegistrySink, WindowStats};
 pub use sink::{NullSink, Recorder, SinkHandle, TelemetrySink};
+pub use slo::{Objective, SloConfig, SloEngine, SloReport, WindowBurn};
+pub use span::{SpanRecord, Stage, TraceBuilder};
+pub use trace::{SpanId, Trace, TraceError, TraceForest, TraceId};

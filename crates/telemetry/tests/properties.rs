@@ -1,0 +1,72 @@
+//! Property-based tests of the histogram algebra the metrics registry and
+//! the waterfall analyzer lean on: merging is order-invariant and
+//! quantiles are monotone.
+
+use adaflow_telemetry::LogHistogram;
+use proptest::prelude::*;
+
+fn fill(values: &[f64]) -> LogHistogram {
+    let mut h = LogHistogram::latency_s();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Splitting a stream across shards and merging in any shard order
+    /// yields the same bucket counts, count, extrema and quantiles as one
+    /// sequential fill (bucket counts are unit-weight sums, so they are
+    /// exact in `f64`; only the mean accumulates rounding).
+    #[test]
+    fn merge_is_order_invariant(
+        values in proptest::collection::vec(1e-6f64..10.0, 1..120),
+        shards in 1usize..6,
+        reverse in proptest::bool::ANY,
+    ) {
+        let sequential = fill(&values);
+        let mut parts: Vec<LogHistogram> = (0..shards)
+            .map(|s| fill(
+                &values
+                    .iter()
+                    .copied()
+                    .enumerate()
+                    .filter(|(i, _)| i % shards == s)
+                    .map(|(_, v)| v)
+                    .collect::<Vec<f64>>(),
+            ))
+            .collect();
+        if reverse {
+            parts.reverse();
+        }
+        let mut merged = LogHistogram::latency_s();
+        for p in &parts {
+            merged.merge(p);
+        }
+        prop_assert_eq!(merged.count(), sequential.count());
+        for q in [0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            prop_assert_eq!(merged.quantile(q), sequential.quantile(q), "q = {}", q);
+        }
+        prop_assert!((merged.mean() - sequential.mean()).abs() <= 1e-9 * sequential.mean().abs().max(1.0));
+    }
+
+    /// Quantiles never decrease in `q` and always stay inside the observed
+    /// value range.
+    #[test]
+    fn quantiles_are_monotone_and_bracketed(
+        values in proptest::collection::vec(1e-6f64..10.0, 1..120),
+    ) {
+        let h = fill(&values);
+        let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut prev = 0.0;
+        for q in [0.0, 0.1, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            let v = h.quantile(q);
+            prop_assert!(v >= prev, "quantile dropped at q = {}", q);
+            prop_assert!(v >= lo && v <= hi, "quantile escaped [{}, {}]", lo, hi);
+            prev = v;
+        }
+    }
+}
