@@ -1,19 +1,23 @@
 //! Criterion bench: batched inference throughput of the integer engine.
 //!
-//! Compares three execution paths over the same image batch:
+//! Compares the execution paths over the same image batch:
 //!
 //! 1. `baseline` — the pre-optimization default: direct convolution with a
 //!    fresh allocation set per image (`Engine::run` on `ConvStrategy::Direct`);
 //! 2. `scratch` — im2col + blocked integer GEMM with one reusable
 //!    [`EngineScratch`] arena (`run_with_scratch`, zero per-image allocation);
-//! 3. `batch_runner` — the same optimized path sharded across scoped worker
+//! 3. `packed` — bit-packed popcount MVTU kernels (`ConvStrategy::Packed`)
+//!    on the runtime-dispatched backend, same reused scratch arena;
+//! 4. `batch_runner` — the packed path sharded across scoped worker
 //!    threads ([`BatchRunner`] with one scratch per worker).
 //!
-//! All three paths are asserted bit-identical before any timing starts.
+//! All paths are asserted bit-identical before any timing starts.
 //!
 //! Set `ADAFLOW_BENCH_SMOKE=1` to run a fast configuration (tiny topology,
 //! batch 8, short measurement window) — used as the CI smoke check. The
 //! default full mode measures CNV-W2A2 on a CIFAR-10-like batch of 64.
+//! `ADAFLOW_FORCE_SCALAR=1` pins the packed variants to the portable SWAR
+//! kernels for an apples-to-apples SIMD ablation.
 
 use adaflow_model::prelude::*;
 use adaflow_nn::prelude::*;
@@ -52,20 +56,12 @@ fn setup() -> Setup {
     }
 }
 
-/// The pre-optimization path: direct convolution, fresh allocations per run.
-fn baseline_labels(graph: &CnnGraph, images: &[Activations]) -> Vec<usize> {
-    let engine = Engine::new(graph).expect("engine");
-    images
-        .iter()
-        .map(|img| engine.run(img).expect("runs").label)
-        .collect()
+fn engine(graph: &CnnGraph, strategy: ConvStrategy) -> Engine<'_> {
+    Engine::new(graph).expect("engine").with_strategy(strategy)
 }
 
-/// Optimized serial path: im2col + blocked GEMM + one reused scratch arena.
-fn scratch_labels(graph: &CnnGraph, images: &[Activations]) -> Vec<usize> {
-    let engine = Engine::new(graph)
-        .expect("engine")
-        .with_strategy(ConvStrategy::Im2col);
+/// Labels via one engine with a reused scratch arena.
+fn scratch_labels(engine: &Engine, images: &[Activations]) -> Vec<usize> {
     let mut scratch = engine.scratch();
     images
         .iter()
@@ -78,21 +74,32 @@ fn scratch_labels(graph: &CnnGraph, images: &[Activations]) -> Vec<usize> {
         .collect()
 }
 
+/// The pre-optimization path: direct convolution, fresh allocations per run.
+fn baseline_labels(graph: &CnnGraph, images: &[Activations]) -> Vec<usize> {
+    let engine = engine(graph, ConvStrategy::Direct);
+    images
+        .iter()
+        .map(|img| engine.run(img).expect("runs").label)
+        .collect()
+}
+
 fn bench_engine_throughput(c: &mut Criterion) {
     let Setup { graph, images, tag } = setup();
+    let backend = Engine::new(&graph).expect("engine").packed_backend();
 
-    // Bit-exactness gate: all three paths must agree before timing means
-    // anything.
+    // Bit-exactness gate: every path must agree before timing means
+    // anything. The direct path is the oracle.
     let baseline = baseline_labels(&graph, &images);
-    let scratch = scratch_labels(&graph, &images);
-    assert_eq!(baseline, scratch, "scratch path diverged from baseline");
+    for strategy in [
+        ConvStrategy::Im2col,
+        ConvStrategy::Packed,
+        ConvStrategy::Auto,
+    ] {
+        let labels = scratch_labels(&engine(&graph, strategy), &images);
+        assert_eq!(baseline, labels, "{strategy:?} diverged from baseline");
+    }
     for threads in [1, 2, 0] {
-        let runner = BatchRunner::new(
-            Engine::new(&graph)
-                .expect("engine")
-                .with_strategy(ConvStrategy::Im2col),
-        )
-        .with_threads(threads);
+        let runner = BatchRunner::new(engine(&graph, ConvStrategy::Packed)).with_threads(threads);
         let labels = runner.run(&images).expect("batch");
         assert_eq!(
             baseline, labels,
@@ -105,9 +112,7 @@ fn bench_engine_throughput(c: &mut Criterion) {
     });
 
     c.bench_function(&format!("engine_scratch_im2col_{tag}"), |b| {
-        let engine = Engine::new(&graph)
-            .expect("engine")
-            .with_strategy(ConvStrategy::Im2col);
+        let engine = engine(&graph, ConvStrategy::Im2col);
         let mut scratch = engine.scratch();
         b.iter(|| {
             black_box(&images)
@@ -122,14 +127,32 @@ fn bench_engine_throughput(c: &mut Criterion) {
         });
     });
 
-    c.bench_function(&format!("engine_batch_runner_{tag}"), |b| {
-        let runner = BatchRunner::new(
-            Engine::new(&graph)
-                .expect("engine")
-                .with_strategy(ConvStrategy::Im2col),
-        );
-        b.iter(|| runner.run(black_box(&images)).expect("batch"));
-    });
+    c.bench_function(
+        &format!("engine_scratch_packed_{}_{tag}", backend.label()),
+        |b| {
+            let engine = engine(&graph, ConvStrategy::Packed);
+            let mut scratch = engine.scratch();
+            b.iter(|| {
+                black_box(&images)
+                    .iter()
+                    .map(|img| {
+                        engine
+                            .run_with_scratch(img, &mut scratch)
+                            .expect("runs")
+                            .label
+                    })
+                    .collect::<Vec<_>>()
+            });
+        },
+    );
+
+    c.bench_function(
+        &format!("engine_batch_runner_packed_{}_{tag}", backend.label()),
+        |b| {
+            let runner = BatchRunner::new(engine(&graph, ConvStrategy::Packed));
+            b.iter(|| runner.run(black_box(&images)).expect("batch"));
+        },
+    );
 }
 
 fn config() -> Criterion {

@@ -148,6 +148,17 @@ fn parse_scenario(name: &str) -> Result<Scenario, String> {
 fn cmd_summary(flags: &HashMap<String, String>) -> Result<(), String> {
     let graph = build_model(required(flags, "model")?, None)?;
     print!("{}", GraphSummary::of(&graph));
+    println!();
+    println!("packed kernel eligibility (popcount MVTU path):");
+    for d in mvtu_domains(&graph) {
+        match &d.fallback {
+            None => println!(
+                "  {:<10} packed   W{} x {}-plane activations over fan-in {}",
+                d.name, d.weight_bits, d.act_in_planes, d.fan_in
+            ),
+            Some(fb) => println!("  {:<10} gemm     {fb}", d.name),
+        }
+    }
     Ok(())
 }
 

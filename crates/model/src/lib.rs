@@ -28,6 +28,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod domains;
 pub mod error;
 pub mod export;
 pub mod graph;
@@ -38,6 +39,7 @@ pub mod summary;
 pub mod topology;
 pub mod weights;
 
+pub use domains::{mvtu_domains, MvtuDomain, PackedFallback, PACKED_MAX_ACT, PACKED_MAX_WEIGHT};
 pub use error::ModelError;
 pub use graph::{CnnGraph, GraphBuilder, LayerId, Node};
 pub use layer::{Conv2d, Dense, LabelSelect, Layer, MaxPool2d, MultiThreshold};
@@ -48,6 +50,7 @@ pub use weights::{ConvWeights, DenseWeights, ThresholdTable};
 
 /// Convenience re-exports for downstream crates.
 pub mod prelude {
+    pub use crate::domains::{mvtu_domains, MvtuDomain, PackedFallback};
     pub use crate::error::ModelError;
     pub use crate::graph::{CnnGraph, GraphBuilder, LayerId, Node};
     pub use crate::layer::{Conv2d, Dense, LabelSelect, Layer, MaxPool2d, MultiThreshold};

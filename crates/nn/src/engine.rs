@@ -28,38 +28,83 @@
 //!    input order.
 
 use crate::error::NnError;
+use crate::packed::{self, PackedBackend};
 use crate::parallel;
 use crate::tensor::Activations;
-use adaflow_model::{CnnGraph, Layer, TensorShape};
+use adaflow_model::{CnnGraph, Layer, MvtuDomain, TensorShape};
 use adaflow_telemetry::SinkHandle;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Result of one inference.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Equality compares `label` and `logits` only: [`InferenceResult::kernels`]
+/// is execution metadata, and two engines running different (bit-identical)
+/// kernel plans must still compare equal on the same input.
+#[derive(Debug, Clone)]
 pub struct InferenceResult {
     /// Selected (top-1) class index.
     pub label: usize,
     /// Raw class accumulators from the classifier layer.
     pub logits: Vec<i32>,
+    /// Per-layer kernel attribution of the engine plan that produced this
+    /// result (shared, not per-inference — cloning is one refcount).
+    pub kernels: Arc<[KernelAttribution]>,
+}
+
+impl PartialEq for InferenceResult {
+    fn eq(&self, other: &Self) -> bool {
+        self.label == other.label && self.logits == other.logits
+    }
+}
+
+impl Eq for InferenceResult {}
+
+/// Which kernel the engine planner chose for one layer, exposed through
+/// [`InferenceResult::kernels`] and suffixed onto telemetry span names
+/// (`conv2[packed-avx2]`) so `report` can attribute time per kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelAttribution {
+    /// Layer name.
+    pub layer: String,
+    /// Kernel label: `direct`, `gemm`, `packed-scalar` or `packed-avx2`
+    /// for MVTU layers; `threshold`, `maxpool` or `argmax` otherwise.
+    pub kernel: &'static str,
 }
 
 /// Convolution lowering strategy.
 ///
-/// Both strategies are bit-identical; they differ in memory/speed trade-off:
+/// Every strategy is bit-identical to every other; they differ only in
+/// memory/speed trade-off:
 ///
+/// * [`ConvStrategy::Auto`] (the default) picks per layer: the packed
+///   popcount kernels where the verifier-established domains fit (≤2-bit
+///   weights and activations) and the layer clears the measured
+///   packed-vs-GEMM crossover, the GEMM lowering where the inner dimension
+///   clears the measured naive-vs-blocked crossover, direct convolution
+///   otherwise (see [`crate::packed::kernel_thresholds`]);
 /// * [`ConvStrategy::Direct`] walks the input in place (no scratch memory);
 /// * [`ConvStrategy::Im2col`] lowers each convolution to a dense
 ///   matrix-matrix product over an explicit window matrix — the classic GEMM
 ///   lowering, faster for wide layers at the cost of `out_pixels x k^2 x
-///   ch_in` scratch bytes, and the only strategy that engages the blocked
-///   micro-kernel.
+///   ch_in` scratch bytes;
+/// * [`ConvStrategy::Packed`] forces the bitplane popcount kernels on every
+///   eligible MVTU regardless of crossover (ineligible layers fall back to
+///   GEMM) — primarily for benchmarks and equivalence tests.
+///
+/// `Direct` and `Im2col` never touch the packed kernels, so they double as
+/// the equivalence oracles the packed proptests compare against.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ConvStrategy {
-    /// In-place direct convolution.
+    /// Per-layer choice from domain eligibility and measured crossovers.
     #[default]
+    Auto,
+    /// In-place direct convolution.
     Direct,
     /// GEMM lowering via an explicit im2col window matrix.
     Im2col,
+    /// Bitplane popcount kernels wherever the domains allow.
+    Packed,
 }
 
 /// Reusable scratch memory for [`Engine::run_with_scratch`].
@@ -76,23 +121,45 @@ pub struct EngineScratch {
     /// Ping-pong quantized-activation buffers.
     act_a: Vec<u8>,
     act_b: Vec<u8>,
+    /// Activation bitplanes of the widest packed-eligible layer (empty when
+    /// no layer qualifies). Sized from the graph alone — a superset of what
+    /// any strategy's plan actually packs.
+    packed: Vec<u64>,
 }
 
 impl EngineScratch {
     /// Allocates scratch buffers covering every layer of `graph`.
     #[must_use]
     pub fn for_graph(graph: &CnnGraph) -> Self {
+        let domains = adaflow_model::mvtu_domains(graph);
+        let mut domain_it = domains.iter();
         let mut act = graph.input_shape().elements();
         let mut accum = 0usize;
         let mut cols = 0usize;
+        let mut packed = 0usize;
+        let mut packed_budget = |d: &MvtuDomain, rows: usize| {
+            if d.packed_eligible() {
+                packed = packed.max(packed::act_pack_words(
+                    rows,
+                    d.fan_in,
+                    d.act_in_planes as usize,
+                ));
+            }
+        };
         for node in graph.iter() {
             match &node.layer {
                 Layer::Conv2d(c) => {
                     accum = accum.max(node.output_shape.elements());
                     let window = c.kernel * c.kernel * c.in_channels;
                     cols = cols.max(node.output_shape.spatial() * window);
+                    let d = domain_it.next().expect("one domain per MVTU");
+                    packed_budget(d, node.output_shape.spatial());
                 }
-                Layer::Dense(_) => accum = accum.max(node.output_shape.elements()),
+                Layer::Dense(_) => {
+                    accum = accum.max(node.output_shape.elements());
+                    let d = domain_it.next().expect("one domain per MVTU");
+                    packed_budget(d, 1);
+                }
                 Layer::MultiThreshold(_) | Layer::MaxPool2d(_) => {
                     act = act.max(node.output_shape.elements());
                 }
@@ -104,13 +171,18 @@ impl EngineScratch {
             accum: vec![0; accum],
             act_a: vec![0; act],
             act_b: vec![0; act],
+            packed: vec![0; packed],
         }
     }
 
     /// Total scratch bytes held (diagnostics / capacity planning).
     #[must_use]
     pub fn bytes(&self) -> usize {
-        self.cols.len() + self.act_a.len() + self.act_b.len() + 4 * self.accum.len()
+        self.cols.len()
+            + self.act_a.len()
+            + self.act_b.len()
+            + 4 * self.accum.len()
+            + 8 * self.packed.len()
     }
 }
 
@@ -131,7 +203,164 @@ impl EngineScratch {
 pub struct Engine<'g> {
     graph: &'g CnnGraph,
     strategy: ConvStrategy,
+    backend: PackedBackend,
     sink: SinkHandle,
+    plan: Arc<Vec<NodePlan>>,
+    kernels: Arc<[KernelAttribution]>,
+}
+
+/// Which micro-kernel the planner chose for an MVTU layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MvtuKernel {
+    DirectConv,
+    Gemm,
+    Packed,
+}
+
+/// Pre-packed weight planes of one packed-dispatch layer.
+#[derive(Debug, Clone)]
+struct PackedPlan {
+    weights: packed::PackedWeights,
+    planes: usize,
+}
+
+/// Per-node execution plan: kernel choice, packed weights (when the packed
+/// kernel was chosen) and the precomputed telemetry span name.
+#[derive(Debug, Clone)]
+struct NodePlan {
+    kernel: Option<MvtuKernel>,
+    packed: Option<PackedPlan>,
+    span: String,
+}
+
+/// Picks the kernel for one MVTU layer under `strategy`.
+///
+/// `rows` is the number of weight rows sharing one activation pack
+/// (out-channels / out-features), `k` the dot-product length, `n` the
+/// number of activation columns (output pixels; 1 for dense).
+fn choose_kernel(
+    strategy: ConvStrategy,
+    domain: &MvtuDomain,
+    is_conv: bool,
+    rows: usize,
+    n: usize,
+    k: usize,
+) -> MvtuKernel {
+    match strategy {
+        ConvStrategy::Direct => {
+            if is_conv {
+                MvtuKernel::DirectConv
+            } else {
+                MvtuKernel::Gemm
+            }
+        }
+        ConvStrategy::Im2col => MvtuKernel::Gemm,
+        ConvStrategy::Packed => {
+            if domain.packed_eligible() {
+                MvtuKernel::Packed
+            } else {
+                MvtuKernel::Gemm
+            }
+        }
+        ConvStrategy::Auto => {
+            let t = packed::kernel_thresholds();
+            if domain.packed_eligible() && rows >= t.packed_min_rows {
+                MvtuKernel::Packed
+            } else if !is_conv || (rows >= GEMM_MR && n >= GEMM_NR && k >= t.gemm_min_k) {
+                // Dense always runs the GEMM; convs only pay the im2col
+                // lowering when the blocked kernel clears its crossover.
+                MvtuKernel::Gemm
+            } else {
+                MvtuKernel::DirectConv
+            }
+        }
+    }
+}
+
+/// Builds the per-node plan (kernel choices, packed weights, span names)
+/// and the shared attribution table.
+fn build_plan(
+    graph: &CnnGraph,
+    strategy: ConvStrategy,
+    backend: PackedBackend,
+) -> (Vec<NodePlan>, Arc<[KernelAttribution]>) {
+    let packed_label = match backend {
+        PackedBackend::Scalar => "packed-scalar",
+        PackedBackend::Avx2 => "packed-avx2",
+    };
+    let domains = adaflow_model::mvtu_domains(graph);
+    let mut domain_it = domains.iter();
+    let mut plan = Vec::with_capacity(graph.len());
+    let mut attributions = Vec::with_capacity(graph.len());
+    for node in graph.iter() {
+        let mvtu = match &node.layer {
+            Layer::Conv2d(c) => {
+                let d = domain_it.next().expect("one domain per MVTU");
+                let k = c.kernel * c.kernel * c.in_channels;
+                Some((
+                    choose_kernel(
+                        strategy,
+                        d,
+                        true,
+                        c.out_channels,
+                        node.output_shape.spatial(),
+                        k,
+                    ),
+                    d,
+                    c.weights.as_slice(),
+                    c.out_channels,
+                    k,
+                ))
+            }
+            Layer::Dense(dn) => {
+                let d = domain_it.next().expect("one domain per MVTU");
+                Some((
+                    choose_kernel(strategy, d, false, dn.out_features, 1, dn.in_features),
+                    d,
+                    dn.weights.as_slice(),
+                    dn.out_features,
+                    dn.in_features,
+                ))
+            }
+            Layer::MultiThreshold(_) | Layer::MaxPool2d(_) | Layer::LabelSelect(_) => None,
+        };
+        let (kernel, packed_plan, label) = match mvtu {
+            Some((MvtuKernel::Packed, d, weights, rows, k)) => (
+                Some(MvtuKernel::Packed),
+                Some(PackedPlan {
+                    weights: packed::PackedWeights::pack(weights, rows, k),
+                    planes: d.act_in_planes as usize,
+                }),
+                packed_label,
+            ),
+            Some((choice @ MvtuKernel::Gemm, ..)) => (Some(choice), None, "gemm"),
+            Some((choice @ MvtuKernel::DirectConv, ..)) => (Some(choice), None, "direct"),
+            None => (
+                None,
+                None,
+                match &node.layer {
+                    Layer::MultiThreshold(_) => "threshold",
+                    Layer::MaxPool2d(_) => "maxpool",
+                    _ => "argmax",
+                },
+            ),
+        };
+        let span = if kernel.is_some() {
+            format!("{}[{label}]", node.name)
+        } else {
+            node.name.clone()
+        };
+        attributions.push(KernelAttribution {
+            layer: node.name.clone(),
+            kernel: label,
+        });
+        plan.push(NodePlan {
+            kernel,
+            packed: packed_plan,
+            span,
+        });
+    }
+    (plan, attributions.into())
 }
 
 impl<'g> Engine<'g> {
@@ -196,18 +425,60 @@ impl<'g> Engine<'g> {
                 }
             }
         }
+        let strategy = ConvStrategy::default();
+        let backend = packed::default_backend();
+        let (plan, kernels) = build_plan(graph, strategy, backend);
         Ok(Self {
             graph,
-            strategy: ConvStrategy::Direct,
+            strategy,
+            backend,
             sink: SinkHandle::null(),
+            plan: Arc::new(plan),
+            kernels,
         })
     }
 
-    /// Returns this engine with a different convolution strategy.
+    /// Returns this engine with a different convolution strategy,
+    /// re-planning every layer's kernel.
     #[must_use]
     pub fn with_strategy(mut self, strategy: ConvStrategy) -> Self {
         self.strategy = strategy;
+        self.replan();
         self
+    }
+
+    /// Returns this engine with an explicit packed-kernel backend,
+    /// re-planning so span names and attributions stay honest. Requesting
+    /// [`PackedBackend::Avx2`] on a machine without AVX2 pins scalar
+    /// instead — the choice can never make dispatch unsound.
+    #[must_use]
+    pub fn with_packed_backend(mut self, backend: PackedBackend) -> Self {
+        self.backend = if backend == PackedBackend::Avx2 && packed::simd_available() {
+            PackedBackend::Avx2
+        } else {
+            PackedBackend::Scalar
+        };
+        self.replan();
+        self
+    }
+
+    fn replan(&mut self) {
+        let (plan, kernels) = build_plan(self.graph, self.strategy, self.backend);
+        self.plan = Arc::new(plan);
+        self.kernels = kernels;
+    }
+
+    /// The per-layer kernel attribution of the current plan (one entry per
+    /// graph node, in dataflow order).
+    #[must_use]
+    pub fn kernels(&self) -> &[KernelAttribution] {
+        &self.kernels
+    }
+
+    /// The packed-kernel backend in effect for this engine.
+    #[must_use]
+    pub fn packed_backend(&self) -> PackedBackend {
+        self.backend
     }
 
     /// Returns this engine with a telemetry sink. When the sink is enabled,
@@ -284,7 +555,7 @@ impl<'g> Engine<'g> {
         let mut shape = input.shape();
         let mut result = None;
 
-        for node in self.graph.iter() {
+        for (node, plan) in self.graph.iter().zip(self.plan.iter()) {
             let t_begin = if timing {
                 started.elapsed().as_secs_f64()
             } else {
@@ -299,10 +570,12 @@ impl<'g> Engine<'g> {
                         &scratch.act_b[..shape.elements()]
                     };
                     let out = &mut scratch.accum[..out_shape.elements()];
-                    match self.strategy {
-                        ConvStrategy::Direct => conv_direct_into(c, src, shape, out_shape, out),
-                        ConvStrategy::Im2col => {
-                            let window = c.kernel * c.kernel * c.in_channels;
+                    let window = c.kernel * c.kernel * c.in_channels;
+                    match plan.kernel {
+                        Some(MvtuKernel::DirectConv) | None => {
+                            conv_direct_into(c, src, shape, out_shape, out);
+                        }
+                        Some(MvtuKernel::Gemm) => {
                             let cols = &mut scratch.cols[..out_shape.spatial() * window];
                             im2col_into(c, src, shape, out_shape, cols);
                             gemm_i32(
@@ -312,6 +585,26 @@ impl<'g> Engine<'g> {
                                 out_shape.spatial(),
                                 window,
                                 out,
+                            );
+                        }
+                        Some(MvtuKernel::Packed) => {
+                            let pp = plan.packed.as_ref().expect("packed plan carries weights");
+                            let cols = &mut scratch.cols[..out_shape.spatial() * window];
+                            im2col_into(c, src, shape, out_shape, cols);
+                            packed::pack_act_rows(
+                                cols,
+                                out_shape.spatial(),
+                                window,
+                                pp.planes,
+                                &mut scratch.packed,
+                            );
+                            packed::packed_gemm(
+                                &pp.weights,
+                                &scratch.packed,
+                                out_shape.spatial(),
+                                pp.planes,
+                                out,
+                                self.backend,
                             );
                         }
                     }
@@ -324,14 +617,34 @@ impl<'g> Engine<'g> {
                         &scratch.act_b[..shape.elements()]
                     };
                     let out = &mut scratch.accum[..d.out_features];
-                    gemm_i32(
-                        d.weights.as_slice(),
-                        src,
-                        d.out_features,
-                        1,
-                        d.in_features,
-                        out,
-                    );
+                    if let (Some(MvtuKernel::Packed), Some(pp)) =
+                        (plan.kernel, plan.packed.as_ref())
+                    {
+                        packed::pack_act_rows(
+                            src,
+                            1,
+                            d.in_features,
+                            pp.planes,
+                            &mut scratch.packed,
+                        );
+                        packed::packed_gemm(
+                            &pp.weights,
+                            &scratch.packed,
+                            1,
+                            pp.planes,
+                            out,
+                            self.backend,
+                        );
+                    } else {
+                        gemm_i32(
+                            d.weights.as_slice(),
+                            src,
+                            d.out_features,
+                            1,
+                            d.in_features,
+                            out,
+                        );
+                    }
                     kind = Kind::Accum;
                 }
                 (Layer::MultiThreshold(t), Kind::Accum) => {
@@ -355,7 +668,11 @@ impl<'g> Engine<'g> {
                 (Layer::LabelSelect(_), Kind::Accum) => {
                     let logits = scratch.accum[..shape.elements()].to_vec();
                     let label = argmax(&logits);
-                    result = Some(InferenceResult { label, logits });
+                    result = Some(InferenceResult {
+                        label,
+                        logits,
+                        kernels: self.kernels.clone(),
+                    });
                 }
                 (layer, _) => {
                     // `new` validated the chain; reaching here means the graph
@@ -369,7 +686,7 @@ impl<'g> Engine<'g> {
             shape = out_shape;
             if timing {
                 self.sink
-                    .emit_span(t_begin, started.elapsed().as_secs_f64(), &node.name);
+                    .emit_span(t_begin, started.elapsed().as_secs_f64(), &plan.span);
             }
         }
         result.ok_or_else(|| NnError::Unsupported("graph has no label-select output".into()))
@@ -489,24 +806,23 @@ impl<'g> BatchRunner<'g> {
 // ---------------------------------------------------------------------------
 
 /// Register tile height (output channels) of the blocked GEMM.
-const GEMM_MR: usize = 4;
+pub(crate) const GEMM_MR: usize = 4;
 /// Register tile width (output pixels) of the blocked GEMM.
-const GEMM_NR: usize = 4;
-/// Minimum inner dimension for the blocked kernel to pay off.
-const GEMM_MIN_K: usize = 16;
+pub(crate) const GEMM_NR: usize = 4;
 
 /// `out[i][j] = Σ_k a[i*k..][k'] · b[j*k..][k']` — both operands row-major
 /// over the shared inner dimension (filters × im2col windows, or dense
 /// weight rows × the input vector when `n == 1`).
 ///
-/// Dispatches to the 4×4 register-blocked kernel when the problem is wide
-/// enough, else to the plain row-dot loop. Both paths produce identical
-/// bits.
+/// Dispatches to the 4×4 register-blocked kernel when the inner dimension
+/// clears the crossover measured by [`packed::kernel_thresholds`], else to
+/// the plain row-dot loop. Both paths produce identical bits, so the
+/// measurement can only affect speed.
 pub(crate) fn gemm_i32(a: &[i8], b: &[u8], m: usize, n: usize, k: usize, out: &mut [i32]) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), n * k);
     debug_assert_eq!(out.len(), m * n);
-    if m >= GEMM_MR && n >= GEMM_NR && k >= GEMM_MIN_K {
+    if m >= GEMM_MR && n >= GEMM_NR && k >= packed::kernel_thresholds().gemm_min_k {
         gemm_i32_blocked(a, b, m, n, k, out);
     } else {
         gemm_i32_naive(a, b, m, n, k, out);
@@ -515,7 +831,7 @@ pub(crate) fn gemm_i32(a: &[i8], b: &[u8], m: usize, n: usize, k: usize, out: &m
 
 /// Plain row-by-row dot products (fast for narrow layers; the compiler
 /// vectorizes the inner zip).
-fn gemm_i32_naive(a: &[i8], b: &[u8], m: usize, n: usize, k: usize, out: &mut [i32]) {
+pub(crate) fn gemm_i32_naive(a: &[i8], b: &[u8], m: usize, n: usize, k: usize, out: &mut [i32]) {
     for i in 0..m {
         let arow = &a[i * k..(i + 1) * k];
         for j in 0..n {
@@ -536,7 +852,7 @@ fn dot_i32(w: &[i8], x: &[u8]) -> i32 {
 /// Cache-blocked GEMM: 4×4 register tile, inner loop unrolled by 4 over the
 /// window dimension. Each loaded `a`/`b` value is reused across the whole
 /// tile, cutting memory traffic ~4× versus the naive row dots.
-fn gemm_i32_blocked(a: &[i8], b: &[u8], m: usize, n: usize, k: usize, out: &mut [i32]) {
+pub(crate) fn gemm_i32_blocked(a: &[i8], b: &[u8], m: usize, n: usize, k: usize, out: &mut [i32]) {
     let mut mb = 0;
     while mb < m {
         let mh = (m - mb).min(GEMM_MR);
@@ -1159,5 +1475,152 @@ mod tests {
         let b = engine.run(&bright).expect("run");
         // A saturated input must flow through to different logits than zero.
         assert_ne!(a.logits, b.logits);
+    }
+
+    #[test]
+    fn packed_strategy_matches_direct_and_im2col() {
+        // The blocked i32 GEMM is the bit-identity oracle for the packed
+        // popcount kernels, across both dispatchable backends.
+        let g = topology::cnv_scaled(QuantSpec::w2a2(), 6, 0.25)
+            .build()
+            .expect("builds");
+        let direct = Engine::new(&g)
+            .expect("engine")
+            .with_strategy(ConvStrategy::Direct);
+        let gemm = Engine::new(&g)
+            .expect("engine")
+            .with_strategy(ConvStrategy::Im2col);
+        let mut engines = vec![
+            Engine::new(&g)
+                .expect("engine")
+                .with_strategy(ConvStrategy::Packed)
+                .with_packed_backend(PackedBackend::Scalar),
+            Engine::new(&g).expect("engine"), // Auto, default backend
+        ];
+        if crate::packed::simd_available() {
+            engines.push(
+                Engine::new(&g)
+                    .expect("engine")
+                    .with_strategy(ConvStrategy::Packed)
+                    .with_packed_backend(PackedBackend::Avx2),
+            );
+        }
+        for seed in 0..4u64 {
+            let img = random_image(g.input_shape(), seed);
+            let oracle = direct.run(&img).expect("direct");
+            assert_eq!(oracle, gemm.run(&img).expect("im2col"));
+            for e in &engines {
+                assert_eq!(
+                    oracle,
+                    e.run(&img).expect("packed"),
+                    "packed diverged on seed {seed} (backend {:?})",
+                    e.packed_backend()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn packed_strategy_skips_the_input_layer_only() {
+        // The first MVTU sees 8-bit pixels, so the packed contract cannot
+        // hold there; every later W2A2 MVTU packs.
+        let g = tiny_graph();
+        let engine = Engine::new(&g)
+            .expect("engine")
+            .with_strategy(ConvStrategy::Packed);
+        let label = format!("packed-{}", engine.packed_backend().label());
+        let mvtu: Vec<&KernelAttribution> = engine
+            .kernels()
+            .iter()
+            .filter(|k| k.kernel != "threshold" && k.kernel != "maxpool" && k.kernel != "argmax")
+            .collect();
+        assert!(mvtu.len() >= 2, "tiny graph has several MVTUs");
+        assert_ne!(mvtu[0].kernel, label, "input layer must not pack");
+        for k in &mvtu[1..] {
+            assert_eq!(k.kernel, label, "layer {} should pack", k.layer);
+        }
+    }
+
+    #[test]
+    fn kernel_attribution_covers_every_layer() {
+        let g = tiny_graph();
+        let engine = Engine::new(&g).expect("engine");
+        let kernels = engine.kernels();
+        assert_eq!(kernels.len(), g.len());
+        for (node, k) in g.iter().zip(kernels) {
+            assert_eq!(node.name, k.layer);
+        }
+        // The result carries the same attribution for offline reporting.
+        let result = engine
+            .run(&Activations::zeroed(g.input_shape()))
+            .expect("run");
+        assert_eq!(result.kernels.as_ref(), kernels);
+    }
+
+    #[test]
+    fn inference_result_equality_ignores_kernel_metadata() {
+        let g = tiny_graph();
+        let img = random_image(g.input_shape(), 3);
+        let a = Engine::new(&g)
+            .expect("engine")
+            .with_strategy(ConvStrategy::Direct)
+            .run(&img)
+            .expect("runs");
+        let b = Engine::new(&g)
+            .expect("engine")
+            .with_strategy(ConvStrategy::Packed)
+            .run(&img)
+            .expect("runs");
+        assert_eq!(a, b, "numerics agree across strategies");
+        assert_ne!(
+            a.kernels.as_ref(),
+            b.kernels.as_ref(),
+            "attribution reflects the strategy"
+        );
+    }
+
+    #[test]
+    fn packed_spans_carry_kernel_suffix() {
+        use adaflow_telemetry::EventKind;
+        let g = tiny_graph();
+        let (sink, recorder) = SinkHandle::recorder(256);
+        let engine = Engine::new(&g)
+            .expect("engine")
+            .with_strategy(ConvStrategy::Packed)
+            .with_sink(sink);
+        engine
+            .run(&Activations::zeroed(g.input_shape()))
+            .expect("run");
+        let label = format!("packed-{}", engine.packed_backend().label());
+        let spans: Vec<String> = recorder
+            .drain()
+            .into_iter()
+            .filter_map(|e| match e.kind {
+                EventKind::SpanBegin { name } => Some(name),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(spans.len(), g.len());
+        assert!(
+            spans.iter().any(|s| s.contains(&format!("[{label}]"))),
+            "no packed span in {spans:?}"
+        );
+    }
+
+    #[test]
+    fn scratch_run_matches_fresh_run_for_packed_strategies() {
+        let g = tiny_graph();
+        for strategy in [ConvStrategy::Packed, ConvStrategy::Auto] {
+            let engine = Engine::new(&g).expect("engine").with_strategy(strategy);
+            let mut scratch = engine.scratch();
+            for seed in 0..8u64 {
+                let img = random_image(g.input_shape(), seed);
+                let fresh = engine.run(&img).expect("fresh");
+                let reused = engine
+                    .run_with_scratch(&img, &mut scratch)
+                    .expect("scratch");
+                assert_eq!(fresh, reused, "scratch diverged on seed {seed}");
+            }
+        }
     }
 }

@@ -35,7 +35,10 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the one cfg-gated AVX2 intrinsics module
+// ([`packed::avx2`]) re-allows `unsafe` locally under a documented safety
+// contract; everything else in the crate stays unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod accuracy;
@@ -44,16 +47,20 @@ pub mod engine;
 pub mod error;
 pub mod flexible;
 pub mod metrics;
+pub mod packed;
 pub mod parallel;
 pub mod tensor;
 pub mod train;
 
 pub use accuracy::{AccuracyModel, DatasetKind};
 pub use dataset::{DatasetSpec, Sample, SyntheticDataset};
-pub use engine::{BatchRunner, ConvStrategy, Engine, EngineScratch, InferenceResult};
+pub use engine::{
+    BatchRunner, ConvStrategy, Engine, EngineScratch, InferenceResult, KernelAttribution,
+};
 pub use error::NnError;
 pub use flexible::{FlexibleExecution, FlexibleExecutor};
 pub use metrics::{evaluate_confusion, evaluate_confusion_batched, ConfusionMatrix};
+pub use packed::{default_backend, kernel_thresholds, KernelThresholds, PackedBackend};
 pub use tensor::Activations;
 pub use train::{Trainer, TrainingConfig, TrainingReport};
 
@@ -61,10 +68,13 @@ pub use train::{Trainer, TrainingConfig, TrainingReport};
 pub mod prelude {
     pub use crate::accuracy::{AccuracyModel, DatasetKind};
     pub use crate::dataset::{DatasetSpec, Sample, SyntheticDataset};
-    pub use crate::engine::{BatchRunner, ConvStrategy, Engine, EngineScratch, InferenceResult};
+    pub use crate::engine::{
+        BatchRunner, ConvStrategy, Engine, EngineScratch, InferenceResult, KernelAttribution,
+    };
     pub use crate::error::NnError;
     pub use crate::flexible::{FlexibleExecution, FlexibleExecutor};
     pub use crate::metrics::{evaluate_confusion, evaluate_confusion_batched, ConfusionMatrix};
+    pub use crate::packed::{default_backend, PackedBackend};
     pub use crate::tensor::Activations;
     pub use crate::train::{Trainer, TrainingConfig, TrainingReport};
 }

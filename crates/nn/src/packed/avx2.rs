@@ -1,0 +1,176 @@
+//! AVX2 popcount kernels for the packed bitplane dot products.
+//!
+//! This is the **only** module in the workspace permitted to use `unsafe`
+//! (the crate root is `deny(unsafe_code)`, relaxed here alone). The unsafe
+//! surface is confined to two things:
+//!
+//! 1. calling `#[target_feature(enable = "avx2,popcnt")]` functions, and
+//! 2. unaligned 256-bit loads/stores through raw pointers inside them.
+//!
+//! ## Safety contract
+//!
+//! * Every `unsafe` entry point is reached only through the safe wrappers
+//!   [`dot`] and [`gemm_row`], which consult the cached
+//!   `is_x86_feature_detected!` probe and fall back to the scalar kernel
+//!   when the CPU lacks AVX2/POPCNT — so the required target features are
+//!   always present when the intrinsics execute.
+//! * All raw-pointer loads derive from in-bounds slice indices: the loop
+//!   bounds guarantee `i + 4 <= words`, so each `_mm256_loadu_si256` reads
+//!   exactly the four `u64` lanes `[i, i+4)` of a live slice. Unaligned
+//!   loads are used throughout, so no alignment precondition exists.
+//!
+//! The popcount itself is the vpshufb nibble-LUT reduction (Mula's
+//! algorithm): per-byte counts via two 16-entry table lookups, horizontally
+//! summed into 64-bit lanes with `_mm256_sad_epu8`. The scalar tail uses
+//! `count_ones()`, which compiles to `popcnt` under the enabled feature.
+
+#![allow(unsafe_code)]
+
+use std::arch::x86_64::{
+    __m256i, _mm256_add_epi64, _mm256_add_epi8, _mm256_and_si256, _mm256_loadu_si256,
+    _mm256_sad_epu8, _mm256_set1_epi8, _mm256_setr_epi8, _mm256_setzero_si256, _mm256_shuffle_epi8,
+    _mm256_srli_epi32, _mm256_storeu_si256,
+};
+use std::sync::OnceLock;
+
+/// Cached capability probe: AVX2 for the vector kernels, POPCNT for the
+/// scalar tail inside the target-feature region.
+pub(crate) fn available() -> bool {
+    static AVAILABLE: OnceLock<bool> = OnceLock::new();
+    *AVAILABLE.get_or_init(|| {
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("popcnt")
+    })
+}
+
+/// Safe entry point: one packed dot product on the AVX2 path, falling back
+/// to the scalar kernel when the CPU lacks the features.
+pub(crate) fn dot(plus: &[u64], minus: &[u64], act: &[u64], planes: usize, words: usize) -> i32 {
+    if !available() {
+        return super::dot_packed_scalar(plus, minus, act, planes, words);
+    }
+    // SAFETY: `available()` established AVX2+POPCNT at runtime.
+    unsafe { dot_avx2(plus, minus, act, planes, words) }
+}
+
+/// Safe entry point: one weight row dotted against `n` packed activation
+/// vectors (stride `planes * words`), falling back to scalar without AVX2.
+pub(crate) fn gemm_row(
+    plus: &[u64],
+    minus: &[u64],
+    acts: &[u64],
+    n: usize,
+    planes: usize,
+    words: usize,
+    out: &mut [i32],
+) {
+    let stride = planes * words;
+    if !available() {
+        for j in 0..n {
+            out[j] = super::dot_packed_scalar(
+                plus,
+                minus,
+                &acts[j * stride..(j + 1) * stride],
+                planes,
+                words,
+            );
+        }
+        return;
+    }
+    for j in 0..n {
+        // SAFETY: `available()` established AVX2+POPCNT at runtime.
+        out[j] = unsafe {
+            dot_avx2(
+                plus,
+                minus,
+                &acts[j * stride..(j + 1) * stride],
+                planes,
+                words,
+            )
+        };
+    }
+}
+
+/// Shift-weighted plane recombination over the vectorized plane-pair
+/// popcounts.
+///
+/// # Safety
+///
+/// Requires AVX2 and POPCNT; callers must check [`available`] first.
+#[target_feature(enable = "avx2,popcnt")]
+unsafe fn dot_avx2(plus: &[u64], minus: &[u64], act: &[u64], planes: usize, words: usize) -> i32 {
+    debug_assert_eq!(plus.len(), words);
+    debug_assert_eq!(minus.len(), words);
+    debug_assert!(act.len() >= planes * words);
+    let mut acc = 0i32;
+    for p in 0..planes {
+        let plane = &act[p * words..(p + 1) * words];
+        let (pos, neg) = plane_pair_counts(plus, minus, plane, words);
+        acc += (pos as i32 - neg as i32) << p;
+    }
+    acc
+}
+
+/// `(popcount(plus & plane), popcount(minus & plane))` over `words` lanes:
+/// four lanes per iteration through the nibble-LUT popcount, scalar
+/// `popcnt` for the tail.
+///
+/// # Safety
+///
+/// Requires AVX2 and POPCNT; callers must check [`available`] first.
+#[target_feature(enable = "avx2,popcnt")]
+unsafe fn plane_pair_counts(
+    plus: &[u64],
+    minus: &[u64],
+    plane: &[u64],
+    words: usize,
+) -> (u32, u32) {
+    let mut pos_v = _mm256_setzero_si256();
+    let mut neg_v = _mm256_setzero_si256();
+    let vec_words = words & !3;
+    let mut i = 0;
+    while i < vec_words {
+        // SAFETY: i + 4 <= vec_words <= words == len of each slice, so the
+        // unaligned 32-byte loads stay inside the borrowed buffers.
+        let (a, p, m) = unsafe {
+            (
+                _mm256_loadu_si256(plane.as_ptr().add(i).cast::<__m256i>()),
+                _mm256_loadu_si256(plus.as_ptr().add(i).cast::<__m256i>()),
+                _mm256_loadu_si256(minus.as_ptr().add(i).cast::<__m256i>()),
+            )
+        };
+        pos_v = _mm256_add_epi64(pos_v, popcnt_epi64(_mm256_and_si256(p, a)));
+        neg_v = _mm256_add_epi64(neg_v, popcnt_epi64(_mm256_and_si256(m, a)));
+        i += 4;
+    }
+    let mut pos = hsum_epi64(pos_v) as u32;
+    let mut neg = hsum_epi64(neg_v) as u32;
+    for w in vec_words..words {
+        pos += (plus[w] & plane[w]).count_ones();
+        neg += (minus[w] & plane[w]).count_ones();
+    }
+    (pos, neg)
+}
+
+/// Per-64-bit-lane popcount of a 256-bit vector (Mula's vpshufb method):
+/// nibble-LUT per byte, `_mm256_sad_epu8` to fold bytes into each lane.
+#[target_feature(enable = "avx2")]
+fn popcnt_epi64(v: __m256i) -> __m256i {
+    let lut = _mm256_setr_epi8(
+        0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, 0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3,
+        3, 4,
+    );
+    let low_mask = _mm256_set1_epi8(0x0f);
+    let lo = _mm256_and_si256(v, low_mask);
+    let hi = _mm256_and_si256(_mm256_srli_epi32::<4>(v), low_mask);
+    let counts = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo), _mm256_shuffle_epi8(lut, hi));
+    _mm256_sad_epu8(counts, _mm256_setzero_si256())
+}
+
+/// Horizontal sum of the four 64-bit lanes.
+#[target_feature(enable = "avx2")]
+fn hsum_epi64(v: __m256i) -> i64 {
+    let mut lanes = [0i64; 4];
+    // SAFETY: `lanes` is a live 32-byte buffer; unaligned store.
+    unsafe { _mm256_storeu_si256(lanes.as_mut_ptr().cast::<__m256i>(), v) };
+    lanes.iter().sum()
+}

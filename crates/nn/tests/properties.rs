@@ -115,7 +115,12 @@ proptest! {
                 .collect(),
             seed ^ 0xD1B5_4A32_D192_ED03,
         );
-        for strategy in [ConvStrategy::Direct, ConvStrategy::Im2col] {
+        for strategy in [
+            ConvStrategy::Direct,
+            ConvStrategy::Im2col,
+            ConvStrategy::Packed,
+            ConvStrategy::Auto,
+        ] {
             let engine = Engine::new(&graph).expect("engine").with_strategy(strategy);
             let mut scratch = engine.scratch();
             for img in &images {
@@ -123,6 +128,67 @@ proptest! {
                 let reused = engine.run_with_scratch(img, &mut scratch).expect("scratch run");
                 prop_assert_eq!(fresh, reused);
             }
+        }
+    }
+
+    /// Every kernel path — direct conv, blocked i32 GEMM, packed popcount
+    /// on each available backend — produces bit-identical logits on random
+    /// graphs and inputs. The GEMM path is the oracle the packed kernels
+    /// are checked against.
+    #[test]
+    fn packed_kernels_are_bit_identical_to_gemm_oracle(
+        classes in 2usize..8,
+        seed in 0u64..1000,
+        quant_w1 in proptest::bool::ANY,
+    ) {
+        let quant = if quant_w1 { QuantSpec::w1a2() } else { QuantSpec::w2a2() };
+        let graph = topology::tiny(quant, classes).expect("builds");
+        let img = random_image(graph.input_shape(), seed);
+        let oracle = Engine::new(&graph)
+            .expect("engine")
+            .with_strategy(ConvStrategy::Im2col)
+            .run(&img)
+            .expect("oracle");
+        let mut backends = vec![PackedBackend::Scalar];
+        if adaflow_nn::packed::simd_available() {
+            backends.push(PackedBackend::Avx2);
+        }
+        for backend in backends {
+            let engine = Engine::new(&graph)
+                .expect("engine")
+                .with_strategy(ConvStrategy::Packed)
+                .with_packed_backend(backend);
+            prop_assert_eq!(&oracle, &engine.run(&img).expect("packed"));
+        }
+        let auto = Engine::new(&graph).expect("engine").run(&img).expect("auto");
+        prop_assert_eq!(&oracle, &auto);
+    }
+
+    /// Batched packed inference is invariant in the worker-thread count and
+    /// matches the serial GEMM oracle label-for-label.
+    #[test]
+    fn packed_batch_runner_matches_oracle_across_threads(
+        classes in 2usize..6,
+        seed in 0u64..500,
+        threads in 3usize..9,
+    ) {
+        let graph = topology::tiny(QuantSpec::w2a2(), classes).expect("builds");
+        let images: Vec<Activations> = (0..6)
+            .map(|i| random_image(graph.input_shape(), seed.wrapping_add(77 * i)))
+            .collect();
+        let oracle_engine = Engine::new(&graph)
+            .expect("engine")
+            .with_strategy(ConvStrategy::Im2col);
+        let oracle: Vec<usize> = images
+            .iter()
+            .map(|img| oracle_engine.run(img).expect("oracle").label)
+            .collect();
+        for t in [1, 2, threads] {
+            let engine = Engine::new(&graph)
+                .expect("engine")
+                .with_strategy(ConvStrategy::Packed);
+            let runner = BatchRunner::new(engine).with_threads(t);
+            prop_assert_eq!(&runner.run(&images).expect("batch"), &oracle, "threads {}", t);
         }
     }
 

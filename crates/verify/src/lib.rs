@@ -17,7 +17,7 @@
 //! adaflow_cli lint --model cnv-w2a2 --rates 0,0.25,0.5
 //! ```
 //!
-//! The graph rule catalog is `AF001`–`AF008` (see [`rules`]); the
+//! The graph rule catalog is `AF001`–`AF009` (see [`rules`]); the
 //! dataflow-level rules `DF001`–`DF003` live in `adaflow-dataflow::verify`
 //! because they need the folding configuration and compiled accelerator,
 //! which sit above this crate in the dependency order. Both share the
@@ -151,13 +151,68 @@ mod tests {
     }
 
     #[test]
-    fn catalog_has_eight_distinct_codes() {
+    fn catalog_has_nine_distinct_codes() {
         let v = Verifier::new();
         let codes: std::collections::BTreeSet<_> =
             v.catalog().into_iter().map(|(c, _)| c).collect();
-        assert_eq!(codes.len(), 8);
+        assert_eq!(codes.len(), 9);
         assert!(codes.contains("AF001"));
         assert!(codes.contains("AF008"));
+        assert!(codes.contains("AF009"));
+    }
+
+    #[test]
+    fn packed_eligibility_reported_per_mvtu_layer() {
+        let g = topology::cnv_w2a2_cifar10().expect("builds");
+        let report = verify_graph(&g);
+        let mvtus = g.iter().filter(|n| n.layer.is_mvtu()).count();
+        let infos = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == "AF009" && d.severity == Severity::Info)
+            .count();
+        // Every MVTU reports Info (the first layer's GEMM fallback on the
+        // 8-bit input is expected, not a defect), none warns.
+        assert_eq!(infos, mvtus, "one eligibility line per MVTU layer");
+        assert!(!report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == "AF009" && d.severity != Severity::Info));
+    }
+
+    #[test]
+    fn af009_warns_when_thresholds_imply_wide_activations() {
+        // A 7-level (3-bit) threshold feeding a conv that declares W2A2:
+        // the packed contract silently breaks, which AF009 must flag.
+        let g = GraphBuilder::new("wide-acts", TensorShape::new(1, 8, 8))
+            .conv2d(Conv2d::new(1, 4, 3, 1, 0, QuantSpec::w2a2()))
+            .threshold(MultiThreshold::uniform(4, 7, -4, 4))
+            .conv2d(Conv2d::new(4, 4, 3, 1, 0, QuantSpec::w2a2()))
+            .threshold(MultiThreshold::uniform(4, 3, -4, 4))
+            .dense(Dense::new(4 * 4 * 4, 4, QuantSpec::w2a2()))
+            .label_select(4)
+            .build()
+            .expect("builds");
+        let report = verify_graph(&g);
+        let warns: Vec<_> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == "AF009" && d.severity == Severity::Warn)
+            .collect();
+        assert_eq!(warns.len(), 1, "exactly the second conv warns:\n{report}");
+        assert!(warns[0].message.contains("incoming activations reach 7"));
+    }
+
+    #[test]
+    fn af009_stays_quiet_info_for_declared_wide_quant() {
+        // LeNet at W4A4 is legitimately GEMM-bound: Info only, no warns.
+        let g = topology::lenet(QuantSpec::new(4, 4), 10).expect("builds");
+        let report = verify_graph(&g);
+        assert!(report.fired("AF009"));
+        assert!(!report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == "AF009" && d.severity == Severity::Warn));
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! The graph rule catalog (`AF001`–`AF008`).
+//! The graph rule catalog (`AF001`–`AF009`).
 //!
 //! Each rule checks one structural invariant FINN's compiler takes for
 //! granted before HLS generation (see DESIGN.md §8 for the full catalog
@@ -12,7 +12,7 @@
 
 use crate::accumulator::{accumulator_bounds, AccumulatorBound};
 use crate::diag::{Diagnostics, Severity};
-use adaflow_model::{CnnGraph, Layer};
+use adaflow_model::{CnnGraph, Layer, PackedFallback};
 
 /// One whole-graph invariant check.
 pub trait Rule {
@@ -554,6 +554,86 @@ impl Rule for DataflowStructure {
     }
 }
 
+/// `AF009` — packed-kernel eligibility: the inference engine's bitplane
+/// popcount kernels (and the FINN XNOR/AND-popcount MVTU they model) are
+/// only faithful when a layer's effective domains stay within ≤2-bit
+/// weights (`{-1, 0, +1}`) and ≤2-bit incoming activations (`0..=3`).
+/// Reports each MVTU's eligibility as an Info finding; warns when a layer
+/// *declares* packed-friendly ≤2-bit quantization but the upstream
+/// threshold table implies wider activations (or its stored weights stray
+/// outside `±1`) — those layers silently pay the GEMM fallback.
+pub struct PackedEligibility;
+
+impl Rule for PackedEligibility {
+    fn code(&self) -> &'static str {
+        "AF009"
+    }
+
+    fn summary(&self) -> &'static str {
+        "MVTU domains fit the packed popcount-kernel contract (≤2-bit weights and activations)"
+    }
+
+    fn check(&self, graph: &CnnGraph, diag: &mut Diagnostics) {
+        for d in adaflow_model::mvtu_domains(graph) {
+            let at = Some((d.layer, d.name.as_str()));
+            match &d.fallback {
+                None => diag.report(
+                    self.code(),
+                    Severity::Info,
+                    at,
+                    format!(
+                        "packed-eligible: W{} weights, {}-plane activations ≤{} over fan-in {}",
+                        d.weight_bits, d.act_in_planes, d.act_in_max, d.fan_in
+                    ),
+                    None,
+                ),
+                Some(fb @ PackedFallback::ActivationsTooWide(_)) if d.act_from_input => {
+                    diag.report(
+                        self.code(),
+                        Severity::Info,
+                        at,
+                        format!("GEMM fallback (expected for the input layer): {fb}"),
+                        None,
+                    );
+                }
+                Some(fb @ PackedFallback::WeightBitsTooWide(_)) => diag.report(
+                    self.code(),
+                    Severity::Info,
+                    at,
+                    format!("GEMM fallback: {fb}"),
+                    None,
+                ),
+                // A declared >2-bit activation domain is legitimately
+                // ineligible — nothing to fix.
+                Some(fb @ PackedFallback::ActivationsTooWide(_)) if d.act_bits > 2 => diag.report(
+                    self.code(),
+                    Severity::Info,
+                    at,
+                    format!("GEMM fallback: {fb}"),
+                    None,
+                ),
+                // An inner layer declaring ≤2-bit quantization that still
+                // misses the contract is a calibration/model bug worth
+                // flagging: the engine quietly loses the packed speedup.
+                Some(fb) => diag.report(
+                    self.code(),
+                    Severity::Warn,
+                    at,
+                    format!(
+                        "declares W{}A{} but misses the packed contract: {fb}",
+                        d.weight_bits, d.act_bits
+                    ),
+                    Some(
+                        "recalibrate the upstream threshold table (or fix the stored weights) \
+                         so the packed kernels can engage"
+                            .into(),
+                    ),
+                ),
+            }
+        }
+    }
+}
+
 /// The full graph rule catalog, in code order.
 #[must_use]
 pub fn catalog() -> Vec<Box<dyn Rule>> {
@@ -566,5 +646,6 @@ pub fn catalog() -> Vec<Box<dyn Rule>> {
         Box::new(AccumulatorBounds),
         Box::new(ChannelConsistency),
         Box::new(DataflowStructure),
+        Box::new(PackedEligibility),
     ]
 }

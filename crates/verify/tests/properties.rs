@@ -4,7 +4,7 @@
 //! quantization variants) lints clean, as does every randomly generated
 //! well-formed graph.
 //!
-//! Negative direction: each rule code `AF001`–`AF008` is proven to fire on
+//! Negative direction: each rule code `AF001`–`AF009` is proven to fire on
 //! a graph corrupted in exactly the way the rule guards against. Graph
 //! constructors validate their inputs, so corrupted graphs are built
 //! through the serde backdoor: serialize to JSON, mutate the tree,
@@ -279,8 +279,8 @@ fn missing_threshold_between_mvtus_fires_af008() {
 }
 
 #[test]
-fn all_eight_rule_codes_have_negative_coverage() {
-    // Meta-test: the cases above plus the proptests cover AF001-AF008. This
+fn all_nine_rule_codes_have_negative_coverage() {
+    // Meta-test: the cases above plus the proptests cover AF001-AF009. This
     // is the single place that will fail if a code is renumbered.
     let codes: std::collections::BTreeSet<&str> = adaflow_verify::Verifier::new()
         .catalog()
@@ -288,8 +288,31 @@ fn all_eight_rule_codes_have_negative_coverage() {
         .map(|(code, _)| code)
         .collect();
     let expected: std::collections::BTreeSet<&str> = [
-        "AF001", "AF002", "AF003", "AF004", "AF005", "AF006", "AF007", "AF008",
+        "AF001", "AF002", "AF003", "AF004", "AF005", "AF006", "AF007", "AF008", "AF009",
     ]
     .into();
     assert_eq!(codes, expected);
+}
+
+#[test]
+fn mismatched_packed_declaration_warns_af009() {
+    // 7-level threshold feeding a W2A2 conv: declared packed-friendly,
+    // effectively ineligible — AF009's negative case.
+    let g = GraphBuilder::new("packed-miss", TensorShape::new(1, 8, 8))
+        .conv2d(Conv2d::new(1, 4, 3, 1, 0, QuantSpec::w2a2()))
+        .threshold(MultiThreshold::uniform(4, 7, -4, 4))
+        .conv2d(Conv2d::new(4, 4, 3, 1, 0, QuantSpec::w2a2()))
+        .threshold(MultiThreshold::uniform(4, 3, -4, 4))
+        .dense(Dense::new(4 * 16, 4, QuantSpec::w2a2()))
+        .label_select(4)
+        .build()
+        .expect("builds");
+    let report = verify_graph(&g);
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == "AF009" && d.severity == Severity::Warn),
+        "{report}"
+    );
 }
