@@ -12,7 +12,7 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 fn bench_edge(c: &mut Criterion) {
     let library = LibraryGenerator::default_edge_setup()
         .generate(
-            topology::cnv_w2a2_cifar10().expect("builds"),
+            &topology::cnv_w2a2_cifar10().expect("builds"),
             DatasetKind::Cifar10,
         )
         .expect("generates");
@@ -63,7 +63,7 @@ fn bench_edge(c: &mut Criterion) {
         b.iter(|| {
             LibraryGenerator::default_edge_setup()
                 .generate(
-                    topology::cnv_w2a2_cifar10().expect("builds"),
+                    &topology::cnv_w2a2_cifar10().expect("builds"),
                     DatasetKind::Cifar10,
                 )
                 .expect("generates");

@@ -37,7 +37,7 @@ fn spec() -> WorkloadSpec {
 fn bench_serve(c: &mut Criterion) {
     let library = LibraryGenerator::default_edge_setup()
         .generate(
-            adaflow_model::topology::cnv_w2a2_cifar10().expect("builds"),
+            &adaflow_model::topology::cnv_w2a2_cifar10().expect("builds"),
             DatasetKind::Cifar10,
         )
         .expect("generates");

@@ -87,7 +87,8 @@ fn usage() -> String {
      \x20 explore  --model <name> [--target-fps F] [--cap 0.7]\n\
      \x20 lint     [--model <name>|all] [--rates a,b,..] [--fleet kinds] [--router r] [--deadline-ms N]\n\
      \x20          [--max-drains K] [--format text|json] [--allow codes] [--deny codes]\n\
-     \x20          static verification of graphs (AF/DF/HL) and fleet/serving configs (FL/SV)\n\
+     \x20          [--explain CODE|all]   static verification of graphs (AF/DF) and\n\
+     \x20          fleet/serving configs (FL/SV); --explain prints a rule's catalog entry\n\
      models: cnv-w2a2, cnv-w1a2, lenet-w2a2, lenet-w1a2, tiny-w2a2; datasets: cifar10, gtsrb"
         .to_string()
 }
@@ -177,7 +178,7 @@ fn cmd_generate(flags: &HashMap<String, String>) -> Result<(), String> {
             .collect::<Result<Vec<_>, _>>()?;
     }
     let library = generator
-        .generate(graph, dataset)
+        .generate(&graph, dataset)
         .map_err(|e| e.to_string())?;
     println!(
         "generated {} models for {} on {} (baseline {:.0} FPS)",
@@ -720,7 +721,7 @@ fn cmd_report(flags: &HashMap<String, String>) -> Result<(), String> {
         Some(_) => load_library(flags)?,
         None => LibraryGenerator::default_edge_setup()
             .generate(
-                build_model("cnv-w2a2", Some(DatasetKind::Cifar10))?,
+                &build_model("cnv-w2a2", Some(DatasetKind::Cifar10))?,
                 DatasetKind::Cifar10,
             )
             .map_err(|e| e.to_string())?,
@@ -995,9 +996,36 @@ fn lint_graph(
     Ok(report)
 }
 
+/// `lint --explain <CODE|all>`: prints the rule-catalog entry (summary,
+/// severity range, paper provenance, example fix) for one diagnostic code,
+/// or for every registered code.
+fn cmd_explain(code: &str) -> Result<(), String> {
+    let docs: Vec<&adaflow_verify::RuleDoc> = if code.eq_ignore_ascii_case("all") {
+        adaflow_verify::rule_docs().iter().collect()
+    } else {
+        vec![adaflow_verify::explain(code).ok_or_else(|| {
+            format!("unknown rule code `{code}` — `--explain all` lists every code")
+        })?]
+    };
+    for (i, doc) in docs.iter().enumerate() {
+        if i > 0 {
+            println!();
+        }
+        println!("{} — {}", doc.code, doc.summary);
+        println!("  severity:   {}", doc.severities);
+        println!("  provenance: {}", doc.provenance);
+        println!("  fix:        {}", doc.example_fix);
+    }
+    Ok(())
+}
+
 fn cmd_lint(flags: &HashMap<String, String>) -> Result<(), String> {
     use adaflow_pruning::{DataflowAwarePruner, FinnConfig};
     use adaflow_verify::Severity;
+
+    if let Some(code) = flags.get("explain") {
+        return cmd_explain(code);
+    }
 
     // Fleet/serving config linting (FL + SV rule families) rides on the
     // same allow/deny policy and error exit as the graph rules. It is
@@ -1445,6 +1473,48 @@ mod tests {
         assert!(cmd_lint(&flags(&[("model", "tiny-w2a2"), ("router", "jsq")])).is_ok());
         // Without fleet flags, --model stays mandatory.
         assert!(cmd_lint(&flags(&[])).is_err());
+    }
+
+    #[test]
+    fn lint_explain_resolves_every_code() {
+        // Single code, case-insensitive, and the full catalog.
+        assert!(cmd_lint(&flags(&[("explain", "AF006")])).is_ok());
+        assert!(cmd_lint(&flags(&[("explain", "df005")])).is_ok());
+        assert!(cmd_lint(&flags(&[("explain", "all")])).is_ok());
+        // Unknown codes fail with a pointer to `--explain all`.
+        let err = cmd_lint(&flags(&[("explain", "ZZ999")])).unwrap_err();
+        assert!(err.contains("unknown rule code"), "{err}");
+    }
+
+    #[test]
+    fn every_registered_code_has_an_explanation() {
+        // Graph rules: straight from the loaded catalog.
+        for (code, _) in adaflow_verify::Verifier::new().catalog() {
+            assert!(adaflow_verify::explain(code).is_some(), "no doc for {code}");
+        }
+        // Dataflow, serving and fleet rules emit by code string; lint a
+        // model plus a deliberately broken fleet/serving config and check
+        // every fired code resolves (covers DF001–DF005, FL and SV codes).
+        let graph = build_model("cnv-w2a2", None).expect("builds");
+        let report = lint_graph(&graph, &adaflow_verify::LintConfig::default()).expect("lints");
+        let fleet = parse_fleet_config(&flags(&[("router", "deadline"), ("deadline-ms", "0")]))
+            .expect("parses");
+        let mut fired: std::collections::BTreeSet<String> =
+            report.codes().iter().map(ToString::to_string).collect();
+        let fleet_report = fleet.validate(adaflow_verify::LintConfig::default());
+        let serve_report = fleet
+            .serve
+            .validate(1000.0, 1.0, adaflow_verify::LintConfig::default());
+        fired.extend(fleet_report.codes().iter().map(ToString::to_string));
+        fired.extend(serve_report.codes().iter().map(ToString::to_string));
+        assert!(fired.iter().any(|c| c.starts_with("DF")));
+        assert!(fired.iter().any(|c| c.starts_with("FL")));
+        for code in &fired {
+            assert!(
+                adaflow_verify::explain(code).is_some(),
+                "emitted code {code} has no --explain entry"
+            );
+        }
     }
 
     #[test]

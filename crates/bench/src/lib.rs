@@ -93,7 +93,7 @@ impl Combo {
     #[must_use]
     pub fn build_library(&self) -> Library {
         LibraryGenerator::default_edge_setup()
-            .generate(self.initial_graph(), self.dataset)
+            .generate(&self.initial_graph(), self.dataset)
             .expect("library generation succeeds for reference setups")
     }
 }

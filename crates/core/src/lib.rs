@@ -27,7 +27,7 @@
 //!
 //! // Design time: build the library for CNVW2A2 on CIFAR-10.
 //! let library = LibraryGenerator::default_edge_setup()
-//!     .generate(topology::cnv_w2a2_cifar10()?, DatasetKind::Cifar10)?;
+//!     .generate(&topology::cnv_w2a2_cifar10()?, DatasetKind::Cifar10)?;
 //! assert_eq!(library.entries().len(), 18);
 //!
 //! // Run time: manage inference serving against a workload level.

@@ -145,7 +145,7 @@ impl LibraryGenerator {
     /// [`AdaFlowError::Library`] if no pruning rates are configured.
     pub fn generate(
         &self,
-        initial: CnnGraph,
+        initial: &CnnGraph,
         dataset: DatasetKind,
     ) -> Result<Library, AdaFlowError> {
         let quant = initial
@@ -163,7 +163,7 @@ impl LibraryGenerator {
     /// See [`LibraryGenerator::generate`].
     pub fn generate_with_policy(
         &self,
-        initial: CnnGraph,
+        initial: &CnnGraph,
         dataset: DatasetKind,
         policy: &RetrainPolicy,
     ) -> Result<Library, AdaFlowError> {
@@ -175,18 +175,18 @@ impl LibraryGenerator {
             .ok_or_else(|| AdaFlowError::Library("initial model has no MVTU layers".into()))?;
         let folding = match &self.folding {
             Some(f) => f.clone(),
-            None => FinnConfig::cnv_reference(&initial)?,
+            None => FinnConfig::cnv_reference(initial)?,
         };
         let pruner = DataflowAwarePruner::new(folding.clone());
 
         // The shared flexible fabric: synthesized for the worst case.
         let flexible_accel =
-            DataflowAccelerator::compile(&initial, &folding, AcceleratorKind::FlexiblePruning)?;
+            DataflowAccelerator::compile(initial, &folding, AcceleratorKind::FlexiblePruning)?;
         let flexible = synthesize(&flexible_accel, &self.device)?;
 
         // The original FINN baseline.
         let baseline_accel =
-            DataflowAccelerator::compile(&initial, &folding, AcceleratorKind::Finn)?;
+            DataflowAccelerator::compile(initial, &folding, AcceleratorKind::Finn)?;
         let baseline = synthesize(&baseline_accel, &self.device)?;
 
         let worst_macs = initial.total_macs();
@@ -194,7 +194,7 @@ impl LibraryGenerator {
         let mut rates = self.pruning_rates.clone();
         rates.sort_by(|a, b| a.partial_cmp(b).expect("rates are finite"));
         for &rate in &rates {
-            let pruned = pruner.prune(&initial, rate)?;
+            let pruned = pruner.prune(initial, rate)?;
             let achieved = pruned.achieved_rate();
             let outcome = retrain(pruned, policy)?;
             let model = outcome.model;
@@ -242,7 +242,7 @@ mod tests {
     fn cifar_library() -> Library {
         LibraryGenerator::default_edge_setup()
             .generate(
-                topology::cnv_w2a2_cifar10().expect("builds"),
+                &topology::cnv_w2a2_cifar10().expect("builds"),
                 DatasetKind::Cifar10,
             )
             .expect("generates")
@@ -321,7 +321,7 @@ mod tests {
     fn gtsrb_library_generates() {
         let lib = LibraryGenerator::default_edge_setup()
             .generate(
-                topology::cnv_w2a2_gtsrb().expect("builds"),
+                &topology::cnv_w2a2_gtsrb().expect("builds"),
                 DatasetKind::Gtsrb,
             )
             .expect("generates");
@@ -335,7 +335,7 @@ mod tests {
         generator.pruning_rates.clear();
         let err = generator
             .generate(
-                topology::cnv_w2a2_cifar10().expect("builds"),
+                &topology::cnv_w2a2_cifar10().expect("builds"),
                 DatasetKind::Cifar10,
             )
             .unwrap_err();

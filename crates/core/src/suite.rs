@@ -41,7 +41,7 @@ impl LibrarySuite {
     {
         let mut suite = Self::new();
         for (app, graph, dataset) in applications {
-            let library = generator.generate(graph, dataset)?;
+            let library = generator.generate(&graph, dataset)?;
             suite.insert(app, library)?;
         }
         Ok(suite)

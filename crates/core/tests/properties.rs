@@ -12,7 +12,7 @@ fn library() -> &'static Library {
     LIB.get_or_init(|| {
         LibraryGenerator::default_edge_setup()
             .generate(
-                topology::cnv_w2a2_cifar10().expect("builds"),
+                &topology::cnv_w2a2_cifar10().expect("builds"),
                 DatasetKind::Cifar10,
             )
             .expect("generates")

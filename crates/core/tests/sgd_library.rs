@@ -35,7 +35,7 @@ fn library_with_real_retraining() {
         folding: Some(folding),
     };
     let library = generator
-        .generate_with_policy(graph, DatasetKind::Cifar10, &sgd_policy())
+        .generate_with_policy(&graph, DatasetKind::Cifar10, &sgd_policy())
         .expect("generates");
 
     assert_eq!(library.entries().len(), 2);
@@ -80,10 +80,10 @@ fn sgd_and_analytical_libraries_share_structure() {
         folding: Some(folding),
     };
     let sgd = generator
-        .generate_with_policy(graph.clone(), DatasetKind::Cifar10, &sgd_policy())
+        .generate_with_policy(&graph, DatasetKind::Cifar10, &sgd_policy())
         .expect("generates");
     let analytical = generator
-        .generate(graph, DatasetKind::Cifar10)
+        .generate(&graph, DatasetKind::Cifar10)
         .expect("generates");
 
     // Hardware-side columns are identical regardless of how accuracy was

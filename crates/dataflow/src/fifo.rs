@@ -2,13 +2,20 @@
 //!
 //! FINN inserts stream FIFOs between dataflow layers and sizes them so the
 //! pipeline sustains its bottleneck-limited initiation interval. This module
-//! reproduces that design step on the frame-granular stream model: it finds
-//! the minimal uniform FIFO depth at which the simulated steady-state II
-//! equals the analytical bottleneck II, and reports the fill latency and
-//! buffering cost at that depth.
+//! reproduces that design step analytically: the steady-state II of a chain
+//! is `max(max_i c_i, max_i ⌈(c_i + c_{i+1}) / d_i⌉)` (the maximum cycle
+//! mean of the pipeline's max-plus recurrence), so inverting the pair-cycle
+//! bound yields the provably minimal capacity per edge —
+//! [`adaflow_verify::required_edge_capacity`], the same bound the `DF005`
+//! deadlock-freedom rule certifies. The uniform allocation the stream model
+//! uses is the maximum of those per-edge bounds, and a cycle-accurate
+//! [`StreamSimulator`] probe cross-validates that the analytic depth really
+//! achieves the bottleneck II before it is reported.
 
 use crate::accel::DataflowAccelerator;
+use crate::module::ModuleSpec;
 use crate::stream::StreamSimulator;
+use adaflow_verify::required_edge_capacity;
 use serde::{Deserialize, Serialize};
 
 /// Result of the FIFO sizing search.
@@ -28,6 +35,12 @@ pub struct FifoSizing {
     /// Number of buffered frames across the pipeline at the chosen depth
     /// (edges × depth) — proportional to FIFO memory cost.
     pub buffered_frames: usize,
+    /// Provably minimal capacity per inter-module edge (pipeline order):
+    /// the inverted pair-cycle bound `⌈(c_up + c_down) / target_ii⌉`.
+    pub per_edge_depths: Vec<usize>,
+    /// Total frames the per-edge bounds allocate (`Σ per_edge_depths`) —
+    /// the proven-safe floor the uniform allocation is compared against.
+    pub proven_frames: usize,
 }
 
 /// Frames simulated per sizing probe; enough to reach steady state for any
@@ -52,12 +65,28 @@ pub fn size_fifos(accel: &DataflowAccelerator) -> FifoSizing {
 
 /// Sizes the inter-module FIFOs of `accel`, returning `None` when no depth
 /// up to the internal search bound sustains the bottleneck II.
+///
+/// The per-edge capacities come from the analytic pair-cycle bound; the
+/// uniform depth starts at their maximum and a simulator probe confirms it
+/// (widening within the search bound if the analytic model were ever
+/// optimistic, which the test suite pins it never is for chain pipelines).
 #[must_use]
 pub fn try_size_fifos(accel: &DataflowAccelerator) -> Option<FifoSizing> {
     let target_ii = accel.initiation_interval();
+    let cycles: Vec<u64> = accel
+        .modules()
+        .iter()
+        .map(ModuleSpec::cycles_per_frame)
+        .collect();
+    let per_edge_depths: Vec<usize> = cycles
+        .windows(2)
+        .map(|pair| required_edge_capacity(pair[0], pair[1], target_ii))
+        .collect();
+    let proven_frames = per_edge_depths.iter().sum();
+    let analytic_depth = per_edge_depths.iter().copied().max().unwrap_or(1);
     let depth1 = StreamSimulator::new(accel, 1).run(PROBE_FRAMES);
     let mut chosen = None;
-    for depth in 1..=MAX_DEPTH {
+    for depth in analytic_depth..=MAX_DEPTH {
         let stats = StreamSimulator::new(accel, depth).run(PROBE_FRAMES);
         if stats.observed_ii == target_ii {
             chosen = Some((depth, stats));
@@ -73,6 +102,8 @@ pub fn try_size_fifos(accel: &DataflowAccelerator) -> Option<FifoSizing> {
         depth1_ii: depth1.observed_ii,
         fill_latency: stats.first_frame_cycles,
         buffered_frames: edges * depth,
+        per_edge_depths,
+        proven_frames,
     })
 }
 
@@ -115,6 +146,23 @@ mod tests {
             sizing.buffered_frames,
             (accel.modules().len() - 1) * sizing.depth
         );
+    }
+
+    #[test]
+    fn analytic_depth_matches_simulated_minimum() {
+        // The uniform depth is the max per-edge pair-cycle bound, and the
+        // simulator accepts it without widening: for the CNV reference the
+        // worst pair is swu2+mvtu2 over mvtu2's own II, giving exactly 2.
+        let sizing = size_fifos(&cnv_accel());
+        let analytic = sizing.per_edge_depths.iter().copied().max().unwrap();
+        assert_eq!(sizing.depth, analytic);
+        assert!(sizing.per_edge_depths.iter().all(|&d| d >= 1));
+        assert_eq!(
+            sizing.proven_frames,
+            sizing.per_edge_depths.iter().sum::<usize>()
+        );
+        // The proven floor never exceeds the uniform allocation.
+        assert!(sizing.proven_frames <= sizing.buffered_frames);
     }
 
     #[test]

@@ -45,7 +45,9 @@ pub use error::DataflowError;
 pub use fifo::{size_fifos, try_size_fifos, FifoSizing};
 pub use module::{ModuleKind, ModuleSpec};
 pub use stream::{StreamSimulator, StreamStats};
-pub use verify::{check_accelerator, check_folding, verify_dataflow};
+pub use verify::{
+    check_accelerator, check_fifo_liveness, check_folding, check_rate_balance, verify_dataflow,
+};
 
 /// Default accelerator clock: 100 MHz, the paper's synthesis target on the
 /// ZCU104.

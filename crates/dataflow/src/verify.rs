@@ -1,4 +1,4 @@
-//! Dataflow-level verification rules (`DF001`–`DF003`).
+//! Dataflow-level verification rules (`DF001`–`DF005`).
 //!
 //! These extend the graph rule catalog in `adaflow-verify` with checks that
 //! need the folding configuration and the compiled module pipeline, which
@@ -12,18 +12,30 @@
 //!   columns), and MVTU folding never exceeds the matrix geometry;
 //! * `DF003` — FIFO sizing: a uniform FIFO depth within the search bound
 //!   sustains the analytical bottleneck initiation interval, reported with
-//!   the chosen depth and buffering cost.
+//!   the chosen depth and buffering cost; warns when the uniform
+//!   allocation exceeds twice the proven-safe per-edge total;
+//! * `DF004` — steady-state rate balance: the max-plus fixpoint over the
+//!   SWU↔MVTU↔pool stages under the compiled folding, reporting the
+//!   bottleneck stage, its utilization and the mismatch severity;
+//! * `DF005` — FIFO deadlock-freedom: the allocated capacities are proven
+//!   live on the timed-marked-graph model (no zero-token cycle), with a
+//!   concrete counterexample token trace when they are not.
 //!
-//! All three share the diagnostics engine, severity policy and report
+//! All five share the diagnostics engine, severity policy and report
 //! format of `adaflow-verify`, so the CLI can merge graph and dataflow
-//! passes into one lint report.
+//! passes into one lint report. The `DF004`/`DF005` engines themselves
+//! (the fixpoint solver, `rate_balance`, `TimedMarkedGraph`) live in
+//! `adaflow-verify` and are fed module cycle counts from here.
 
 use crate::accel::DataflowAccelerator;
 use crate::fifo::try_size_fifos;
 use crate::module::ModuleKind;
 use adaflow_model::{CnnGraph, Layer};
 use adaflow_pruning::FinnConfig;
-use adaflow_verify::{Diagnostics, LintConfig, Report, Severity};
+use adaflow_verify::{
+    rate_balance_uniform, Diagnostics, LintConfig, Liveness, MismatchSeverity, Report, Severity,
+    Stage, TimedMarkedGraph,
+};
 
 /// `DF001`: checks folding divisibility of `config` against `graph`,
 /// emitting into `diag`. Unlike `FinnConfig::validate`, this scans every
@@ -173,17 +185,43 @@ pub fn check_accelerator(accel: &DataflowAccelerator, diag: &mut Diagnostics) {
         }
     }
     match try_size_fifos(accel) {
-        Some(sizing) => diag.report(
-            "DF003",
-            Severity::Info,
-            None,
-            format!(
-                "FIFO depth {} sustains the bottleneck II of {} cycles \
-                 ({} buffered frames across the pipeline)",
-                sizing.depth, sizing.target_ii, sizing.buffered_frames,
-            ),
-            None,
-        ),
+        Some(sizing) => {
+            diag.report(
+                "DF003",
+                Severity::Info,
+                None,
+                format!(
+                    "FIFO depth {} sustains the bottleneck II of {} cycles \
+                     ({} buffered frames across the pipeline; per-edge analysis \
+                     proves {} suffice)",
+                    sizing.depth, sizing.target_ii, sizing.buffered_frames, sizing.proven_frames,
+                ),
+                None,
+            );
+            if sizing.buffered_frames > 2 * sizing.proven_frames.max(1) {
+                diag.report(
+                    "DF003",
+                    Severity::Warn,
+                    None,
+                    format!(
+                        "uniform FIFO depth {} allocates {} buffered frames, more than \
+                         twice the {} the per-edge pair-cycle bound proves safe",
+                        sizing.depth, sizing.buffered_frames, sizing.proven_frames,
+                    ),
+                    Some(
+                        "size each FIFO from its own pair-cycle bound \
+                         (FifoSizing::per_edge_depths) instead of the uniform maximum"
+                            .into(),
+                    ),
+                );
+            }
+            check_rate_balance(accel, sizing.depth, &mut *diag);
+            check_fifo_liveness(
+                accel,
+                &vec![sizing.depth; modules.len().saturating_sub(1)],
+                diag,
+            );
+        }
         None => diag.report(
             "DF003",
             Severity::Error,
@@ -191,6 +229,140 @@ pub fn check_accelerator(accel: &DataflowAccelerator, diag: &mut Diagnostics) {
             "no uniform FIFO depth within the search bound sustains the bottleneck \
              initiation interval",
             Some("rebalance the module pipeline or deepen the FIFO search bound".into()),
+        ),
+    }
+}
+
+/// The `(name, cycles-per-frame)` stage list of a compiled pipeline.
+fn module_stages(accel: &DataflowAccelerator) -> Vec<(String, u64)> {
+    accel
+        .modules()
+        .iter()
+        .map(|m| (m.name.clone(), m.cycles_per_frame()))
+        .collect()
+}
+
+/// `DF004`: solves the steady-state rate equations across the module chain
+/// at a uniform FIFO depth and reports the bottleneck stage plus mismatch
+/// severity. The fixpoint's II is cross-checked against the accelerator's
+/// analytic initiation interval — a disagreement is a Warn, since it means
+/// the performance model and the rate analysis have diverged.
+pub fn check_rate_balance(accel: &DataflowAccelerator, depth: usize, diag: &mut Diagnostics) {
+    let stages: Vec<Stage> = module_stages(accel)
+        .into_iter()
+        .map(|(name, cycles)| Stage::new(name, cycles))
+        .collect();
+    if stages.is_empty() {
+        return;
+    }
+    let rate = rate_balance_uniform(&stages, depth);
+    if !rate.stats.converged {
+        diag.report(
+            "DF004",
+            Severity::Warn,
+            None,
+            "rate-balance fixpoint did not converge; no steady-state verdict",
+            None,
+        );
+        return;
+    }
+    let utilization = rate
+        .stages
+        .get(rate.bottleneck)
+        .map_or(1.0, |s| s.utilization);
+    let suggestion = match rate.severity() {
+        MismatchSeverity::Balanced => None,
+        MismatchSeverity::Moderate | MismatchSeverity::Severe => Some(format!(
+            "re-fold toward `{}`: raise its PE·SIMD product (or lower the others') \
+             until stage utilizations converge",
+            rate.bottleneck_name,
+        )),
+    };
+    diag.report(
+        "DF004",
+        Severity::Info,
+        None,
+        format!(
+            "steady-state II {} cycles; bottleneck `{}` at {:.0}% utilization; \
+             stage mismatch {:.1}× ({})",
+            rate.steady_ii,
+            rate.bottleneck_name,
+            utilization * 100.0,
+            rate.mismatch_ratio,
+            rate.severity(),
+        ),
+        suggestion,
+    );
+    let analytic = accel.initiation_interval();
+    if !rate.fifo_bound && rate.steady_ii != analytic {
+        diag.report(
+            "DF004",
+            Severity::Warn,
+            None,
+            format!(
+                "rate fixpoint II {} disagrees with the performance model's {} — \
+                 the stage cycle model and rate analysis have diverged",
+                rate.steady_ii, analytic,
+            ),
+            None,
+        );
+    }
+}
+
+/// `DF005`: proves the given per-edge FIFO `capacities` admit a
+/// deadlock-free schedule on the timed-marked-graph model of the pipeline,
+/// or reports the blocked cycle with a token-trace counterexample.
+///
+/// `check_accelerator` calls this with the uniform allocation chosen by
+/// `try_size_fifos`; callers probing hypothetical allocations (the CLI, the
+/// under-sizing tests) can pass any capacity vector with one entry per
+/// adjacent module pair.
+///
+/// # Panics
+///
+/// Panics if `capacities` does not hold exactly one entry per adjacent
+/// module pair.
+pub fn check_fifo_liveness(
+    accel: &DataflowAccelerator,
+    capacities: &[usize],
+    diag: &mut Diagnostics,
+) {
+    let stages = module_stages(accel);
+    if stages.len() < 2 {
+        return;
+    }
+    let graph = TimedMarkedGraph::chain(&stages, capacities);
+    match graph.check_liveness() {
+        Liveness::Live {
+            min_capacity,
+            zero_token_edges,
+        } => diag.report(
+            "DF005",
+            Severity::Info,
+            None,
+            format!(
+                "FIFO allocation is deadlock-free: no zero-token cycle in the \
+                 marked graph ({} modules, min capacity {}, {} empty data edges \
+                 at start)",
+                stages.len(),
+                min_capacity,
+                zero_token_edges,
+            ),
+            None,
+        ),
+        Liveness::Deadlock { cycle, trace } => diag.report(
+            "DF005",
+            Severity::Error,
+            None,
+            format!(
+                "FIFO allocation deadlocks — {} modules are wedged in a zero-token \
+                 cycle; counterexample: {}",
+                cycle.len(),
+                trace.join(" "),
+            ),
+            Some(
+                "give every FIFO a capacity of at least 1 (pair-cycle bound for throughput)".into(),
+            ),
         ),
     }
 }
@@ -248,8 +420,70 @@ mod tests {
         let (g, cfg, accel) = cnv_setup();
         let report = verify_dataflow(&g, &cfg, Some(&accel), LintConfig::default());
         assert!(!report.has_errors(), "{report}");
-        // DF003 reports the FIFO sizing as info.
+        // DF003 reports the FIFO sizing, DF004 the rate balance, DF005 the
+        // liveness proof — all as info on the clean reference pipeline.
         assert!(report.fired("DF003"));
+        assert!(report.fired("DF004"));
+        assert!(report.fired("DF005"));
+        assert_eq!(report.count(Severity::Warn), 0, "{report}");
+    }
+
+    #[test]
+    fn rate_fixpoint_agrees_with_stream_simulation() {
+        // The DF004 fixpoint and the cycle-accurate stream simulator must
+        // land on the same steady-state II at the sized FIFO depth.
+        let (_, _, accel) = cnv_setup();
+        let sizing = crate::fifo::size_fifos(&accel);
+        let stages: Vec<Stage> = accel
+            .modules()
+            .iter()
+            .map(|m| Stage::new(m.name.clone(), m.cycles_per_frame()))
+            .collect();
+        let rate = rate_balance_uniform(&stages, sizing.depth);
+        assert!(rate.stats.converged);
+        assert_eq!(rate.steady_ii, sizing.achieved_ii);
+        // And at depth 1 both models agree on the degraded II too.
+        let rate1 = rate_balance_uniform(&stages, 1);
+        assert_eq!(rate1.steady_ii, sizing.depth1_ii);
+    }
+
+    #[test]
+    fn undersized_fifo_fires_df005_with_counterexample() {
+        let (_, _, accel) = cnv_setup();
+        let edges = accel.modules().len() - 1;
+        // A crafted under-sized allocation: one FIFO with zero capacity
+        // wedges the whole chain.
+        let mut capacities = vec![2usize; edges];
+        capacities[1] = 0;
+        let mut diag = Diagnostics::new();
+        check_fifo_liveness(&accel, &capacities, &mut diag);
+        let report = diag.into_report(accel.name());
+        assert!(report.has_errors());
+        let finding = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "DF005" && d.severity == Severity::Error)
+            .expect("DF005 error");
+        assert!(finding.message.contains("counterexample"), "{finding}");
+        assert!(finding.message.contains("capacity 0"), "{finding}");
+    }
+
+    #[test]
+    fn severe_mismatch_reported_by_df004() {
+        // The CNV reference folding is intentionally unbalanced (mvtu2
+        // dominates), so DF004's Info must carry a bottleneck name and a
+        // non-balanced severity with a re-folding suggestion.
+        let (_, _, accel) = cnv_setup();
+        let mut diag = Diagnostics::new();
+        check_accelerator(&accel, &mut diag);
+        let report = diag.into_report(accel.name());
+        let df004 = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "DF004")
+            .expect("DF004 fired");
+        assert!(df004.message.contains("bottleneck"), "{df004}");
+        assert!(df004.message.contains("steady-state II"), "{df004}");
     }
 
     #[test]

@@ -30,7 +30,7 @@
 //! use adaflow_nn::DatasetKind;
 //!
 //! let library = LibraryGenerator::default_edge_setup()
-//!     .generate(topology::cnv_w2a2_cifar10()?, DatasetKind::Cifar10)?;
+//!     .generate(&topology::cnv_w2a2_cifar10()?, DatasetKind::Cifar10)?;
 //! let spec = WorkloadSpec::paper_edge(Scenario::Stable);
 //! let metrics = Experiment::new(&library, spec)
 //!     .runs(100)

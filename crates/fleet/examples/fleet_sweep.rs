@@ -20,7 +20,7 @@ const FLEET_SIZES: [usize; 4] = [1, 2, 4, 8];
 fn main() {
     let library = LibraryGenerator::default_edge_setup()
         .generate(
-            adaflow_model::topology::cnv_w2a2_cifar10().expect("topology builds"),
+            &adaflow_model::topology::cnv_w2a2_cifar10().expect("topology builds"),
             DatasetKind::Cifar10,
         )
         .expect("library generates");

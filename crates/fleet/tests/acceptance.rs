@@ -19,7 +19,7 @@ const SEEDS: usize = 20;
 fn library() -> Library {
     LibraryGenerator::default_edge_setup()
         .generate(
-            topology::cnv_w2a2_cifar10().expect("builds"),
+            &topology::cnv_w2a2_cifar10().expect("builds"),
             DatasetKind::Cifar10,
         )
         .expect("generates")

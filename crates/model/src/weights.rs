@@ -410,7 +410,7 @@ impl ThresholdTable {
     /// Returns [`ModelError::WeightMismatch`] if rows have inconsistent
     /// lengths, there are no channels/levels, or a row is not sorted
     /// ascending (thresholding requires monotone levels).
-    pub fn from_rows(rows: Vec<Vec<i32>>) -> Result<Self, ModelError> {
+    pub fn from_rows(rows: &[Vec<i32>]) -> Result<Self, ModelError> {
         let channels = rows.len();
         if channels == 0 {
             return Err(ModelError::WeightMismatch {
@@ -656,7 +656,7 @@ mod tests {
 
     #[test]
     fn threshold_apply_counts_levels() {
-        let t = ThresholdTable::from_rows(vec![vec![-1, 3, 9]]).expect("table");
+        let t = ThresholdTable::from_rows(&[vec![-1, 3, 9]]).expect("table");
         assert_eq!(t.apply(0, -5), 0);
         assert_eq!(t.apply(0, -1), 1);
         assert_eq!(t.apply(0, 3), 2);
@@ -675,7 +675,7 @@ mod tests {
             vec![-7, -7, -7, 0, 0],
             vec![0, 0, 0, 0, 0],
         ];
-        let t = ThresholdTable::from_rows(rows.clone()).expect("table");
+        let t = ThresholdTable::from_rows(&rows).expect("table");
         let probes = [
             i32::MIN,
             i32::MIN + 1,
@@ -703,7 +703,7 @@ mod tests {
 
     #[test]
     fn threshold_rejects_unsorted_rows() {
-        assert!(ThresholdTable::from_rows(vec![vec![5, 1, 9]]).is_err());
+        assert!(ThresholdTable::from_rows(&[vec![5, 1, 9]]).is_err());
     }
 
     #[test]
@@ -720,7 +720,7 @@ mod tests {
     #[test]
     fn threshold_channel_removal() {
         let t =
-            ThresholdTable::from_rows(vec![vec![0, 1], vec![10, 11], vec![20, 21]]).expect("table");
+            ThresholdTable::from_rows(&[vec![0, 1], vec![10, 11], vec![20, 21]]).expect("table");
         let pruned = t.without_channels(&[1]).expect("prune");
         assert_eq!(pruned.channels(), 2);
         assert_eq!(pruned.row(0), &[0, 1]);

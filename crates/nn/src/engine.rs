@@ -207,6 +207,27 @@ pub struct Engine<'g> {
     sink: SinkHandle,
     plan: Arc<Vec<NodePlan>>,
     kernels: Arc<[KernelAttribution]>,
+    /// Debug builds carry the AF010 per-channel accumulator intervals
+    /// (one `Some` entry per MVTU node) and assert every computed
+    /// accumulator lands inside them — a live cross-check of the abstract
+    /// interpretation against the real kernels. Release builds pay nothing.
+    #[cfg(debug_assertions)]
+    intervals: Arc<LayerIntervals>,
+}
+
+/// Per-node accumulator bounds: one `Some(per-channel (lo, hi))` entry per
+/// MVTU layer, `None` for non-MVTU nodes.
+#[cfg(debug_assertions)]
+type LayerIntervals = Vec<Option<Vec<(i64, i64)>>>;
+
+/// Value state machine of [`Engine::run_with_scratch`]: the current value
+/// is either quantized activations living in one of the two ping-pong
+/// buffers, or raw accumulators living in the scratch accumulator.
+#[derive(Clone, Copy, PartialEq)]
+enum Kind {
+    ActA,
+    ActB,
+    Accum,
 }
 
 /// Which micro-kernel the planner chose for an MVTU layer.
@@ -363,7 +384,53 @@ fn build_plan(
     (plan, attributions.into())
 }
 
+/// Per-node AF010 accumulator intervals for the runtime debug asserts:
+/// `Some((lo, hi) per output channel)` for MVTU nodes, `None` elsewhere.
+/// Saturated to `i64` — far beyond anything an `i32` accumulator can hold.
+#[cfg(debug_assertions)]
+fn layer_intervals(graph: &CnnGraph) -> LayerIntervals {
+    let clamp = |v: i128| v.clamp(i128::from(i64::MIN), i128::from(i64::MAX)) as i64;
+    let analysis = adaflow_verify::interval_analysis(graph);
+    if !analysis.stats.converged {
+        return vec![None; graph.len()];
+    }
+    (0..graph.len())
+        .map(|i| {
+            analysis.mvtu(i).map(|m| {
+                m.per_channel
+                    .iter()
+                    .map(|iv| (clamp(iv.lo), clamp(iv.hi)))
+                    .collect()
+            })
+        })
+        .collect()
+}
+
 impl<'g> Engine<'g> {
+    /// Asserts every freshly computed accumulator lies inside the layer's
+    /// statically derived AF010 interval. `spatial` is the number of output
+    /// positions sharing one channel (1 for dense); the accumulator layout
+    /// is channel-major.
+    #[cfg(debug_assertions)]
+    fn assert_accum_intervals(&self, node_idx: usize, name: &str, accums: &[i32], spatial: usize) {
+        let Some(Some(per_channel)) = self.intervals.get(node_idx) else {
+            return;
+        };
+        let spatial = spatial.max(1);
+        for (i, &v) in accums.iter().enumerate() {
+            let Some(&(lo, hi)) = per_channel.get(i / spatial) else {
+                return;
+            };
+            let v = i64::from(v);
+            assert!(
+                lo <= v && v <= hi,
+                "{name}: accumulator {v} at index {i} escapes the AF010 interval \
+                 [{lo}, {hi}] of channel {} — interval analysis or kernel is unsound",
+                i / spatial,
+            );
+        }
+    }
+
     /// Prepares an engine for `graph`, checking that the layer arrangement
     /// is executable (thresholds follow MVTUs, the graph ends in a
     /// label-select fed by accumulators).
@@ -435,6 +502,8 @@ impl<'g> Engine<'g> {
             sink: SinkHandle::null(),
             plan: Arc::new(plan),
             kernels,
+            #[cfg(debug_assertions)]
+            intervals: Arc::new(layer_intervals(graph)),
         })
     }
 
@@ -539,23 +608,13 @@ impl<'g> Engine<'g> {
         }
         let timing = self.sink.enabled();
         let started = Instant::now();
-
-        // Value state machine: the current value is either quantized
-        // activations living in one of the two ping-pong buffers, or raw
-        // accumulators living in `scratch.accum`.
-        #[derive(Clone, Copy, PartialEq)]
-        enum Kind {
-            ActA,
-            ActB,
-            Accum,
-        }
         let n_in = input.shape().elements();
         scratch.act_a[..n_in].copy_from_slice(input.as_slice());
         let mut kind = Kind::ActA;
         let mut shape = input.shape();
         let mut result = None;
 
-        for (node, plan) in self.graph.iter().zip(self.plan.iter()) {
+        for (_node_idx, (node, plan)) in self.graph.iter().zip(self.plan.iter()).enumerate() {
             let t_begin = if timing {
                 started.elapsed().as_secs_f64()
             } else {
@@ -608,6 +667,8 @@ impl<'g> Engine<'g> {
                             );
                         }
                     }
+                    #[cfg(debug_assertions)]
+                    self.assert_accum_intervals(_node_idx, &node.name, out, out_shape.spatial());
                     kind = Kind::Accum;
                 }
                 (Layer::Dense(d), Kind::ActA | Kind::ActB) => {
@@ -645,6 +706,8 @@ impl<'g> Engine<'g> {
                             out,
                         );
                     }
+                    #[cfg(debug_assertions)]
+                    self.assert_accum_intervals(_node_idx, &node.name, out, 1);
                     kind = Kind::Accum;
                 }
                 (Layer::MultiThreshold(t), Kind::Accum) => {
@@ -1208,7 +1271,7 @@ mod tests {
                 "t",
                 Layer::MultiThreshold(MultiThreshold {
                     channels: 1,
-                    table: ThresholdTable::from_rows(vec![vec![5, 100, 200]]).expect("table"),
+                    table: ThresholdTable::from_rows(&[vec![5, 100, 200]]).expect("table"),
                 }),
             )
             .dense(Dense::new(1, 2, QuantSpec::w2a2()))

@@ -563,7 +563,7 @@ fn calibrate_thresholds(graph: &CnnGraph, calib: &[Activations]) -> Result<CnnGr
                     }
                     rows.push(mono);
                 }
-                let table = ThresholdTable::from_rows(rows).map_err(NnError::Model)?;
+                let table = ThresholdTable::from_rows(&rows).map_err(NnError::Model)?;
                 // Apply the new table to advance the calibration state.
                 state = pending
                     .iter()

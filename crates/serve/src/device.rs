@@ -511,25 +511,26 @@ mod tests {
         assert_eq!(core.next_close_s(0.1), Some(0.1), "full batch closes now");
     }
 
+    /// A policy that stalls on its very first consult.
+    struct Stall;
+    impl ServePolicy for Stall {
+        fn name(&self) -> &str {
+            "stall"
+        }
+        fn on_pressure(&mut self, now: f64, signal: &PressureSignal) -> ServingState {
+            let mut s = Fixed(100.0).on_pressure(now, signal);
+            s.stall_s = 0.1;
+            s.model_switched = true;
+            s.reconfigured = true;
+            s
+        }
+    }
+
     #[test]
     fn drain_gate_shifts_service_start() {
         let mut core = DeviceCore::new(ServeConfig::default(), 100.0);
         let sink = SinkHandle::default();
         core.offer(req(0, 0.0), 0.0, &sink);
-        // A policy that stalls on its very first consult.
-        struct Stall;
-        impl ServePolicy for Stall {
-            fn name(&self) -> &str {
-                "stall"
-            }
-            fn on_pressure(&mut self, now: f64, signal: &PressureSignal) -> ServingState {
-                let mut s = Fixed(100.0).on_pressure(now, signal);
-                s.stall_s = 0.1;
-                s.model_switched = true;
-                s.reconfigured = true;
-                s
-            }
-        }
         let close = core.close_batch(0.02, &mut Stall, &sink, &mut |_, _| 0.25);
         assert_eq!(close.drain_start_s, 0.25, "gate defers the drain");
         assert!((close.start_s - 0.35).abs() < 1e-12, "service after stall");

@@ -38,7 +38,7 @@
 //! use adaflow_serve::prelude::*;
 //!
 //! let library = LibraryGenerator::default_edge_setup()
-//!     .generate(topology::cnv_w2a2_cifar10()?, DatasetKind::Cifar10)?;
+//!     .generate(&topology::cnv_w2a2_cifar10()?, DatasetKind::Cifar10)?;
 //! let spec = WorkloadSpec::paper_edge(Scenario::Unpredictable);
 //! let summary = ServeExperiment::new(&library, spec)
 //!     .runs(100)

@@ -1,0 +1,251 @@
+//! Generic worklist fixed-point solver over dataflow graphs.
+//!
+//! The verifier's deep analyses — value intervals ([`crate::interval`]),
+//! steady-state rates ([`crate::rate`]) and FIFO liveness
+//! ([`crate::liveness`]) — are all instances of abstract interpretation: a
+//! per-node abstract value drawn from a join-semilattice, transfer functions
+//! along edges, and iteration to the least fixed point. This module holds
+//! the one engine they share.
+//!
+//! The solver is a classic chaotic-iteration worklist: every node starts at
+//! its initial abstract value, a node is re-evaluated whenever one of its
+//! predecessors changes, and iteration stops when no transfer changes
+//! anything. Two mechanisms guarantee termination on lattices of unbounded
+//! height:
+//!
+//! * **Widening** — after a node has been re-evaluated
+//!   [`Config::widen_after`] times, the solver replaces plain `join` with
+//!   the analysis-supplied widening operator, which must reach a stable
+//!   value in finitely many steps (interval analysis widens to the
+//!   conservative domain bound, mirroring the textbook jump-to-∞ policy);
+//! * **an iteration fuse** — a hard cap of [`Config::max_iterations`]
+//!   evaluations after which the solver gives up and reports
+//!   `converged: false`. A sound widening operator makes the fuse
+//!   unreachable; it exists so a buggy analysis degrades into a reported
+//!   non-result instead of a hang inside a lint pass.
+//!
+//! For the feed-forward chains the CNN graphs produce today, the solver
+//! visits each node once or twice; the machinery earns its keep on the
+//! cyclic stage graphs of the rate analysis (producer/consumer coupling in
+//! both directions) and keeps the door open for residual/branching
+//! topologies.
+
+/// A join-semilattice of abstract values.
+pub trait Lattice: Clone + PartialEq {
+    /// Least upper bound of `self` and `other`.
+    #[must_use]
+    fn join(&self, other: &Self) -> Self;
+}
+
+/// Solver tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Number of re-evaluations of one node before the widening operator
+    /// replaces plain join.
+    pub widen_after: usize,
+    /// Hard cap on total transfer evaluations (the termination fuse).
+    pub max_iterations: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            widen_after: 4,
+            max_iterations: 100_000,
+        }
+    }
+}
+
+/// What the solver did on the way to (or short of) the fixed point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FixpointStats {
+    /// Total transfer-function evaluations.
+    pub iterations: usize,
+    /// Evaluations that applied the widening operator.
+    pub widenings: usize,
+    /// Whether a fixed point was reached within the iteration fuse.
+    pub converged: bool,
+}
+
+/// Solution of one fixed-point run: the per-node abstract values plus the
+/// iteration statistics.
+#[derive(Debug, Clone)]
+pub struct Solution<D> {
+    /// Final abstract value per node.
+    pub values: Vec<D>,
+    /// Iteration statistics.
+    pub stats: FixpointStats,
+}
+
+/// Runs the worklist solver.
+///
+/// * `init` — initial abstract value per node (node count is `init.len()`);
+/// * `edges` — directed dependency edges `(from, to)`: when `from`'s value
+///   changes, `to` is re-evaluated;
+/// * `transfer` — computes node `n`'s new value from the current
+///   environment (the slice of all node values). The solver joins the
+///   result with the node's current value, so transfers need not be
+///   monotone in isolation — the per-node sequence is forced ascending;
+/// * `widen` — widening operator `∇(old, new)`, applied instead of join
+///   once a node has been re-evaluated more than [`Config::widen_after`]
+///   times. Must stabilize any ascending chain in finitely many steps.
+///
+/// # Panics
+///
+/// Panics if an edge endpoint is out of range.
+#[must_use]
+pub fn solve<D: Lattice>(
+    init: Vec<D>,
+    edges: &[(usize, usize)],
+    config: Config,
+    mut transfer: impl FnMut(usize, &[D]) -> D,
+    widen: impl Fn(&D, &D) -> D,
+) -> Solution<D> {
+    let n = init.len();
+    let mut successors: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for &(from, to) in edges {
+        assert!(
+            from < n && to < n,
+            "edge ({from}, {to}) out of range for {n} nodes"
+        );
+        successors[from].push(to);
+    }
+    let mut values = init;
+    let mut visits = vec![0usize; n];
+    let mut in_list = vec![true; n];
+    // Deterministic FIFO worklist seeded with every node in index order, so
+    // two runs over the same graph produce identical iteration statistics.
+    let mut worklist: std::collections::VecDeque<usize> = (0..n).collect();
+    let mut stats = FixpointStats {
+        iterations: 0,
+        widenings: 0,
+        converged: true,
+    };
+    while let Some(node) = worklist.pop_front() {
+        in_list[node] = false;
+        if stats.iterations >= config.max_iterations {
+            stats.converged = false;
+            break;
+        }
+        stats.iterations += 1;
+        visits[node] += 1;
+        let computed = transfer(node, &values);
+        let next = if visits[node] > config.widen_after {
+            stats.widenings += 1;
+            widen(&values[node], &computed)
+        } else {
+            values[node].join(&computed)
+        };
+        if next != values[node] {
+            values[node] = next;
+            for &succ in &successors[node] {
+                if !in_list[succ] {
+                    in_list[succ] = true;
+                    worklist.push_back(succ);
+                }
+            }
+        }
+    }
+    Solution { values, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// u64 under max: the lattice of the rate analysis.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    struct MaxU64(u64);
+
+    impl Lattice for MaxU64 {
+        fn join(&self, other: &Self) -> Self {
+            MaxU64(self.0.max(other.0))
+        }
+    }
+
+    #[test]
+    fn chain_converges_in_one_sweep() {
+        // Max propagates along a chain: every node ends at the global max.
+        let cycles = [5u64, 40, 5];
+        let edges: Vec<(usize, usize)> = vec![(0, 1), (1, 2), (1, 0), (2, 1)];
+        let sol = solve(
+            cycles.iter().map(|&c| MaxU64(c)).collect(),
+            &edges,
+            Config::default(),
+            |n, env| {
+                let neighbors = edges
+                    .iter()
+                    .filter(|(_, to)| *to == n)
+                    .map(|&(from, _)| env[from].0)
+                    .max()
+                    .unwrap_or(0);
+                MaxU64(cycles[n].max(neighbors))
+            },
+            |_, new| *new,
+        );
+        assert!(sol.stats.converged);
+        assert!(sol.values.iter().all(|v| v.0 == 40));
+    }
+
+    #[test]
+    fn divergent_transfer_is_caught_by_widening() {
+        // A transfer that keeps counting up: plain join never stabilizes,
+        // the widening operator jumps to the fuse value and terminates.
+        const TOP: u64 = u64::MAX;
+        let sol = solve(
+            vec![MaxU64(0); 2],
+            &[(0, 1), (1, 0)],
+            Config {
+                widen_after: 3,
+                max_iterations: 10_000,
+            },
+            |n, env| MaxU64(env[1 - n].0.saturating_add(1)),
+            |_, _| MaxU64(TOP),
+        );
+        assert!(sol.stats.converged);
+        assert!(sol.stats.widenings > 0);
+        assert!(sol.values.iter().all(|v| v.0 == TOP));
+    }
+
+    #[test]
+    fn fuse_reports_non_convergence() {
+        // Same divergent system, but the "widening" fails to widen: the
+        // fuse must trip and be reported, not hang.
+        let sol = solve(
+            vec![MaxU64(0); 2],
+            &[(0, 1), (1, 0)],
+            Config {
+                widen_after: 3,
+                max_iterations: 50,
+            },
+            |n, env| MaxU64(env[1 - n].0 + 1),
+            |_, new| *new,
+        );
+        assert!(!sol.stats.converged);
+    }
+
+    #[test]
+    fn empty_graph_is_trivially_solved() {
+        let sol = solve(
+            Vec::<MaxU64>::new(),
+            &[],
+            Config::default(),
+            |_, _| unreachable!("no nodes to evaluate"),
+            |_, new| *new,
+        );
+        assert!(sol.stats.converged);
+        assert!(sol.values.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_rejected() {
+        let _ = solve(
+            vec![MaxU64(0)],
+            &[(0, 7)],
+            Config::default(),
+            |_, _| MaxU64(0),
+            |_, new| *new,
+        );
+    }
+}

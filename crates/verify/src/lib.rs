@@ -17,11 +17,21 @@
 //! adaflow_cli lint --model cnv-w2a2 --rates 0,0.25,0.5
 //! ```
 //!
-//! The graph rule catalog is `AF001`–`AF009` (see [`rules`]); the
-//! dataflow-level rules `DF001`–`DF003` live in `adaflow-dataflow::verify`
+//! The graph rule catalog is `AF001`–`AF011` (see [`rules`]); the
+//! dataflow-level rules `DF001`–`DF005` live in `adaflow-dataflow::verify`
 //! because they need the folding configuration and compiled accelerator,
 //! which sit above this crate in the dependency order. Both share the
 //! [`Diagnostics`] engine defined here.
+//!
+//! Beyond the structural rules, the crate carries an abstract-
+//! interpretation layer (DESIGN.md §13): a generic worklist fixed-point
+//! solver ([`fixpoint`]) with three analyses on top — exact per-channel
+//! value intervals and minimal accumulator widths ([`interval`], rules
+//! `AF010`/`AF011`), steady-state rate balance over pipeline stages
+//! ([`rate`], consumed by `DF004`), and FIFO deadlock-freedom proofs over
+//! timed marked graphs ([`liveness`], consumed by `DF005`). The
+//! [`explain`] module documents every code any workspace validator emits,
+//! backing the CLI's `lint --explain`.
 //!
 //! ```
 //! use adaflow_model::prelude::*;
@@ -39,10 +49,20 @@
 
 pub mod accumulator;
 pub mod diag;
+pub mod explain;
+pub mod fixpoint;
+pub mod interval;
+pub mod liveness;
+pub mod rate;
 pub mod rules;
 
 pub use accumulator::{accumulator_bounds, AccumulatorBound, INPUT_ACT_MAX};
 pub use diag::{Diagnostic, Diagnostics, LintConfig, Report, Severity};
+pub use explain::{explain, rule_docs, RuleDoc};
+pub use fixpoint::{FixpointStats, Lattice};
+pub use interval::{interval_analysis, Interval, IntervalAnalysis, MvtuInterval};
+pub use liveness::{required_edge_capacity, Liveness, TimedMarkedGraph};
+pub use rate::{rate_balance, rate_balance_uniform, MismatchSeverity, RateReport, Stage};
 pub use rules::Rule;
 
 use adaflow_model::CnnGraph;
@@ -84,13 +104,22 @@ impl Verifier {
     }
 
     /// Runs every rule over `graph` and returns the combined report.
+    ///
+    /// After the rule sweep, AF006 errors whose layer the exact interval
+    /// analysis (AF010) proves safe for the *current* weights are demoted
+    /// to warnings — unless the policy explicitly denies AF006, in which
+    /// case the conservative verdict stands.
     #[must_use]
     pub fn verify(&self, graph: &CnnGraph) -> Report {
         let mut diag = Diagnostics::with_config(self.config.clone());
         for rule in &self.rules {
             rule.check(graph, &mut diag);
         }
-        diag.into_report(graph.name())
+        let mut report = diag.into_report(graph.name());
+        if !self.config.deny.contains("AF006") {
+            interval::demote_af006_false_positives(graph, &mut report);
+        }
+        report
     }
 }
 
@@ -151,14 +180,15 @@ mod tests {
     }
 
     #[test]
-    fn catalog_has_nine_distinct_codes() {
+    fn catalog_has_eleven_distinct_codes() {
         let v = Verifier::new();
         let codes: std::collections::BTreeSet<_> =
             v.catalog().into_iter().map(|(c, _)| c).collect();
-        assert_eq!(codes.len(), 9);
+        assert_eq!(codes.len(), 11);
         assert!(codes.contains("AF001"));
-        assert!(codes.contains("AF008"));
         assert!(codes.contains("AF009"));
+        assert!(codes.contains("AF010"));
+        assert!(codes.contains("AF011"));
     }
 
     #[test]
@@ -225,25 +255,76 @@ mod tests {
         assert!(!v.verify(&g).fired("AF006"));
     }
 
+    /// A W8A8 dense layer whose fan-in and stored weights make the i32
+    /// accumulator genuinely overflowable: both the domain bound (AF006)
+    /// and the exact interval (AF010) reject it, so no demotion applies.
+    fn reachable_overflow_graph() -> CnnGraph {
+        let mut d = Dense::new(1 << 22, 1, QuantSpec::new(8, 8));
+        d.weights.as_mut_slice().fill(127);
+        GraphBuilder::new("overflow", TensorShape::flat(1 << 22))
+            .dense(d)
+            .label_select(1)
+            .build()
+            .expect("builds")
+    }
+
     #[test]
     fn overflow_graph_fails_af006() {
-        let g = GraphBuilder::new("overflow", TensorShape::flat(1 << 22))
+        let report = verify_graph(&reachable_overflow_graph());
+        assert!(report.has_errors());
+        assert!(report.fired("AF006"));
+        // The exact analysis agrees: the overflow is reachable.
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == "AF010" && d.severity == Severity::Error));
+    }
+
+    #[test]
+    fn af006_error_demoted_when_interval_proves_safety() {
+        // Same huge fan-in, but all-zero weights: the domain bound still
+        // trips AF006, while the exact interval is [0, 0] — the error must
+        // come back demoted to a Warn that mentions the proof.
+        let g = GraphBuilder::new("overflow-demoted", TensorShape::flat(1 << 22))
             .dense(Dense::new(1 << 22, 1, QuantSpec::new(8, 8)))
             .label_select(1)
             .build()
             .expect("builds");
         let report = verify_graph(&g);
-        assert!(report.has_errors());
-        assert!(report.fired("AF006"));
+        assert!(
+            !report.has_errors(),
+            "demotion should clear errors:\n{report}"
+        );
+        let demoted: Vec<_> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == "AF006" && d.severity == Severity::Warn)
+            .collect();
+        assert_eq!(demoted.len(), 1);
+        assert!(demoted[0].message.contains("demoted"));
     }
 
     #[test]
-    fn debug_guard_panics_on_bad_graph() {
-        let g = GraphBuilder::new("overflow", TensorShape::flat(1 << 22))
+    fn deny_af006_disables_demotion() {
+        let g = GraphBuilder::new("overflow-denied", TensorShape::flat(1 << 22))
             .dense(Dense::new(1 << 22, 1, QuantSpec::new(8, 8)))
             .label_select(1)
             .build()
             .expect("builds");
+        let v = Verifier::new().with_config(LintConfig {
+            allow: Default::default(),
+            deny: LintConfig::parse_codes("AF006"),
+        });
+        let report = v.verify(&g);
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == "AF006" && d.severity == Severity::Error));
+    }
+
+    #[test]
+    fn debug_guard_panics_on_bad_graph() {
+        let g = reachable_overflow_graph();
         let caught = std::panic::catch_unwind(|| debug_assert_verified(&g, "test"));
         assert!(caught.is_err());
     }

@@ -1,4 +1,4 @@
-//! The graph rule catalog (`AF001`–`AF009`).
+//! The graph rule catalog (`AF001`–`AF011`).
 //!
 //! Each rule checks one structural invariant FINN's compiler takes for
 //! granted before HLS generation (see DESIGN.md §8 for the full catalog
@@ -647,5 +647,7 @@ pub fn catalog() -> Vec<Box<dyn Rule>> {
         Box::new(ChannelConsistency),
         Box::new(DataflowStructure),
         Box::new(PackedEligibility),
+        Box::new(crate::interval::ExactAccumulatorIntervals),
+        Box::new(crate::interval::ThresholdReachability),
     ]
 }

@@ -246,9 +246,14 @@ fn unreachable_thresholds_warn_af005() {
 
 #[test]
 fn accumulator_overflow_fires_af006() {
-    // 2^22-wide W8A8 dense: 2^22 · 127 · 255 ≫ i32::MAX.
+    // 2^22-wide W8A8 dense: 2^22 · 127 · 255 ≫ i32::MAX. The weights are
+    // filled to the domain maximum so the overflow is *reachable* — the
+    // exact interval analysis (AF010) would otherwise prove all-zero
+    // weights safe and demote the AF006 error to a warning.
+    let mut d = Dense::new(1 << 22, 1, QuantSpec::new(8, 8));
+    d.weights.as_mut_slice().fill(127);
     let g = GraphBuilder::new("overflow", TensorShape::flat(1 << 22))
-        .dense(Dense::new(1 << 22, 1, QuantSpec::new(8, 8)))
+        .dense(d)
         .label_select(1)
         .build()
         .expect("builds");
@@ -260,6 +265,50 @@ fn accumulator_overflow_fires_af006() {
         .find(|d| d.code == "AF006" && d.severity == Severity::Error)
         .expect("AF006 error present");
     assert!(overflow.message.contains("exceeds i32::MAX"), "{overflow}");
+}
+
+#[test]
+fn reachable_overflow_fires_af010() {
+    // Same fixture as AF006's: the exact interval [0, 2^22·127·255] also
+    // breaches i32, so AF010 independently reports the overflow as an
+    // error (no demotion possible).
+    let mut d = Dense::new(1 << 22, 1, QuantSpec::new(8, 8));
+    d.weights.as_mut_slice().fill(127);
+    let g = GraphBuilder::new("overflow-exact", TensorShape::flat(1 << 22))
+        .dense(d)
+        .label_select(1)
+        .build()
+        .expect("builds");
+    let report = verify_graph(&g);
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == "AF010" && d.severity == Severity::Error),
+        "{report}"
+    );
+}
+
+#[test]
+fn dead_threshold_channels_warn_af011() {
+    // All thresholds far above the first conv's reachable accumulator
+    // range (9·1·255 = 2295): every channel's activation is the constant
+    // 0 — dead hardware that AF011 must flag.
+    let g = GraphBuilder::new("dead-channels", TensorShape::new(1, 8, 8))
+        .conv2d(Conv2d::new(1, 4, 3, 1, 0, QuantSpec::w2a2()))
+        .threshold(MultiThreshold::uniform(4, 3, 40_000, 50_000))
+        .dense(Dense::new(4 * 36, 4, QuantSpec::w2a2()))
+        .label_select(4)
+        .build()
+        .expect("builds");
+    let report = verify_graph(&g);
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == "AF011" && d.severity == Severity::Warn),
+        "{report}"
+    );
 }
 
 #[test]
@@ -279,8 +328,8 @@ fn missing_threshold_between_mvtus_fires_af008() {
 }
 
 #[test]
-fn all_nine_rule_codes_have_negative_coverage() {
-    // Meta-test: the cases above plus the proptests cover AF001-AF009. This
+fn all_rule_codes_have_negative_coverage() {
+    // Meta-test: the cases above plus the proptests cover AF001-AF011. This
     // is the single place that will fail if a code is renumbered.
     let codes: std::collections::BTreeSet<&str> = adaflow_verify::Verifier::new()
         .catalog()
@@ -288,7 +337,8 @@ fn all_nine_rule_codes_have_negative_coverage() {
         .map(|(code, _)| code)
         .collect();
     let expected: std::collections::BTreeSet<&str> = [
-        "AF001", "AF002", "AF003", "AF004", "AF005", "AF006", "AF007", "AF008", "AF009",
+        "AF001", "AF002", "AF003", "AF004", "AF005", "AF006", "AF007", "AF008", "AF009", "AF010",
+        "AF011",
     ]
     .into();
     assert_eq!(codes, expected);

@@ -11,7 +11,7 @@ use adaflow_nn::DatasetKind;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let library = LibraryGenerator::default_edge_setup()
-        .generate(topology::cnv_w2a2_cifar10()?, DatasetKind::Cifar10)?;
+        .generate(&topology::cnv_w2a2_cifar10()?, DatasetKind::Cifar10)?;
 
     println!(
         "Design space of {} ({} models):\n",

@@ -19,7 +19,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         initial.total_macs()
     );
 
-    let library = LibraryGenerator::default_edge_setup().generate(initial, DatasetKind::Cifar10)?;
+    let library =
+        LibraryGenerator::default_edge_setup().generate(&initial, DatasetKind::Cifar10)?;
     println!(
         "library: {} models, baseline {:.0} FPS @ {:.2} W, flexible fabric {} LUTs",
         library.entries().len(),

@@ -16,7 +16,7 @@ use adaflow_nn::DatasetKind;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let library = LibraryGenerator::default_edge_setup()
-        .generate(topology::cnv_w2a2_gtsrb()?, DatasetKind::Gtsrb)?;
+        .generate(&topology::cnv_w2a2_gtsrb()?, DatasetKind::Gtsrb)?;
     println!("Edge server: ZCU104, CNVW2A2/GTSRB, 20 cameras x 30 FPS, 25 s, 25 runs\n");
 
     for scenario in [

@@ -13,7 +13,7 @@ use adaflow_pruning::{DataflowAwarePruner, FinnConfig};
 fn cifar_library() -> Library {
     LibraryGenerator::default_edge_setup()
         .generate(
-            topology::cnv_w2a2_cifar10().expect("builds"),
+            &topology::cnv_w2a2_cifar10().expect("builds"),
             DatasetKind::Cifar10,
         )
         .expect("generates")
@@ -118,7 +118,7 @@ fn all_four_paper_combos_generate_and_serve() {
         ),
     ] {
         let library = LibraryGenerator::default_edge_setup()
-            .generate(graph, dataset)
+            .generate(&graph, dataset)
             .expect("generates");
         let experiment =
             Experiment::new(&library, WorkloadSpec::paper_edge(Scenario::Stable)).runs(3);
@@ -164,7 +164,7 @@ fn lenet_family_flows_through_the_whole_stack() {
         folding: None,
     };
     let library = generator
-        .generate(graph, DatasetKind::Cifar10)
+        .generate(&graph, DatasetKind::Cifar10)
         .expect("generates");
     assert_eq!(library.entries().len(), 3);
     let base_fps = library.unpruned().fixed.throughput_fps;

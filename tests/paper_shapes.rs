@@ -11,7 +11,7 @@ use std::time::Duration;
 fn cifar_library() -> Library {
     LibraryGenerator::default_edge_setup()
         .generate(
-            topology::cnv_w2a2_cifar10().expect("builds"),
+            &topology::cnv_w2a2_cifar10().expect("builds"),
             DatasetKind::Cifar10,
         )
         .expect("generates")
@@ -107,7 +107,7 @@ fn fig5bc_energy_accuracy_shapes() {
         ),
     ] {
         let library = LibraryGenerator::default_edge_setup()
-            .generate(graph, dataset)
+            .generate(&graph, dataset)
             .expect("generates");
         let base = &library.baseline;
         let base_energy = base.power.energy_per_inference_j(base.throughput_fps, 1.0);
@@ -162,7 +162,7 @@ fn table1_adaflow_dominates_finn() {
         ),
     ] {
         let library = LibraryGenerator::default_edge_setup()
-            .generate(graph, dataset)
+            .generate(&graph, dataset)
             .expect("generates");
         for scenario in [Scenario::Stable, Scenario::Unpredictable] {
             let experiment = Experiment::new(&library, WorkloadSpec::paper_edge(scenario)).runs(8);
