@@ -1,0 +1,81 @@
+//! Criterion bench: end-to-end live serving throughput over localhost —
+//! wire encode, TCP, admission, dynamic batching and real engine execution
+//! per closed-loop batch, measured against one persistent `LiveServer`.
+//!
+//! Set `ADAFLOW_BENCH_SMOKE=1` for a fast configuration (tiny model, small
+//! batches, tight measurement window) — used as the CI smoke check. The
+//! default full mode serves CNV-W2A2 on CIFAR-10 shapes.
+
+use adaflow_model::{topology, QuantSpec};
+use adaflow_net::{run_load, LiveConfig, LiveServer, LoadConfig};
+use adaflow_telemetry::SinkHandle;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn smoke_mode() -> bool {
+    std::env::var("ADAFLOW_BENCH_SMOKE").is_ok_and(|v| v == "1")
+}
+
+fn bench_live(c: &mut Criterion) {
+    let smoke = smoke_mode();
+    let tag = if smoke { "smoke" } else { "paper" };
+    let graph = if smoke {
+        topology::tiny(QuantSpec::w2a2(), 10).expect("builds")
+    } else {
+        topology::cnv(QuantSpec::w2a2(), 10)
+            .build()
+            .expect("builds")
+    };
+    let requests: u64 = if smoke { 8 } else { 64 };
+
+    let config = LiveConfig {
+        model_id: "bench".to_string(),
+        ..LiveConfig::default()
+    };
+    let server =
+        LiveServer::bind("127.0.0.1:0", &graph, config, SinkHandle::null()).expect("binds");
+    let addr = server.local_addr().expect("addr");
+    let handle = server.handle();
+    let shape = graph.input_shape();
+
+    std::thread::scope(|scope| {
+        let server_thread = scope.spawn(move || server.run());
+
+        c.bench_function(
+            &format!("serve_live_closed_loop_{requests}req_{tag}"),
+            |b| {
+                b.iter(|| {
+                    let load = LoadConfig::closed(addr, "bench", shape, black_box(requests));
+                    let summary = run_load(&load);
+                    assert_eq!(summary.ok, requests, "every request served");
+                    summary.throughput_rps
+                });
+            },
+        );
+
+        handle.shutdown();
+        let report = server_thread
+            .join()
+            .expect("server thread")
+            .expect("clean shutdown");
+        assert!(report.summary.conservation_holds());
+        assert_eq!(report.protocol_errors, 0);
+    });
+}
+
+criterion_group! {
+    name = benches;
+    // Each iteration is a full closed-loop batch over real sockets; keep
+    // sampling CI-friendly, and tighter still in smoke mode.
+    config = {
+        let c = Criterion::default().sample_size(10);
+        if smoke_mode() {
+            c.measurement_time(Duration::from_millis(400))
+                .warm_up_time(Duration::from_millis(100))
+        } else {
+            c
+        }
+    };
+    targets = bench_live
+}
+criterion_main!(benches);

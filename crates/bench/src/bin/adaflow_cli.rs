@@ -54,6 +54,9 @@ fn run(args: &[String]) -> Result<(), String> {
         "trace" => cmd_trace(&flags),
         "explore" => cmd_explore(&flags),
         "lint" => cmd_lint(&flags),
+        "serve-live" => cmd_serve_live(&flags),
+        "load" => cmd_load(&flags),
+        "soak" => cmd_soak(&flags),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
@@ -89,6 +92,17 @@ fn usage() -> String {
      \x20          [--max-drains K] [--format text|json] [--allow codes] [--deny codes]\n\
      \x20          [--explain CODE|all]   static verification of graphs (AF/DF) and\n\
      \x20          fleet/serving configs (FL/SV); --explain prints a rule's catalog entry\n\
+     \x20 serve-live --model <name> [--addr host:port] [--duration-s N] [--threads N]\n\
+     \x20          [--metrics-port P] [--nominal-fps F] [--deadline-ms N] [--queue-cap N]\n\
+     \x20          [--batch N] [--batch-wait-ms N] [--shed block|oldest|newest]\n\
+     \x20          [--allow codes] [--deny codes] [--format text|json] [--out prefix]\n\
+     \x20          real TCP serving over the live engine (verify-gated at startup)\n\
+     \x20 load     --addr host:port --model <name> [--requests N | --rate-fps F --duration-s N]\n\
+     \x20          [--connections N] [--deadline-ms N] [--seed N] [--format text|json]\n\
+     \x20          seeded closed/open-loop load generator with reason-coded summary\n\
+     \x20 soak     [--model <name>] [--rate-fps F] [--duration-s N] [--connections N]\n\
+     \x20          [--min-hit-pct P] [--seed N]     in-process server + load soak with\n\
+     \x20          hard floors (zero protocol errors, hit-rate, clean shutdown) — CI gate\n\
      models: cnv-w2a2, cnv-w1a2, lenet-w2a2, lenet-w1a2, tiny-w2a2; datasets: cifar10, gtsrb"
         .to_string()
 }
@@ -1146,6 +1160,378 @@ fn cmd_explore(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses an optional numeric flag, falling back to `default`.
+fn parse_num<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    name: &str,
+    default: T,
+) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    flags.get(name).map_or(Ok(default), |v| {
+        v.parse().map_err(|e| format!("bad --{name}: {e}"))
+    })
+}
+
+/// Serves a model over real TCP sockets on the live inference engine.
+///
+/// The startup path is verify-gated: the full graph lint plus the serving
+/// config lint run first, and any Error-level diagnostic refuses to open
+/// the socket (nonzero exit) — the live counterpart of `serve`'s SV gate.
+fn cmd_serve_live(flags: &HashMap<String, String>) -> Result<(), String> {
+    use adaflow_net::{preflight, LiveConfig, LiveServer, MetricsEndpoint};
+    use adaflow_telemetry::{RegistryConfig, RegistrySink};
+    use adaflow_verify::Severity;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let model_name = required(flags, "model")?.to_string();
+    let graph = build_model(&model_name, None)?;
+    let serve = parse_serve_knobs(flags)?;
+    let lint = parse_lint_flags(flags);
+    let nominal_fps: f64 = parse_num(flags, "nominal-fps", 100.0)?;
+    let duration_s: f64 = parse_num(flags, "duration-s", 0.0)?;
+    let threads: usize = parse_num(flags, "threads", 0)?;
+    let addr = flags.get("addr").map_or("127.0.0.1:7878", String::as_str);
+    let format = flags.get("format").map_or("text", String::as_str);
+    if !matches!(format, "text" | "json") {
+        return Err(format!("unknown --format `{format}` (text | json)"));
+    }
+
+    // Hard gate: a live endpoint must not come up on a config the verifier
+    // rejects. Worst stall is zero — live serving runs a single model.
+    let report = preflight(&graph, &serve, nominal_fps, 0.0, &lint).map_err(|e| e.to_string())?;
+    if format == "text" && report.count(Severity::Warn) > 0 {
+        print!("{report}");
+    }
+
+    let (trace_sink, recorder) = SinkHandle::recorder(1 << 18);
+    let registry = RegistrySink::new(RegistryConfig::default());
+    let sink = SinkHandle::fanout(vec![trace_sink, SinkHandle::new(registry.clone())]);
+    let config = LiveConfig {
+        serve: serve.clone(),
+        model_id: model_name.clone(),
+        threads,
+        ..LiveConfig::default()
+    };
+    let server = LiveServer::bind(addr, &graph, config, sink).map_err(|e| e.to_string())?;
+    let bound = server.local_addr().map_err(|e| e.to_string())?;
+    let handle = server.handle();
+
+    // Optional Prometheus scrape endpoint, on its own thread.
+    let metrics_stop = Arc::new(AtomicBool::new(false));
+    let metrics_thread = match flags.get("metrics-port") {
+        Some(port) => {
+            let port: u16 = port
+                .parse()
+                .map_err(|e| format!("bad --metrics-port: {e}"))?;
+            let endpoint =
+                MetricsEndpoint::bind(("127.0.0.1", port), registry, metrics_stop.clone())
+                    .map_err(|e| format!("binding metrics endpoint: {e}"))?;
+            let metrics_addr = endpoint.local_addr().map_err(|e| e.to_string())?;
+            if format == "text" {
+                println!("metrics: http://{metrics_addr}/metrics");
+            }
+            Some(std::thread::spawn(move || endpoint.serve()))
+        }
+        None => None,
+    };
+
+    if format == "text" {
+        println!(
+            "serving {model_name} on {bound}: deadline {:.0} ms, queue {}, batch {} / {:.0} ms{}",
+            serve.deadline_s * 1e3,
+            serve.queue_capacity,
+            serve.max_batch,
+            serve.max_wait_s * 1e3,
+            if duration_s > 0.0 {
+                format!(", for {duration_s:.0} s")
+            } else {
+                String::new()
+            }
+        );
+    }
+    if duration_s > 0.0 {
+        let timer = handle.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_secs_f64(duration_s));
+            timer.shutdown();
+        });
+    }
+
+    let report = server.run().map_err(|e| e.to_string())?;
+    metrics_stop.store(true, Ordering::SeqCst);
+    if let Some(t) = metrics_thread {
+        let _ = t.join();
+    }
+    let events = recorder.drain();
+
+    if format == "json" {
+        println!(
+            "{}",
+            serde_json::to_string(&report).map_err(|e| e.to_string())?
+        );
+    } else {
+        let s = &report.summary;
+        println!(
+            "live: {:.0} arrived over {:.1} s — {:.0} served ({:.1} req/s), {:.0} shed",
+            s.arrived, report.duration_s, s.completed, report.throughput_rps, s.shed
+        );
+        println!(
+            "  deadline: {:.2}% hits (latency p50 {:.1} ms, p95 {:.1} ms, p99 {:.1} ms)",
+            s.deadline_hit_pct,
+            s.latency_p50_s * 1e3,
+            s.latency_p95_s * 1e3,
+            s.latency_p99_s * 1e3
+        );
+        println!(
+            "  batches: {:.0} closed, mean size {:.1}, queue wait {:.1} ms, service {:.1} ms \
+             (floor {:.2} ms)",
+            s.batches,
+            s.mean_batch_size,
+            s.queue_wait_mean_s * 1e3,
+            s.service_mean_s * 1e3,
+            report.min_service_s * 1e3
+        );
+        let r = &report.rejects;
+        println!(
+            "  rejects: queue-full {}, deadline-infeasible {}, shutting-down {}, \
+             unknown-model {}, bad-request {}",
+            r.queue_full, r.deadline_infeasible, r.shutting_down, r.unknown_model, r.bad_request
+        );
+        println!(
+            "  wire: {} connection(s), {} protocol error(s), {} send error(s), \
+             {} event(s) recorded",
+            report.connections,
+            report.protocol_errors,
+            report.send_errors,
+            events.len()
+        );
+    }
+
+    if let Some(prefix) = flags.get("out") {
+        let trace_summary = TraceSummary::from_events(&events);
+        let write = |suffix: &str, contents: String| -> Result<(), String> {
+            let path = format!("{prefix}.{suffix}");
+            std::fs::write(&path, &contents).map_err(|e| format!("writing {path}: {e}"))?;
+            if format == "text" {
+                println!("  wrote {path} ({} bytes)", contents.len());
+            }
+            Ok(())
+        };
+        write("trace.json", chrome_trace_json(&events))?;
+        write("jsonl", events_to_jsonl(&events))?;
+        write("prom", to_prometheus(&trace_summary))?;
+        write(
+            "report.json",
+            serde_json::to_string(&report).map_err(|e| e.to_string())?,
+        )?;
+    }
+    Ok(())
+}
+
+/// Drives seeded load against a live endpoint and prints the
+/// reason-coded summary.
+fn cmd_load(flags: &HashMap<String, String>) -> Result<(), String> {
+    use adaflow_net::{run_load, LoadConfig, LoadMode};
+
+    let addr_str = required(flags, "addr")?;
+    let addr: std::net::SocketAddr = addr_str
+        .parse()
+        .map_err(|e| format!("bad --addr `{addr_str}`: {e}"))?;
+    let model_name = required(flags, "model")?.to_string();
+    let graph = build_model(&model_name, None)?;
+    let connections: usize = parse_num(flags, "connections", 1)?;
+    let seed: u64 = parse_num(flags, "seed", 7)?;
+    let deadline_ms: f64 = parse_num(flags, "deadline-ms", 0.0)?;
+    let format = flags.get("format").map_or("text", String::as_str);
+    if !matches!(format, "text" | "json") {
+        return Err(format!("unknown --format `{format}` (text | json)"));
+    }
+    let mode = if let Some(requests) = flags.get("requests") {
+        LoadMode::Closed {
+            requests: requests
+                .parse()
+                .map_err(|e| format!("bad --requests: {e}"))?,
+        }
+    } else {
+        LoadMode::Open {
+            rate_fps: parse_num(flags, "rate-fps", 100.0)?,
+            duration_s: parse_num(flags, "duration-s", 5.0)?,
+        }
+    };
+    let config = LoadConfig {
+        addr,
+        model: model_name,
+        shape: graph.input_shape(),
+        connections,
+        mode,
+        deadline_us: (deadline_ms * 1e3).max(0.0) as u64,
+        seed,
+        recv_grace: Duration::from_secs(5),
+    };
+    let summary = run_load(&config);
+    print_load_summary(&summary, format)
+}
+
+fn print_load_summary(summary: &adaflow_net::LoadSummary, format: &str) -> Result<(), String> {
+    if format == "json" {
+        println!(
+            "{}",
+            serde_json::to_string(summary).map_err(|e| e.to_string())?
+        );
+        return Ok(());
+    }
+    println!(
+        "load: {} sent — {} ok, {} rejected, {} missing ({:.2}% hit within budget)",
+        summary.sent,
+        summary.ok,
+        summary.rejected(),
+        summary.missing,
+        summary.hit_pct()
+    );
+    println!(
+        "  rejects: queue-full {}, deadline-infeasible {}, shutting-down {}, \
+         unknown-model {}, bad-request {}",
+        summary.rejected_queue_full,
+        summary.rejected_deadline_infeasible,
+        summary.rejected_shutting_down,
+        summary.rejected_unknown_model,
+        summary.rejected_bad_request
+    );
+    println!(
+        "  errors: protocol {}, io {}",
+        summary.protocol_errors, summary.io_errors
+    );
+    println!(
+        "  rtt: p50 {:.1} ms, p95 {:.1} ms, p99 {:.1} ms — {:.1} req/s over {:.1} s",
+        summary.rtt_p50_s * 1e3,
+        summary.rtt_p95_s * 1e3,
+        summary.rtt_p99_s * 1e3,
+        summary.throughput_rps,
+        summary.elapsed_s
+    );
+    Ok(())
+}
+
+/// In-process server + seeded load with hard pass/fail floors — the CI
+/// gate for the live serving path.
+fn cmd_soak(flags: &HashMap<String, String>) -> Result<(), String> {
+    use adaflow_net::{preflight, run_load, LiveConfig, LiveServer, LoadConfig, LoadMode};
+
+    let model_name = flags
+        .get("model")
+        .map_or("tiny-w2a2", String::as_str)
+        .to_string();
+    let graph = build_model(&model_name, None)?;
+    let serve = parse_serve_knobs(flags)?;
+    let lint = parse_lint_flags(flags);
+    let rate_fps: f64 = parse_num(flags, "rate-fps", 200.0)?;
+    let duration_s: f64 = parse_num(flags, "duration-s", 3.0)?;
+    let connections: usize = parse_num(flags, "connections", 2)?;
+    let min_hit_pct: f64 = parse_num(flags, "min-hit-pct", 50.0)?;
+    let seed: u64 = parse_num(flags, "seed", 7)?;
+
+    preflight(&graph, &serve, rate_fps, 0.0, &lint).map_err(|e| e.to_string())?;
+
+    let (sink, recorder) = SinkHandle::recorder(1 << 18);
+    let config = LiveConfig {
+        serve,
+        model_id: model_name.clone(),
+        ..LiveConfig::default()
+    };
+    let server =
+        LiveServer::bind("127.0.0.1:0", &graph, config, sink).map_err(|e| e.to_string())?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    let handle = server.handle();
+    let shape = graph.input_shape();
+
+    println!(
+        "soak: {model_name} on {addr}, {rate_fps:.0} req/s x {duration_s:.0} s \
+         over {connections} connection(s), seed {seed}"
+    );
+    let (server_result, summary) = std::thread::scope(|scope| {
+        let server_thread = scope.spawn(move || server.run());
+        let load = LoadConfig {
+            addr,
+            model: model_name,
+            shape,
+            connections,
+            mode: LoadMode::Open {
+                rate_fps,
+                duration_s,
+            },
+            deadline_us: 0,
+            seed,
+            recv_grace: Duration::from_secs(5),
+        };
+        let summary = run_load(&load);
+        handle.shutdown();
+        (server_thread.join().expect("server thread"), summary)
+    });
+    let report = server_result.map_err(|e| format!("server failed: {e}"))?;
+    let events = recorder.drain();
+
+    print_load_summary(&summary, "text")?;
+    println!(
+        "  server: {:.0} arrived, {:.0} served, {:.0} shed, {} event(s) recorded",
+        report.summary.arrived,
+        report.summary.completed,
+        report.summary.shed,
+        events.len()
+    );
+
+    // The floors. Any violation is a red CI.
+    let mut failures: Vec<String> = Vec::new();
+    if summary.protocol_errors > 0 {
+        failures.push(format!(
+            "client decoded {} malformed frame(s)",
+            summary.protocol_errors
+        ));
+    }
+    if report.protocol_errors > 0 {
+        failures.push(format!(
+            "server dropped {} connection(s) on protocol errors",
+            report.protocol_errors
+        ));
+    }
+    if summary.io_errors > 0 {
+        failures.push(format!(
+            "{} socket error(s) on the client",
+            summary.io_errors
+        ));
+    }
+    if summary.missing > 0 {
+        failures.push(format!(
+            "{} request(s) never got a response",
+            summary.missing
+        ));
+    }
+    if !report.summary.conservation_holds() {
+        failures.push(format!(
+            "request conservation violated: arrived {:.0} != completed {:.0} + shed {:.0}",
+            report.summary.arrived, report.summary.completed, report.summary.shed
+        ));
+    }
+    if summary.hit_pct() < min_hit_pct {
+        failures.push(format!(
+            "hit rate {:.2}% below the {min_hit_pct:.2}% floor",
+            summary.hit_pct()
+        ));
+    }
+    if failures.is_empty() {
+        println!(
+            "soak: PASS ({:.2}% hits >= {min_hit_pct:.2}% floor, zero protocol errors, \
+             clean shutdown)",
+            summary.hit_pct()
+        );
+        Ok(())
+    } else {
+        Err(format!("soak FAILED: {}", failures.join("; ")))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1543,5 +1929,51 @@ mod tests {
         let err = run(&["frobnicate".to_string()]).unwrap_err();
         assert!(err.contains("unknown command"));
         assert!(err.contains("usage:"));
+    }
+
+    #[test]
+    fn serve_live_gate_refuses_denied_config() {
+        // Batch wait over half the deadline fires SV001 at Warn; denying
+        // the code must refuse to open the socket at all.
+        let err = cmd_serve_live(&flags(&[
+            ("model", "tiny-w2a2"),
+            ("addr", "127.0.0.1:0"),
+            ("deadline-ms", "250"),
+            ("batch-wait-ms", "150"),
+            ("deny", "SV001"),
+        ]))
+        .expect_err("denied SV001 must block startup");
+        assert!(err.contains("refusing to serve"), "{err}");
+    }
+
+    #[test]
+    fn load_command_validates_flags() {
+        assert!(
+            cmd_load(&flags(&[("model", "tiny-w2a2")])).is_err(),
+            "addr required"
+        );
+        let err = cmd_load(&flags(&[("addr", "not-an-addr"), ("model", "tiny-w2a2")]))
+            .expect_err("bad addr");
+        assert!(err.contains("bad --addr"), "{err}");
+        assert!(cmd_load(&flags(&[
+            ("addr", "127.0.0.1:1"),
+            ("model", "tiny-w2a2"),
+            ("format", "yaml"),
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn soak_command_passes_its_floors_on_tiny() {
+        // A short real soak: in-process server, open-loop load, floors on.
+        cmd_soak(&flags(&[
+            ("model", "tiny-w2a2"),
+            ("rate-fps", "60"),
+            ("duration-s", "1"),
+            ("connections", "2"),
+            ("min-hit-pct", "50"),
+            ("seed", "11"),
+        ]))
+        .expect("soak floors hold");
     }
 }

@@ -1,0 +1,441 @@
+//! Seeded closed/open-loop load generator over the wire protocol.
+//!
+//! The client-side twin of the DES arrival generator: the same
+//! seeded-jitter idiom produces the open-loop schedule, so a live run and
+//! a simulated run can be driven by statistically matched load. Every
+//! response is classified by its machine-readable [`Status`], so the
+//! summary separates queue-full, deadline-infeasible and shutting-down
+//! rejects instead of lumping everything into "failed".
+
+use adaflow_model::TensorShape;
+use adaflow_proto::{encode_frame, Frame, FrameReader, RequestFrame, Status};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// ±20% uniform jitter on open-loop inter-arrival gaps — the same
+/// constant the DES arrival generator applies.
+const GAP_JITTER: f64 = 0.2;
+
+/// How the generator paces requests.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LoadMode {
+    /// Closed loop: each connection sends, waits for the response, then
+    /// sends again — `requests` times. Measures server capacity at
+    /// concurrency = connections.
+    Closed {
+        /// Requests per connection.
+        requests: u64,
+    },
+    /// Open loop: each connection sends on a seeded jittered schedule at
+    /// `rate_fps / connections` regardless of responses, for
+    /// `duration_s`. Measures behavior under offered (not admitted) load.
+    Open {
+        /// Aggregate target rate across all connections, requests/s.
+        rate_fps: f64,
+        /// How long to keep offering load, seconds.
+        duration_s: f64,
+    },
+}
+
+/// Load-generator configuration.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Server address.
+    pub addr: SocketAddr,
+    /// Model id to request.
+    pub model: String,
+    /// Input tensor shape (must match the served model to be admitted).
+    pub shape: TensorShape,
+    /// Parallel connections.
+    pub connections: usize,
+    /// Pacing mode.
+    pub mode: LoadMode,
+    /// Per-request deadline budget in microseconds (0 = server default).
+    pub deadline_us: u64,
+    /// RNG seed; same seed + same config = same schedule and payloads.
+    pub seed: u64,
+    /// How long to wait for straggler responses after the last send.
+    pub recv_grace: Duration,
+}
+
+impl LoadConfig {
+    /// A closed-loop config with sane defaults.
+    #[must_use]
+    pub fn closed(addr: SocketAddr, model: &str, shape: TensorShape, requests: u64) -> Self {
+        Self {
+            addr,
+            model: model.to_string(),
+            shape,
+            connections: 1,
+            mode: LoadMode::Closed { requests },
+            deadline_us: 0,
+            seed: 7,
+            recv_grace: Duration::from_secs(5),
+        }
+    }
+}
+
+/// What one load run observed, classified by machine-readable reason.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LoadSummary {
+    /// Requests written to the wire.
+    pub sent: u64,
+    /// `Ok` responses.
+    pub ok: u64,
+    /// `QueueFull` rejects (admission shed).
+    pub rejected_queue_full: u64,
+    /// `DeadlineInfeasible` rejects.
+    pub rejected_deadline_infeasible: u64,
+    /// `ShuttingDown` rejects.
+    pub rejected_shutting_down: u64,
+    /// `UnknownModel` rejects.
+    pub rejected_unknown_model: u64,
+    /// `BadRequest` rejects.
+    pub rejected_bad_request: u64,
+    /// Sent requests that never got a response (connection died or the
+    /// grace window expired).
+    pub missing: u64,
+    /// Undecodable or out-of-contract frames from the server.
+    pub protocol_errors: u64,
+    /// Socket-level failures (connect, send, read).
+    pub io_errors: u64,
+    /// `Ok` responses whose server-side latency met the requested budget
+    /// (equals `ok` when no explicit deadline was sent).
+    pub deadline_hits: u64,
+    /// Client-observed round-trip percentiles over `Ok` responses, seconds.
+    pub rtt_p50_s: f64,
+    /// 95th percentile RTT, seconds.
+    pub rtt_p95_s: f64,
+    /// 99th percentile RTT, seconds.
+    pub rtt_p99_s: f64,
+    /// Wall-clock duration of the run, seconds.
+    pub elapsed_s: f64,
+    /// `Ok` responses per wall-clock second.
+    pub throughput_rps: f64,
+}
+
+impl LoadSummary {
+    /// Deadline hits as a percentage of *sent* requests — a reject or a
+    /// missing response is a miss, matching the server summary's
+    /// convention that a shed request is a miss.
+    #[must_use]
+    pub fn hit_pct(&self) -> f64 {
+        100.0 * self.deadline_hits as f64 / (self.sent as f64).max(1.0)
+    }
+
+    /// Total rejects across every reason code.
+    #[must_use]
+    pub fn rejected(&self) -> u64 {
+        self.rejected_queue_full
+            + self.rejected_deadline_infeasible
+            + self.rejected_shutting_down
+            + self.rejected_unknown_model
+            + self.rejected_bad_request
+    }
+
+    fn classify(&mut self, status: Status) {
+        match status {
+            Status::Ok => self.ok += 1,
+            Status::QueueFull => self.rejected_queue_full += 1,
+            Status::DeadlineInfeasible => self.rejected_deadline_infeasible += 1,
+            Status::ShuttingDown => self.rejected_shutting_down += 1,
+            Status::UnknownModel => self.rejected_unknown_model += 1,
+            Status::BadRequest => self.rejected_bad_request += 1,
+        }
+    }
+}
+
+/// Per-connection raw observations, merged into the final summary.
+#[derive(Default)]
+struct ConnOutcome {
+    summary: LoadSummary,
+    rtts_s: Vec<f64>,
+}
+
+/// Runs the configured load and returns the merged summary.
+///
+/// Deterministic given (config, server behavior): connection `i` derives
+/// its RNG from `seed` and `i`, so schedules and payloads replay exactly.
+#[must_use]
+pub fn run_load(config: &LoadConfig) -> LoadSummary {
+    let start = Instant::now();
+    let outcomes: Vec<ConnOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..config.connections.max(1))
+            .map(|i| scope.spawn(move || run_connection(config, i as u64)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_default())
+            .collect()
+    });
+
+    let mut merged = LoadSummary::default();
+    let mut rtts: Vec<f64> = Vec::new();
+    for outcome in outcomes {
+        let s = outcome.summary;
+        merged.sent += s.sent;
+        merged.ok += s.ok;
+        merged.rejected_queue_full += s.rejected_queue_full;
+        merged.rejected_deadline_infeasible += s.rejected_deadline_infeasible;
+        merged.rejected_shutting_down += s.rejected_shutting_down;
+        merged.rejected_unknown_model += s.rejected_unknown_model;
+        merged.rejected_bad_request += s.rejected_bad_request;
+        merged.missing += s.missing;
+        merged.protocol_errors += s.protocol_errors;
+        merged.io_errors += s.io_errors;
+        merged.deadline_hits += s.deadline_hits;
+        rtts.extend(outcome.rtts_s);
+    }
+    rtts.sort_by(|a, b| a.partial_cmp(b).expect("finite RTTs"));
+    let pct = |q: f64| -> f64 {
+        if rtts.is_empty() {
+            0.0
+        } else {
+            rtts[((rtts.len() as f64 - 1.0) * q).round() as usize]
+        }
+    };
+    merged.rtt_p50_s = pct(0.50);
+    merged.rtt_p95_s = pct(0.95);
+    merged.rtt_p99_s = pct(0.99);
+    merged.elapsed_s = start.elapsed().as_secs_f64();
+    merged.throughput_rps = merged.ok as f64 / merged.elapsed_s.max(1e-9);
+    merged
+}
+
+fn build_request(config: &LoadConfig, id: u64, rng: &mut ChaCha8Rng) -> Vec<u8> {
+    let elements = config.shape.elements();
+    let data: Vec<u8> = (0..elements)
+        .map(|_| rng.gen_range(0..=255u16) as u8)
+        .collect();
+    encode_frame(&Frame::Request(RequestFrame {
+        id,
+        deadline_us: config.deadline_us,
+        model: config.model.clone(),
+        channels: config.shape.channels as u16,
+        height: config.shape.height as u16,
+        width: config.shape.width as u16,
+        data,
+    }))
+}
+
+/// Derives connection `conn`'s RNG from the run seed — the same
+/// index-mixing idiom the DES arrival generator uses per device.
+fn conn_rng(seed: u64, conn: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed ^ 0xC0DE_F00D ^ conn.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+fn run_connection(config: &LoadConfig, conn_idx: u64) -> ConnOutcome {
+    let mut outcome = ConnOutcome::default();
+    let Ok(stream) = TcpStream::connect(config.addr) else {
+        outcome.summary.io_errors += 1;
+        return outcome;
+    };
+    stream.set_nodelay(true).ok();
+    match config.mode {
+        LoadMode::Closed { requests } => {
+            closed_loop(config, conn_idx, stream, requests, &mut outcome);
+        }
+        LoadMode::Open {
+            rate_fps,
+            duration_s,
+        } => open_loop(config, conn_idx, stream, rate_fps, duration_s, &mut outcome),
+    }
+    outcome
+}
+
+fn closed_loop(
+    config: &LoadConfig,
+    conn_idx: u64,
+    mut stream: TcpStream,
+    requests: u64,
+    outcome: &mut ConnOutcome,
+) {
+    let mut rng = conn_rng(config.seed, conn_idx);
+    stream
+        .set_read_timeout(Some(config.recv_grace.max(Duration::from_millis(1))))
+        .ok();
+    let mut frames = FrameReader::new();
+    let mut buf = [0u8; 16 * 1024];
+    for seq in 0..requests {
+        let id = conn_idx << 32 | seq;
+        let bytes = build_request(config, id, &mut rng);
+        let sent_at = Instant::now();
+        if stream.write_all(&bytes).is_err() {
+            outcome.summary.io_errors += 1;
+            return;
+        }
+        outcome.summary.sent += 1;
+        // Block until this request's response arrives.
+        let response = loop {
+            match frames.next_frame() {
+                Ok(Some(Frame::Response(r))) => break Some(r),
+                Ok(Some(Frame::Request(_))) | Err(_) => {
+                    outcome.summary.protocol_errors += 1;
+                    outcome.summary.missing += 1;
+                    return;
+                }
+                Ok(None) => match stream.read(&mut buf) {
+                    Ok(0) => {
+                        outcome.summary.missing += 1;
+                        return;
+                    }
+                    Ok(n) => frames.feed(&buf[..n]),
+                    Err(e)
+                        if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut =>
+                    {
+                        break None;
+                    }
+                    Err(_) => {
+                        outcome.summary.io_errors += 1;
+                        outcome.summary.missing += 1;
+                        return;
+                    }
+                },
+            }
+        };
+        let Some(response) = response else {
+            outcome.summary.missing += 1;
+            continue;
+        };
+        settle(config, outcome, &response, sent_at.elapsed().as_secs_f64());
+    }
+}
+
+fn open_loop(
+    config: &LoadConfig,
+    conn_idx: u64,
+    mut stream: TcpStream,
+    rate_fps: f64,
+    duration_s: f64,
+    outcome: &mut ConnOutcome,
+) {
+    let mut rng = conn_rng(config.seed, conn_idx);
+    stream.set_read_timeout(Some(Duration::from_millis(2))).ok();
+    let per_conn_fps = (rate_fps / config.connections.max(1) as f64).max(1e-3);
+    let gap_s = 1.0 / per_conn_fps;
+    let started = Instant::now();
+    let mut next_send_s = 0.0f64;
+    let mut in_flight: HashMap<u64, Instant> = HashMap::new();
+    let mut frames = FrameReader::new();
+    let mut buf = [0u8; 16 * 1024];
+    let mut seq = 0u64;
+    let mut dead = false;
+
+    // One thread per connection: interleave timed sends with short
+    // read-polls; after the send window, linger for the grace period to
+    // collect stragglers.
+    loop {
+        let now_s = started.elapsed().as_secs_f64();
+        let sending = now_s < duration_s && !dead;
+        if sending && now_s >= next_send_s {
+            let id = conn_idx << 32 | seq;
+            seq += 1;
+            let bytes = build_request(config, id, &mut rng);
+            let sent_at = Instant::now();
+            if stream.write_all(&bytes).is_err() {
+                outcome.summary.io_errors += 1;
+                dead = true;
+            } else {
+                outcome.summary.sent += 1;
+                in_flight.insert(id, sent_at);
+                next_send_s += gap_s * rng.gen_range(1.0 - GAP_JITTER..=1.0 + GAP_JITTER);
+            }
+            continue;
+        }
+        if !sending
+            && (in_flight.is_empty() || now_s > duration_s + config.recv_grace.as_secs_f64())
+        {
+            break;
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                frames.feed(&buf[..n]);
+                loop {
+                    match frames.next_frame() {
+                        Ok(Some(Frame::Response(r))) => {
+                            let rtt = in_flight
+                                .remove(&r.id)
+                                .map_or(0.0, |t| t.elapsed().as_secs_f64());
+                            settle(config, outcome, &r, rtt);
+                        }
+                        Ok(Some(Frame::Request(_))) | Err(_) => {
+                            outcome.summary.protocol_errors += 1;
+                            dead = true;
+                            break;
+                        }
+                        Ok(None) => break,
+                    }
+                }
+                if dead && !sending {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+            Err(_) => {
+                outcome.summary.io_errors += 1;
+                break;
+            }
+        }
+    }
+    outcome.summary.missing += in_flight.len() as u64;
+}
+
+fn settle(
+    config: &LoadConfig,
+    outcome: &mut ConnOutcome,
+    response: &adaflow_proto::ResponseFrame,
+    rtt_s: f64,
+) {
+    outcome.summary.classify(response.status);
+    if response.status == Status::Ok {
+        outcome.rtts_s.push(rtt_s);
+        let within =
+            config.deadline_us == 0 || u64::from(response.latency_us) <= config.deadline_us;
+        outcome.summary.deadline_hits += u64::from(within);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_covers_every_status() {
+        let mut s = LoadSummary::default();
+        for status in Status::ALL {
+            s.classify(status);
+        }
+        assert_eq!(s.ok, 1);
+        assert_eq!(s.rejected(), 5);
+    }
+
+    #[test]
+    fn hit_pct_counts_sheds_as_misses() {
+        let s = LoadSummary {
+            sent: 10,
+            ok: 6,
+            deadline_hits: 5,
+            rejected_queue_full: 4,
+            ..LoadSummary::default()
+        };
+        assert!((s.hit_pct() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn seeded_payloads_replay() {
+        let mut a = conn_rng(42, 3);
+        let mut b = conn_rng(42, 3);
+        let xs: Vec<u16> = (0..32).map(|_| a.gen_range(0..=255u16)).collect();
+        let ys: Vec<u16> = (0..32).map(|_| b.gen_range(0..=255u16)).collect();
+        assert_eq!(xs, ys);
+        let mut c = conn_rng(42, 4);
+        let zs: Vec<u16> = (0..32).map(|_| c.gen_range(0..=255u16)).collect();
+        assert_ne!(xs, zs, "different connections see different payloads");
+    }
+}

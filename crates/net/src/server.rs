@@ -1,0 +1,818 @@
+//! The live TCP server: listener, per-connection readers, and one engine
+//! thread that batches and executes requests on the real inference engine.
+//!
+//! ## Threading model
+//!
+//! * **accept loop** (the thread that called [`LiveServer::run`]) — a
+//!   nonblocking `accept` poll that spawns one reader per connection and
+//!   checks the shutdown flag every [`LiveConfig::poll_interval`];
+//! * **reader threads** (one per connection) — blocking reads with a short
+//!   timeout feed an incremental `FrameReader`; decoded requests go through
+//!   admission under the shared core lock; protocol violations drop the
+//!   connection (the proto layer's errors are sticky by design);
+//! * **engine thread** (exactly one) — owns batch close decisions and
+//!   execution, mirroring the DES single-accelerator semantics: a batch
+//!   closes when it reaches `max_batch` or its oldest request has waited
+//!   `max_wait_s`, and never while the engine is busy (the thread is the
+//!   engine). Within a batch, `BatchRunner` fans work across workers with
+//!   one scratch each.
+//!
+//! All threads live inside one `std::thread::scope`, so [`LiveServer::run`]
+//! returning *proves* every worker joined — the no-leak half of the
+//! graceful-shutdown contract. The other half: in-flight batches complete
+//! and answer `Ok`, queued-but-unserved requests are drained with
+//! `ShuttingDown` responses, and post-shutdown arrivals are rejected with
+//! the same code.
+
+use crate::clock::WallClock;
+use adaflow_model::CnnGraph;
+use adaflow_nn::{Activations, BatchRunner, Engine, NnError};
+use adaflow_proto::{Frame, FrameReader, RequestFrame, ResponseFrame, Status};
+use adaflow_serve::queue::Arriving;
+use adaflow_serve::{
+    emit_request_trace, AdmissionQueue, CompletedRequest, DeviceStats, ServeConfig, ServeSummary,
+};
+use adaflow_telemetry::{EventKind, LogHistogram, SinkHandle};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+use thiserror::Error;
+
+/// Errors surfaced by the live server.
+#[derive(Debug, Error)]
+pub enum NetError {
+    /// Socket-level failure (bind, accept, warmup I/O).
+    #[error("network error: {0}")]
+    Io(#[from] std::io::Error),
+    /// The inference engine could not be built or warmed up.
+    #[error("engine error: {0}")]
+    Engine(#[from] NnError),
+}
+
+/// Configuration of one live server.
+#[derive(Debug, Clone)]
+pub struct LiveConfig {
+    /// The shared serving knobs (deadline, queue capacity, batch shape,
+    /// overflow policy) — the *same* struct the DES runs, so a simulated
+    /// configuration transfers verbatim.
+    pub serve: ServeConfig,
+    /// Model id clients must name; empty accepts any id.
+    pub model_id: String,
+    /// Worker threads for `BatchRunner` (0 = auto).
+    pub threads: usize,
+    /// Nominal TOP-1 accuracy of the serving model, percent (feeds the
+    /// summary's `mean_accuracy_pct` like the DES policy does).
+    pub accuracy_pct: f64,
+    /// Per-connection blocking-read timeout; bounds reader shutdown
+    /// latency.
+    pub read_timeout: Duration,
+    /// Accept-loop and engine-idle poll period; bounds shutdown latency.
+    pub poll_interval: Duration,
+    /// Warmup inferences used to measure the single-inference service
+    /// floor for deadline-infeasibility rejection.
+    pub warmup_iters: usize,
+}
+
+impl Default for LiveConfig {
+    fn default() -> Self {
+        Self {
+            serve: ServeConfig::default(),
+            model_id: String::new(),
+            threads: 0,
+            accuracy_pct: 0.0,
+            read_timeout: Duration::from_millis(25),
+            poll_interval: Duration::from_millis(5),
+            warmup_iters: 3,
+        }
+    }
+}
+
+/// Machine-readable reject tallies, by reason code.
+///
+/// `queue_full`, `deadline_infeasible` and `shutting_down` are load sheds
+/// and also counted in the summary's `shed` (conservation holds over
+/// them); `unknown_model` and `bad_request` are client errors rejected
+/// before admission and tallied only here.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RejectCounts {
+    /// Queue at capacity (includes displaced victims under shed policies).
+    pub queue_full: u64,
+    /// Deadline budget below the measured single-inference floor.
+    pub deadline_infeasible: u64,
+    /// Arrived or still queued while the server was draining.
+    pub shutting_down: u64,
+    /// Named a model this server is not serving.
+    pub unknown_model: u64,
+    /// Structurally valid frame with unusable semantics (shape mismatch).
+    pub bad_request: u64,
+}
+
+impl RejectCounts {
+    /// Total rejects across every reason.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.queue_full
+            + self.deadline_infeasible
+            + self.shutting_down
+            + self.unknown_model
+            + self.bad_request
+    }
+}
+
+/// What one live run did, in DES-comparable terms plus wall-clock facts.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LiveReport {
+    /// The same summary type the DES produces — field-for-field
+    /// comparable with simulated runs in EXPERIMENTS.md.
+    pub summary: ServeSummary,
+    /// Reject tallies by machine-readable reason.
+    pub rejects: RejectCounts,
+    /// Wall-clock duration of the run, bind to joined, seconds.
+    pub duration_s: f64,
+    /// Connections accepted.
+    pub connections: u64,
+    /// Connections dropped for protocol violations.
+    pub protocol_errors: u64,
+    /// Responses that could not be written (client gone).
+    pub send_errors: u64,
+    /// Measured single-inference service floor, seconds.
+    pub min_service_s: f64,
+    /// Requests served per wall-clock second.
+    pub throughput_rps: f64,
+}
+
+/// One admitted request waiting for a batch slot.
+struct Pending {
+    /// Server-assigned monotonic id — doubles as the telemetry trace id.
+    trace_id: u64,
+    /// Client-chosen id echoed in the response.
+    client_id: u64,
+    arrival_s: f64,
+    /// Absolute latency budget, seconds from arrival.
+    budget_s: f64,
+    input: Activations,
+    conn: Arc<Conn>,
+}
+
+impl Arriving for Pending {
+    fn arrival_s(&self) -> f64 {
+        self.arrival_s
+    }
+}
+
+/// The write half of a connection, shared by reader and engine threads.
+struct Conn {
+    stream: Mutex<TcpStream>,
+}
+
+impl Conn {
+    fn send(&self, frame: &ResponseFrame) -> std::io::Result<()> {
+        let bytes = adaflow_proto::encode_frame(&Frame::Response(frame.clone()));
+        let mut stream = self.stream.lock().expect("conn lock poisoned");
+        stream.write_all(&bytes)
+    }
+}
+
+fn reject_response(client_id: u64, status: Status) -> ResponseFrame {
+    ResponseFrame {
+        id: client_id,
+        status,
+        label: 0,
+        queue_us: 0,
+        service_us: 0,
+        latency_us: 0,
+    }
+}
+
+fn to_us(seconds: f64) -> u32 {
+    let us = seconds * 1e6;
+    if us >= f64::from(u32::MAX) {
+        u32::MAX
+    } else {
+        us.max(0.0) as u32
+    }
+}
+
+/// Mutable serving state shared by readers and the engine thread.
+struct Core {
+    queue: AdmissionQueue<Pending>,
+    stats: DeviceStats,
+    latency: LogHistogram,
+    rejects: RejectCounts,
+    next_trace_id: u64,
+    draining: bool,
+}
+
+struct SharedState {
+    core: Mutex<Core>,
+    /// Signalled on enqueue and on shutdown; the engine waits on it.
+    work: Condvar,
+    shutdown: AtomicBool,
+    connections: AtomicU64,
+    protocol_errors: AtomicU64,
+    send_errors: AtomicU64,
+    clock: WallClock,
+    sink: SinkHandle,
+    config: LiveConfig,
+    /// Measured single-inference floor; written once during warmup before
+    /// any reader thread exists.
+    min_service_s: Mutex<f64>,
+}
+
+/// A cloneable remote control for a running server.
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<SharedState>,
+}
+
+impl ServerHandle {
+    /// Initiates graceful shutdown: stop accepting, finish the in-flight
+    /// batch, drain the queue with `ShuttingDown` responses, join all
+    /// workers. Idempotent.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.work.notify_all();
+    }
+
+    /// Whether shutdown has been requested.
+    #[must_use]
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// A bound-but-not-yet-serving live server.
+pub struct LiveServer<'g> {
+    listener: TcpListener,
+    graph: &'g CnnGraph,
+    shared: Arc<SharedState>,
+}
+
+impl<'g> LiveServer<'g> {
+    /// Binds the listener (use port 0 for an ephemeral port) and prepares
+    /// shared state. No thread is spawned until [`run`](Self::run).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from binding.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        graph: &'g CnnGraph,
+        config: LiveConfig,
+        sink: SinkHandle,
+    ) -> Result<Self, NetError> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let core = Core {
+            queue: AdmissionQueue::new(config.serve.queue_capacity, config.serve.overflow),
+            stats: DeviceStats::default(),
+            latency: LogHistogram::latency_s(),
+            rejects: RejectCounts::default(),
+            next_trace_id: 0,
+            draining: false,
+        };
+        let shared = Arc::new(SharedState {
+            core: Mutex::new(core),
+            work: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            connections: AtomicU64::new(0),
+            protocol_errors: AtomicU64::new(0),
+            send_errors: AtomicU64::new(0),
+            clock: WallClock::start(),
+            sink,
+            config,
+            min_service_s: Mutex::new(0.0),
+        });
+        Ok(Self {
+            listener,
+            graph,
+            shared,
+        })
+    }
+
+    /// The bound address (interesting when binding port 0).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the socket query.
+    pub fn local_addr(&self) -> Result<SocketAddr, NetError> {
+        Ok(self.listener.local_addr()?)
+    }
+
+    /// A remote control usable from other threads.
+    #[must_use]
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shared: self.shared.clone(),
+        }
+    }
+
+    /// Serves until [`ServerHandle::shutdown`] is called, then drains and
+    /// returns the run report. Consumes the server; when this returns,
+    /// every worker thread has joined and the listener is closed.
+    ///
+    /// # Errors
+    ///
+    /// Engine construction/warmup failures. Per-connection I/O problems
+    /// are not errors — they are counted in the report.
+    pub fn run(self) -> Result<LiveReport, NetError> {
+        let engine = Engine::new(self.graph)?;
+        let shape = self.graph.input_shape();
+
+        // Warmup: measure the single-inference floor used for
+        // deadline-infeasibility rejection (and to prime lazy init paths).
+        let mut floor = f64::INFINITY;
+        let mut scratch = engine.scratch();
+        let zero = Activations::from_vec(shape, vec![0; shape.elements()]);
+        for _ in 0..self.shared.config.warmup_iters.max(1) {
+            let t0 = Instant::now();
+            engine.run_with_scratch(&zero, &mut scratch)?;
+            floor = floor.min(t0.elapsed().as_secs_f64());
+        }
+        *self.shared.min_service_s.lock().expect("floor lock") = floor;
+
+        let runner = BatchRunner::new(engine).with_threads(self.shared.config.threads);
+        let model_name = self.graph.name().to_string();
+        let shared = &self.shared;
+
+        std::thread::scope(|scope| {
+            scope.spawn(|| engine_loop(shared, &runner, &model_name));
+
+            // Accept loop on the calling thread.
+            loop {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                match self.listener.accept() {
+                    Ok((stream, _peer)) => {
+                        shared.connections.fetch_add(1, Ordering::Relaxed);
+                        scope.spawn(move || reader_loop(shared, stream, shape.elements()));
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                        std::thread::sleep(shared.config.poll_interval);
+                    }
+                    Err(_) => break,
+                }
+            }
+            // Scope exit joins the engine thread (which drains the queue
+            // once the flag is up) and every reader (bounded by the read
+            // timeout) — no worker can outlive this function.
+        });
+        drop(self.listener);
+
+        let duration_s = self.shared.clock.now_s();
+        let core = self.shared.core.lock().expect("core lock poisoned");
+        debug_assert_eq!(
+            core.stats.arrived,
+            core.stats.completed + core.stats.shed,
+            "live conservation"
+        );
+        let summary = ServeSummary::from_device("live", &core.stats, &core.latency);
+        Ok(LiveReport {
+            rejects: core.rejects,
+            duration_s,
+            connections: self.shared.connections.load(Ordering::Relaxed),
+            protocol_errors: self.shared.protocol_errors.load(Ordering::Relaxed),
+            send_errors: self.shared.send_errors.load(Ordering::Relaxed),
+            min_service_s: floor,
+            throughput_rps: summary.completed / duration_s.max(1e-9),
+            summary,
+        })
+    }
+}
+
+/// Sends `frame` on `conn`, counting (not propagating) failures.
+fn send_counted(shared: &SharedState, conn: &Conn, frame: &ResponseFrame) {
+    if conn.send(frame).is_err() {
+        shared.send_errors.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+fn reader_loop(shared: &SharedState, stream: TcpStream, expected_elements: usize) {
+    if stream
+        .set_read_timeout(Some(shared.config.read_timeout))
+        .is_err()
+    {
+        return;
+    }
+    stream.set_nodelay(true).ok();
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let conn = Arc::new(Conn {
+        stream: Mutex::new(write_half),
+    });
+    let mut stream = stream;
+    let mut frames = FrameReader::new();
+    let mut buf = [0u8; 16 * 1024];
+    'conn: loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                frames.feed(&buf[..n]);
+                loop {
+                    match frames.next_frame() {
+                        Ok(Some(Frame::Request(request))) => {
+                            admit(shared, &conn, request, expected_elements);
+                        }
+                        Ok(Some(Frame::Response(_))) => {
+                            // Clients don't send responses; the stream is
+                            // not speaking our protocol.
+                            shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                            break 'conn;
+                        }
+                        Ok(None) => break,
+                        Err(_) => {
+                            shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                            break 'conn;
+                        }
+                    }
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+            Err(_) => break,
+        }
+    }
+}
+
+/// Validates one decoded request and offers it to the admission queue.
+fn admit(shared: &SharedState, conn: &Arc<Conn>, request: RequestFrame, expected_elements: usize) {
+    let config = &shared.config;
+    if !config.model_id.is_empty() && request.model != config.model_id {
+        let mut core = shared.core.lock().expect("core lock poisoned");
+        core.rejects.unknown_model += 1;
+        drop(core);
+        send_counted(
+            shared,
+            conn,
+            &reject_response(request.id, Status::UnknownModel),
+        );
+        return;
+    }
+    let elements =
+        usize::from(request.channels) * usize::from(request.height) * usize::from(request.width);
+    if elements != expected_elements {
+        let mut core = shared.core.lock().expect("core lock poisoned");
+        core.rejects.bad_request += 1;
+        drop(core);
+        send_counted(
+            shared,
+            conn,
+            &reject_response(request.id, Status::BadRequest),
+        );
+        return;
+    }
+    let budget_s = if request.deadline_us == 0 {
+        config.serve.deadline_s
+    } else {
+        request.deadline_us as f64 / 1e6
+    };
+    let now = shared.clock.now_s();
+    let floor = *shared.min_service_s.lock().expect("floor lock");
+    if budget_s < floor {
+        let mut core = shared.core.lock().expect("core lock poisoned");
+        core.stats.arrived += 1;
+        core.stats.shed += 1;
+        core.rejects.deadline_infeasible += 1;
+        let trace_id = core.next_trace_id;
+        core.next_trace_id += 1;
+        let depth = core.queue.len() as u64;
+        drop(core);
+        shared.sink.emit(
+            now,
+            EventKind::RequestShed {
+                id: trace_id,
+                reason: "deadline-infeasible".to_string(),
+                queue_depth: depth,
+            },
+        );
+        send_counted(
+            shared,
+            conn,
+            &reject_response(request.id, Status::DeadlineInfeasible),
+        );
+        return;
+    }
+
+    let mut responses: Vec<(Arc<Conn>, ResponseFrame)> = Vec::new();
+    {
+        let mut core = shared.core.lock().expect("core lock poisoned");
+        core.stats.arrived += 1;
+        let trace_id = core.next_trace_id;
+        core.next_trace_id += 1;
+        if core.draining || shared.shutdown.load(Ordering::SeqCst) {
+            core.stats.shed += 1;
+            core.rejects.shutting_down += 1;
+            let depth = core.queue.len() as u64;
+            drop(core);
+            shared.sink.emit(
+                now,
+                EventKind::RequestShed {
+                    id: trace_id,
+                    reason: "shutting-down".to_string(),
+                    queue_depth: depth,
+                },
+            );
+            send_counted(
+                shared,
+                conn,
+                &reject_response(request.id, Status::ShuttingDown),
+            );
+            return;
+        }
+        let pending = Pending {
+            trace_id,
+            client_id: request.id,
+            arrival_s: now,
+            budget_s,
+            input: Activations::from_vec(
+                adaflow_model::TensorShape::new(
+                    usize::from(request.channels),
+                    usize::from(request.height),
+                    usize::from(request.width),
+                ),
+                request.data,
+            ),
+            conn: conn.clone(),
+        };
+        let policy = core.queue.policy();
+        match core.queue.offer(pending) {
+            adaflow_serve::Admission::Enqueued { depth } => {
+                shared.sink.emit(
+                    now,
+                    EventKind::RequestEnqueued {
+                        id: trace_id,
+                        device: 0,
+                        queue_depth: depth,
+                    },
+                );
+                shared.work.notify_all();
+            }
+            adaflow_serve::Admission::Rejected => {
+                core.stats.shed += 1;
+                core.rejects.queue_full += 1;
+                let depth = core.queue.len() as u64;
+                shared.sink.emit(
+                    now,
+                    EventKind::RequestShed {
+                        id: trace_id,
+                        reason: policy.shed_reason().to_string(),
+                        queue_depth: depth,
+                    },
+                );
+                responses.push((conn.clone(), reject_response(request.id, Status::QueueFull)));
+            }
+            adaflow_serve::Admission::Displaced { victim, depth } => {
+                core.stats.shed += 1;
+                core.rejects.queue_full += 1;
+                shared.sink.emit(
+                    now,
+                    EventKind::RequestShed {
+                        id: victim.trace_id,
+                        reason: policy.shed_reason().to_string(),
+                        queue_depth: depth,
+                    },
+                );
+                shared.sink.emit(
+                    now,
+                    EventKind::RequestEnqueued {
+                        id: trace_id,
+                        device: 0,
+                        queue_depth: depth,
+                    },
+                );
+                responses.push((
+                    victim.conn.clone(),
+                    reject_response(victim.client_id, Status::QueueFull),
+                ));
+                shared.work.notify_all();
+            }
+        }
+    }
+    for (target, frame) in responses {
+        send_counted(shared, &target, &frame);
+    }
+}
+
+/// What the engine thread decided to do with the lock held.
+enum EngineStep {
+    /// Nothing due yet; the wait already happened inside the lock.
+    Idle,
+    /// Close and execute this batch (closed at `close_s`, oldest arrival
+    /// `oldest_s`).
+    Execute {
+        batch: Vec<Pending>,
+        close_s: f64,
+        oldest_s: f64,
+    },
+    /// Shutdown: these queued requests will never be served.
+    Drain(Vec<Pending>),
+    Exit,
+}
+
+fn engine_loop(shared: &SharedState, runner: &BatchRunner<'_>, model_name: &str) {
+    let serve = &shared.config.serve;
+    loop {
+        let step = {
+            let mut core = shared.core.lock().expect("core lock poisoned");
+            if shared.shutdown.load(Ordering::SeqCst) {
+                core.draining = true;
+                let leftovers = core.queue.take_batch(usize::MAX);
+                if leftovers.is_empty() {
+                    EngineStep::Exit
+                } else {
+                    EngineStep::Drain(leftovers)
+                }
+            } else if core.queue.is_empty() {
+                drop(
+                    shared
+                        .work
+                        .wait_timeout(core, shared.config.poll_interval)
+                        .expect("core lock poisoned"),
+                );
+                EngineStep::Idle
+            } else {
+                let now = shared.clock.now_s();
+                let oldest_s = core.queue.oldest_arrival_s().expect("nonempty queue");
+                let due_s = oldest_s + serve.max_wait_s;
+                if core.queue.len() >= serve.max_batch || now >= due_s {
+                    let batch = core.queue.take_batch(serve.max_batch);
+                    let close_s = shared.clock.now_s();
+                    core.stats.batches += 1;
+                    core.stats.batched_requests += batch.len() as u64;
+                    EngineStep::Execute {
+                        batch,
+                        close_s,
+                        oldest_s,
+                    }
+                } else {
+                    let wait = (due_s - now).clamp(0.0, 0.05);
+                    drop(
+                        shared
+                            .work
+                            .wait_timeout(core, Duration::from_secs_f64(wait))
+                            .expect("core lock poisoned"),
+                    );
+                    EngineStep::Idle
+                }
+            }
+        };
+        match step {
+            EngineStep::Idle => {}
+            EngineStep::Exit => break,
+            EngineStep::Drain(leftovers) => {
+                let now = shared.clock.now_s();
+                let mut core = shared.core.lock().expect("core lock poisoned");
+                core.stats.shed += leftovers.len() as u64;
+                core.rejects.shutting_down += leftovers.len() as u64;
+                drop(core);
+                for (i, pending) in leftovers.iter().enumerate() {
+                    shared.sink.emit(
+                        now,
+                        EventKind::RequestShed {
+                            id: pending.trace_id,
+                            reason: "shutting-down".to_string(),
+                            queue_depth: (leftovers.len() - 1 - i) as u64,
+                        },
+                    );
+                    send_counted(
+                        shared,
+                        &pending.conn,
+                        &reject_response(pending.client_id, Status::ShuttingDown),
+                    );
+                }
+                // Loop again: new arrivals racing the drain get rejected
+                // at admission; exit once the queue stays empty.
+            }
+            EngineStep::Execute {
+                batch,
+                close_s,
+                oldest_s,
+            } => {
+                shared.sink.emit(
+                    close_s,
+                    EventKind::BatchClosed {
+                        size: batch.len() as u64,
+                        oldest_wait_s: close_s - oldest_s,
+                        model: model_name.to_string(),
+                    },
+                );
+                execute_batch(shared, runner, &batch, close_s);
+            }
+        }
+    }
+}
+
+/// Runs one closed batch on the engine and settles every member.
+fn execute_batch(shared: &SharedState, runner: &BatchRunner<'_>, batch: &[Pending], close_s: f64) {
+    let inputs: Vec<Activations> = batch.iter().map(|p| p.input.clone()).collect();
+    let start_s = shared.clock.now_s();
+    let results = runner.run_full(&inputs);
+    let done_s = shared.clock.now_s();
+    match results {
+        Ok(results) => {
+            let service_s = done_s - start_s;
+            let mut responses: VecDeque<(Arc<Conn>, ResponseFrame)> =
+                VecDeque::with_capacity(batch.len());
+            {
+                let mut core = shared.core.lock().expect("core lock poisoned");
+                core.stats.busy_service_s += service_s;
+                for (pending, result) in batch.iter().zip(&results) {
+                    let queue_wait_s = (close_s - pending.arrival_s).max(0.0);
+                    let batch_wait_s = (start_s - close_s).max(0.0);
+                    let latency_s = (done_s - pending.arrival_s).max(0.0);
+                    let deadline_met = latency_s <= pending.budget_s;
+                    core.stats.completed += 1;
+                    core.stats.deadline_hits += u64::from(deadline_met);
+                    core.stats.queue_wait_sum_s += queue_wait_s;
+                    core.stats.batch_wait_sum_s += batch_wait_s;
+                    core.stats.service_sum_s += service_s;
+                    core.stats.latency_sum_s += latency_s;
+                    core.stats.accuracy_sum_pct += shared.config.accuracy_pct;
+                    core.latency.record(latency_s);
+                    let done = CompletedRequest {
+                        id: pending.trace_id,
+                        device: 0,
+                        arrival_s: pending.arrival_s,
+                        queue_wait_s,
+                        batch_wait_s,
+                        stall_s: 0.0,
+                        service_s,
+                        latency_s,
+                        deadline_met,
+                    };
+                    shared.sink.emit(
+                        done_s,
+                        EventKind::RequestCompleted {
+                            id: pending.trace_id,
+                            latency_s,
+                            deadline_met,
+                        },
+                    );
+                    emit_request_trace(&shared.sink, &done, 0, false);
+                    responses.push_back((
+                        pending.conn.clone(),
+                        ResponseFrame {
+                            id: pending.client_id,
+                            status: Status::Ok,
+                            label: result.label.min(usize::from(u16::MAX)) as u16,
+                            queue_us: to_us(queue_wait_s),
+                            service_us: to_us(service_s),
+                            latency_us: to_us(latency_s),
+                        },
+                    ));
+                }
+            }
+            for (conn, frame) in responses {
+                send_counted(shared, &conn, &frame);
+            }
+        }
+        Err(_) => {
+            // Inputs were shape-validated at admission, so an engine error
+            // here is exceptional; answer the whole batch as BadRequest so
+            // no client hangs, and keep conservation (count as shed).
+            let mut core = shared.core.lock().expect("core lock poisoned");
+            core.stats.shed += batch.len() as u64;
+            core.rejects.bad_request += batch.len() as u64;
+            drop(core);
+            for pending in batch {
+                send_counted(
+                    shared,
+                    &pending.conn,
+                    &reject_response(pending.client_id, Status::BadRequest),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn to_us_saturates_and_clamps() {
+        assert_eq!(to_us(-1.0), 0);
+        assert_eq!(to_us(0.5), 500_000);
+        assert_eq!(to_us(1e9), u32::MAX);
+    }
+
+    #[test]
+    fn reject_counts_total() {
+        let r = RejectCounts {
+            queue_full: 1,
+            deadline_infeasible: 2,
+            shutting_down: 3,
+            unknown_model: 4,
+            bad_request: 5,
+        };
+        assert_eq!(r.total(), 15);
+    }
+}

@@ -1,0 +1,82 @@
+//! Typed decode errors.
+//!
+//! Every way a byte stream can fail to be a valid frame maps to exactly one
+//! variant, so transports and tests can assert on the failure mode rather
+//! than on a message string. None of these are ever produced by panicking —
+//! the decoder is total over arbitrary input.
+
+use thiserror::Error;
+
+/// Why a byte sequence is not a valid frame.
+#[derive(Debug, Clone, PartialEq, Eq, Error)]
+pub enum ProtoError {
+    /// The first two bytes are not the protocol magic.
+    #[error("bad magic bytes {found:02x?} (expected {expected:02x?})")]
+    BadMagic {
+        /// The bytes found on the wire.
+        found: [u8; 2],
+        /// The expected magic.
+        expected: [u8; 2],
+    },
+
+    /// The header carries a protocol version this build does not speak.
+    #[error("unsupported protocol version {found} (this build speaks {supported})")]
+    UnsupportedVersion {
+        /// Version byte found in the header.
+        found: u8,
+        /// The version this build implements.
+        supported: u8,
+    },
+
+    /// The frame-type byte is not a known frame kind.
+    #[error("unknown frame type {0:#04x}")]
+    UnknownFrameType(u8),
+
+    /// The length prefix exceeds the protocol's payload cap — treated as a
+    /// protocol violation rather than an allocation request.
+    #[error("length prefix {len} exceeds the {max}-byte payload cap")]
+    Oversized {
+        /// Declared payload length.
+        len: u64,
+        /// The configured cap.
+        max: u64,
+    },
+
+    /// A complete-slice decode was handed fewer bytes than the frame needs
+    /// (incremental readers report this case as "no frame yet" instead).
+    #[error("truncated frame: need {needed} bytes, have {have}")]
+    Truncated {
+        /// Bytes required to finish the frame.
+        needed: usize,
+        /// Bytes available.
+        have: usize,
+    },
+
+    /// The payload ended before a field could be read, or its sections do
+    /// not tile the declared length.
+    #[error("malformed {frame} payload: {detail}")]
+    MalformedPayload {
+        /// Which frame kind was being decoded.
+        frame: &'static str,
+        /// What went wrong.
+        detail: String,
+    },
+
+    /// The model-id bytes are not valid UTF-8.
+    #[error("model id is not valid UTF-8")]
+    ModelNotUtf8,
+
+    /// A response carried a status code outside the catalog.
+    #[error("unknown status code {0}")]
+    UnknownStatus(u8),
+}
+
+impl ProtoError {
+    /// Builds a malformed-payload error.
+    pub(crate) fn payload(frame: &'static str, detail: impl Into<String>) -> Self {
+        ProtoError::MalformedPayload {
+            frame,
+            detail: detail.into(),
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Incremental frame extraction from a byte stream.
+//!
+//! [`FrameReader`] is the stream-side half of the protocol: a transport
+//! feeds it whatever chunks the socket yields — one byte at a time, a
+//! frame and a half, anything — and pulls out complete frames as they
+//! become available. Header fields are validated eagerly as soon as the
+//! first 8 bytes of a frame are buffered, so a hostile length prefix is
+//! rejected before any payload is accumulated.
+
+use crate::error::ProtoError;
+use crate::frame::{check_header, decode_payload, Frame, HEADER_LEN};
+
+/// Incremental decoder over an append-only byte stream.
+///
+/// Errors are *sticky*: once the stream desynchronizes (bad magic, wrong
+/// version, malformed payload…) every subsequent [`next_frame`] call
+/// returns the same error. There is no resynchronization heuristic — the
+/// correct response to a protocol violation is to drop the connection.
+///
+/// [`next_frame`]: FrameReader::next_frame
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+    /// Bytes of `buf` already consumed by returned frames.
+    consumed: usize,
+    /// First error encountered, replayed forever after.
+    poisoned: Option<ProtoError>,
+    frames_decoded: u64,
+}
+
+impl FrameReader {
+    /// Creates an empty reader.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends freshly received bytes to the internal buffer.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        if self.poisoned.is_some() {
+            return; // the connection is doomed; don't accumulate garbage
+        }
+        self.compact();
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Number of complete frames this reader has produced.
+    #[must_use]
+    pub fn frames_decoded(&self) -> u64 {
+        self.frames_decoded
+    }
+
+    /// Bytes currently buffered and not yet consumed by a frame.
+    #[must_use]
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len() - self.consumed
+    }
+
+    /// Tries to extract the next complete frame.
+    ///
+    /// Returns `Ok(None)` when the buffered bytes form only a prefix of a
+    /// frame (more input needed), `Ok(Some(frame))` when a complete frame
+    /// was decoded, and `Err` when the stream is not valid protocol. After
+    /// an error the reader is poisoned and returns the same error forever.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ProtoError`] other than `Truncated` (incompleteness is
+    /// reported as `Ok(None)` here, not as an error).
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, ProtoError> {
+        if let Some(err) = &self.poisoned {
+            return Err(err.clone());
+        }
+        let pending = &self.buf[self.consumed..];
+        if pending.len() < HEADER_LEN {
+            return Ok(None);
+        }
+        let header: [u8; HEADER_LEN] = pending[..HEADER_LEN].try_into().expect("sliced to length");
+        let (payload_len, frame_type) = match check_header(&header) {
+            Ok(v) => v,
+            Err(err) => return Err(self.poison(err)),
+        };
+        let total = HEADER_LEN + payload_len;
+        if pending.len() < total {
+            return Ok(None);
+        }
+        let frame = match decode_payload(frame_type, &pending[HEADER_LEN..total]) {
+            Ok(f) => f,
+            Err(err) => return Err(self.poison(err)),
+        };
+        self.consumed += total;
+        self.frames_decoded += 1;
+        self.compact();
+        Ok(Some(frame))
+    }
+
+    /// Whether a previous call has poisoned the reader.
+    #[must_use]
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.is_some()
+    }
+
+    fn poison(&mut self, err: ProtoError) -> ProtoError {
+        self.poisoned = Some(err.clone());
+        err
+    }
+
+    /// Drops consumed bytes once they dominate the buffer, keeping the
+    /// amortized cost of `feed` linear in bytes received.
+    fn compact(&mut self) {
+        if self.consumed > 0 && (self.consumed >= 4096 || self.consumed == self.buf.len()) {
+            self.buf.drain(..self.consumed);
+            self.consumed = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::{encode_frame, Frame, ResponseFrame, Status, MAGIC, VERSION};
+
+    fn sample() -> Frame {
+        Frame::Response(ResponseFrame {
+            id: 9,
+            status: Status::Ok,
+            label: 3,
+            queue_us: 10,
+            service_us: 20,
+            latency_us: 30,
+        })
+    }
+
+    #[test]
+    fn byte_at_a_time_still_decodes() {
+        let bytes = encode_frame(&sample());
+        let mut reader = FrameReader::new();
+        for (i, b) in bytes.iter().enumerate() {
+            reader.feed(&[*b]);
+            let got = reader.next_frame().expect("no error");
+            if i + 1 < bytes.len() {
+                assert!(got.is_none(), "frame surfaced early at byte {i}");
+            } else {
+                assert_eq!(got, Some(sample()));
+            }
+        }
+        assert_eq!(reader.pending_bytes(), 0);
+        assert_eq!(reader.frames_decoded(), 1);
+    }
+
+    #[test]
+    fn back_to_back_frames_in_one_feed() {
+        let mut bytes = encode_frame(&sample());
+        bytes.extend_from_slice(&encode_frame(&sample()));
+        let mut reader = FrameReader::new();
+        reader.feed(&bytes);
+        assert_eq!(reader.next_frame().unwrap(), Some(sample()));
+        assert_eq!(reader.next_frame().unwrap(), Some(sample()));
+        assert_eq!(reader.next_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn errors_are_sticky() {
+        let mut reader = FrameReader::new();
+        reader.feed(&[0xFF; 16]);
+        let first = reader.next_frame().unwrap_err();
+        assert!(matches!(first, ProtoError::BadMagic { .. }));
+        // Even valid bytes afterwards don't resynchronize the stream.
+        reader.feed(&encode_frame(&sample()));
+        assert_eq!(reader.next_frame().unwrap_err(), first);
+        assert!(reader.is_poisoned());
+    }
+
+    #[test]
+    fn oversized_prefix_rejected_before_payload_arrives() {
+        let mut header = Vec::new();
+        header.extend_from_slice(&MAGIC);
+        header.push(VERSION);
+        header.push(2);
+        header.extend_from_slice(&u32::MAX.to_le_bytes());
+        let mut reader = FrameReader::new();
+        reader.feed(&header);
+        assert!(matches!(
+            reader.next_frame(),
+            Err(ProtoError::Oversized { .. })
+        ));
+    }
+
+    #[test]
+    fn compaction_keeps_buffer_bounded() {
+        let bytes = encode_frame(&sample());
+        let mut reader = FrameReader::new();
+        for _ in 0..1_000 {
+            reader.feed(&bytes);
+            assert!(reader.next_frame().unwrap().is_some());
+        }
+        assert_eq!(reader.pending_bytes(), 0);
+        assert!(reader.buf.len() < 8192, "buffer grew without bound");
+    }
+}

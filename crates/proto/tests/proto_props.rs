@@ -1,0 +1,224 @@
+//! Property tests over the wire protocol (ISSUE 9 satellite 1).
+//!
+//! Four families: encode/decode round-trips, incremental parsing across
+//! arbitrary split points, and typed (never panicking) rejection of
+//! garbage, truncated, wrong-version and oversized input.
+
+use adaflow_proto::{
+    decode_frame, encode_frame, Frame, FrameReader, ProtoError, RequestFrame, ResponseFrame,
+    Status, HEADER_LEN, MAGIC, VERSION,
+};
+use proptest::prelude::*;
+
+const MODEL_NAMES: [&str; 5] = ["cnv-w2a2", "cnv-w1a2", "lenet-w2a2", "tiny-w2a2", ""];
+
+fn build_request(
+    id: u64,
+    deadline_us: u64,
+    model_idx: usize,
+    dims: (u16, u16, u16),
+    fill: u8,
+) -> Frame {
+    let (channels, height, width) = dims;
+    let elements = usize::from(channels) * usize::from(height) * usize::from(width);
+    Frame::Request(RequestFrame {
+        id,
+        deadline_us,
+        model: MODEL_NAMES[model_idx % MODEL_NAMES.len()].to_string(),
+        channels,
+        height,
+        width,
+        data: (0..elements)
+            .map(|i| (i as u8).wrapping_add(fill))
+            .collect(),
+    })
+}
+
+fn build_response(id: u64, status_idx: usize, label: u16, times: (u32, u32, u32)) -> Frame {
+    Frame::Response(ResponseFrame {
+        id,
+        status: Status::ALL[status_idx % Status::ALL.len()],
+        label,
+        queue_us: times.0,
+        service_us: times.1,
+        latency_us: times.2,
+    })
+}
+
+/// Splits `bytes` into chunks whose boundaries are driven by `cuts`, then
+/// feeds them through a `FrameReader` and returns every decoded frame.
+fn feed_in_chunks(bytes: &[u8], cuts: &[usize]) -> Vec<Frame> {
+    let mut reader = FrameReader::new();
+    let mut frames = Vec::new();
+    let mut pos = 0;
+    let mut cut_iter = cuts.iter().cycle();
+    while pos < bytes.len() {
+        let step = 1 + cut_iter.next().copied().unwrap_or(0) % 97;
+        let end = (pos + step).min(bytes.len());
+        reader.feed(&bytes[pos..end]);
+        pos = end;
+        while let Some(frame) = reader.next_frame().expect("valid stream never errors") {
+            frames.push(frame);
+        }
+    }
+    assert_eq!(reader.pending_bytes(), 0, "stream must drain exactly");
+    frames
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every well-formed request survives encode → decode unchanged, and
+    /// the decoder consumes exactly the encoded length.
+    #[test]
+    fn request_round_trip(
+        id in 0u64..=u64::MAX,
+        deadline_us in 0u64..10_000_000,
+        model_idx in 0usize..5,
+        c in 0u16..8,
+        h in 0u16..40,
+        w in 0u16..40,
+        fill in 0u8..=255,
+    ) {
+        let frame = build_request(id, deadline_us, model_idx, (c, h, w), fill);
+        let bytes = encode_frame(&frame);
+        let (decoded, consumed) = decode_frame(&bytes).expect("round trip");
+        prop_assert_eq!(decoded, frame);
+        prop_assert_eq!(consumed, bytes.len());
+    }
+
+    /// Every well-formed response round-trips, across all status codes.
+    #[test]
+    fn response_round_trip(
+        id in 0u64..=u64::MAX,
+        status_idx in 0usize..6,
+        label in 0u16..=u16::MAX,
+        queue_us in 0u32..=u32::MAX,
+        service_us in 0u32..=u32::MAX,
+        latency_us in 0u32..=u32::MAX,
+    ) {
+        let frame = build_response(id, status_idx, label, (queue_us, service_us, latency_us));
+        let bytes = encode_frame(&frame);
+        let (decoded, consumed) = decode_frame(&bytes).expect("round trip");
+        prop_assert_eq!(decoded, frame);
+        prop_assert_eq!(consumed, bytes.len());
+    }
+
+    /// A multi-frame stream chopped at arbitrary points yields exactly the
+    /// original frames, in order, regardless of how the chunks land.
+    #[test]
+    fn incremental_parse_any_split(
+        ids in proptest::collection::vec(0u64..1_000_000, 1..8),
+        cuts in proptest::collection::vec(0usize..97, 1..32),
+        mix in 0usize..6,
+    ) {
+        let frames: Vec<Frame> = ids
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| {
+                if (i + mix) % 2 == 0 {
+                    build_request(id, 0, i, (1, 4, 4), id as u8)
+                } else {
+                    build_response(id, i, (id % 10) as u16, (1, 2, 3))
+                }
+            })
+            .collect();
+        let stream: Vec<u8> = frames.iter().flat_map(encode_frame).collect();
+        let decoded = feed_in_chunks(&stream, &cuts);
+        prop_assert_eq!(decoded, frames);
+    }
+
+    /// Arbitrary garbage never panics the slice decoder: it either reports
+    /// a typed error or (when the bytes happen to spell a valid header)
+    /// truncation/structured failure. The reader likewise never panics and
+    /// never fabricates a frame out of bytes that don't start with magic.
+    #[test]
+    fn garbage_never_panics(
+        junk in proptest::collection::vec(0u8..=255, 0..256),
+    ) {
+        // Slice decoder: total over arbitrary input.
+        let _ = decode_frame(&junk);
+        // Incremental reader: same contract.
+        let mut reader = FrameReader::new();
+        reader.feed(&junk);
+        let drained = std::iter::from_fn(|| reader.next_frame().ok().flatten()).count();
+        // A frame can only emerge if the stream really started with magic.
+        if junk.len() >= 2 && [junk[0], junk[1]] != MAGIC {
+            prop_assert_eq!(drained, 0);
+            prop_assert!(reader.is_poisoned());
+        }
+    }
+
+    /// Any strict prefix of a valid frame is `Truncated` for the slice
+    /// decoder and "no frame yet" for the reader — never an error, never a
+    /// partial frame.
+    #[test]
+    fn truncation_is_detected(
+        id in 0u64..=u64::MAX,
+        keep_num in 0usize..=1_000,
+    ) {
+        let bytes = encode_frame(&build_request(id, 99, 0, (1, 3, 3), 7));
+        let keep = keep_num * (bytes.len() - 1) / 1_000;
+        let err = decode_frame(&bytes[..keep]).expect_err("prefix cannot decode");
+        prop_assert!(matches!(err, ProtoError::Truncated { .. }));
+
+        let mut reader = FrameReader::new();
+        reader.feed(&bytes[..keep]);
+        prop_assert_eq!(reader.next_frame().expect("prefix is not an error"), None);
+        // Completing the stream then yields the frame intact.
+        reader.feed(&bytes[keep..]);
+        prop_assert!(reader.next_frame().expect("completes").is_some());
+    }
+
+    /// Wrong-version headers are rejected with the typed error for every
+    /// possible foreign version byte.
+    #[test]
+    fn wrong_version_rejected(version in 0u8..=255) {
+        prop_assume!(version != VERSION);
+        let mut bytes = encode_frame(&build_response(1, 0, 0, (0, 0, 0)));
+        bytes[2] = version;
+        prop_assert_eq!(
+            decode_frame(&bytes),
+            Err(ProtoError::UnsupportedVersion { found: version, supported: VERSION })
+        );
+        let mut reader = FrameReader::new();
+        reader.feed(&bytes);
+        prop_assert!(matches!(
+            reader.next_frame(),
+            Err(ProtoError::UnsupportedVersion { .. })
+        ));
+    }
+
+    /// Length prefixes beyond the payload cap are rejected from the header
+    /// alone — before any payload is buffered or allocated.
+    #[test]
+    fn oversized_prefix_rejected(extra in 1u64..=u64::from(u32::MAX) - (1 << 20)) {
+        let len = (1u64 << 20) + extra;
+        let mut header = Vec::with_capacity(HEADER_LEN);
+        header.extend_from_slice(&MAGIC);
+        header.push(VERSION);
+        header.push(1);
+        header.extend_from_slice(&(len as u32).to_le_bytes());
+        let err = decode_frame(&header).expect_err("must reject");
+        prop_assert_eq!(err, ProtoError::Oversized { len, max: 1 << 20 });
+        let mut reader = FrameReader::new();
+        reader.feed(&header);
+        prop_assert!(matches!(reader.next_frame(), Err(ProtoError::Oversized { .. })));
+    }
+
+    /// Corrupting any single byte of a valid frame either still decodes
+    /// (the byte was free data like the id) or fails with a typed error —
+    /// it never panics and never decodes to the original frame plus noise
+    /// in the structural fields.
+    #[test]
+    fn single_byte_corruption_is_safe(
+        pos_num in 0usize..=1_000,
+        delta in 1u8..=255,
+    ) {
+        let frame = build_request(77, 500, 0, (1, 2, 2), 9);
+        let mut bytes = encode_frame(&frame);
+        let pos = pos_num * (bytes.len() - 1) / 1_000;
+        bytes[pos] ^= delta;
+        let _ = decode_frame(&bytes); // must not panic, outcome may vary
+    }
+}

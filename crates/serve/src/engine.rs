@@ -203,31 +203,7 @@ impl ServeEngine {
             "every batched request completes"
         );
 
-        let completed_f = stats.completed as f64;
-        let arrived_f = stats.arrived as f64;
-        ServeSummary {
-            policy: policy.name().to_string(),
-            arrived: arrived_f,
-            completed: completed_f,
-            shed: stats.shed as f64,
-            deadline_hits: stats.deadline_hits as f64,
-            deadline_hit_pct: 100.0 * stats.deadline_hits as f64 / arrived_f.max(1.0),
-            shed_pct: 100.0 * stats.shed as f64 / arrived_f.max(1.0),
-            latency_mean_s: stats.latency_sum_s / completed_f.max(1.0),
-            latency_p50_s: latency.p50(),
-            latency_p95_s: latency.p95(),
-            latency_p99_s: latency.p99(),
-            queue_wait_mean_s: stats.queue_wait_sum_s / completed_f.max(1.0),
-            batch_wait_mean_s: stats.batch_wait_sum_s / completed_f.max(1.0),
-            service_mean_s: stats.service_sum_s / completed_f.max(1.0),
-            batches: stats.batches as f64,
-            mean_batch_size: stats.batched_requests as f64 / (stats.batches as f64).max(1.0),
-            model_switches: stats.model_switches as f64,
-            flexible_switches: stats.flexible_switches as f64,
-            reconfigurations: stats.reconfigurations as f64,
-            stall_total_s: stats.stall_total_s,
-            mean_accuracy_pct: stats.accuracy_sum_pct / completed_f.max(1.0),
-        }
+        ServeSummary::from_device(policy.name(), &stats, &latency)
     }
 }
 

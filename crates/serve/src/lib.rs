@@ -67,7 +67,7 @@ pub use device::{BatchClose, DeviceCore, DeviceStats};
 pub use engine::ServeEngine;
 pub use experiment::ServeExperiment;
 pub use policy::{AdaFlowServePolicy, FixedMaxPolicy, FlexibleOnlyPolicy, ServePolicy};
-pub use queue::{Admission, AdmissionQueue, OverflowPolicy};
+pub use queue::{Admission, AdmissionQueue, Arriving, OverflowPolicy};
 pub use request::{CompletedRequest, Request};
 pub use summary::ServeSummary;
 pub use tracing::{emit_request_trace, emit_request_traces};
@@ -80,7 +80,7 @@ pub mod prelude {
     pub use crate::engine::ServeEngine;
     pub use crate::experiment::ServeExperiment;
     pub use crate::policy::{AdaFlowServePolicy, FixedMaxPolicy, FlexibleOnlyPolicy, ServePolicy};
-    pub use crate::queue::{Admission, AdmissionQueue, OverflowPolicy};
+    pub use crate::queue::{Admission, AdmissionQueue, Arriving, OverflowPolicy};
     pub use crate::request::{CompletedRequest, Request};
     pub use crate::summary::ServeSummary;
     pub use crate::tracing::{emit_request_trace, emit_request_traces};

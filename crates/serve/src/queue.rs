@@ -15,6 +15,20 @@ use crate::request::Request;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
+/// Anything the queue can admit: all it needs from an item is its arrival
+/// instant (seconds on whichever clock the caller runs — simulated time in
+/// the DES, wall-clock-since-epoch in the live server).
+pub trait Arriving {
+    /// Arrival instant in seconds.
+    fn arrival_s(&self) -> f64;
+}
+
+impl Arriving for Request {
+    fn arrival_s(&self) -> f64 {
+        self.arrival_s
+    }
+}
+
 /// What to do with an arrival when the queue is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum OverflowPolicy {
@@ -52,7 +66,7 @@ impl OverflowPolicy {
 
 /// Outcome of offering one request to the queue.
 #[derive(Debug, Clone, PartialEq)]
-pub enum Admission {
+pub enum Admission<T = Request> {
     /// Admitted; `depth` is the occupancy after the push.
     Enqueued {
         /// Queue occupancy after admission.
@@ -64,21 +78,26 @@ pub enum Admission {
     /// admitted.
     Displaced {
         /// The evicted request.
-        victim: Request,
+        victim: T,
         /// Queue occupancy after eviction and admission.
         depth: u64,
     },
 }
 
 /// The bounded admission queue.
+///
+/// Generic over the queued item so the DES (which queues the lightweight
+/// [`Request`]) and the live TCP server (which queues decoded wire requests
+/// with their response plumbing attached) share one admission policy
+/// implementation — the overflow semantics are identical by construction.
 #[derive(Debug, Clone)]
-pub struct AdmissionQueue {
+pub struct AdmissionQueue<T: Arriving = Request> {
     capacity: usize,
     policy: OverflowPolicy,
-    items: VecDeque<Request>,
+    items: VecDeque<T>,
 }
 
-impl AdmissionQueue {
+impl<T: Arriving> AdmissionQueue<T> {
     /// Creates an empty queue.
     ///
     /// A `capacity` of zero is legal and degenerate: every offer is
@@ -96,7 +115,7 @@ impl AdmissionQueue {
     }
 
     /// Offers one request, resolving overflow per the policy.
-    pub fn offer(&mut self, request: Request) -> Admission {
+    pub fn offer(&mut self, request: T) -> Admission<T> {
         if self.items.len() < self.capacity {
             self.items.push_back(request);
             return Admission::Enqueued {
@@ -131,7 +150,7 @@ impl AdmissionQueue {
 
     /// Removes and returns up to `max` requests from the front, in FIFO
     /// order.
-    pub fn take_batch(&mut self, max: usize) -> Vec<Request> {
+    pub fn take_batch(&mut self, max: usize) -> Vec<T> {
         let n = self.items.len().min(max);
         self.items.drain(..n).collect()
     }
@@ -139,7 +158,7 @@ impl AdmissionQueue {
     /// Arrival instant of the oldest queued request, if any.
     #[must_use]
     pub fn oldest_arrival_s(&self) -> Option<f64> {
-        self.items.front().map(|r| r.arrival_s)
+        self.items.front().map(Arriving::arrival_s)
     }
 
     /// Current occupancy.

@@ -44,7 +44,7 @@ pub use export::{
 };
 pub use histogram::LogHistogram;
 pub use metrics::{MetricsRegistry, RegistryConfig, RegistrySink, WindowStats};
-pub use sink::{NullSink, Recorder, SinkHandle, TelemetrySink};
+pub use sink::{Fanout, NullSink, Recorder, SinkHandle, TelemetrySink};
 pub use slo::{Objective, SloConfig, SloEngine, SloReport, WindowBurn};
 pub use span::{SpanRecord, Stage, TraceBuilder};
 pub use trace::{SpanId, Trace, TraceError, TraceForest, TraceId};

@@ -142,6 +142,54 @@ impl fmt::Debug for Recorder {
     }
 }
 
+/// Replicates every event to several downstream sinks.
+///
+/// The live server uses this to feed one emission stream into both a
+/// [`Recorder`] (for post-run waterfall/trace exports) and a
+/// `RegistrySink` (for live Prometheus metrics) without instrumented code
+/// knowing there are two consumers. Disabled members are skipped per
+/// event; the fanout itself is enabled iff any member is.
+pub struct Fanout {
+    members: Vec<SinkHandle>,
+}
+
+impl Fanout {
+    /// Builds a fanout over `members` (empty is legal — acts like null).
+    #[must_use]
+    pub fn new(members: Vec<SinkHandle>) -> Self {
+        Fanout { members }
+    }
+}
+
+impl TelemetrySink for Fanout {
+    fn enabled(&self) -> bool {
+        self.members.iter().any(SinkHandle::enabled)
+    }
+
+    fn record(&self, event: Event) {
+        let mut live = self.members.iter().filter(|m| m.enabled());
+        let Some(first) = live.next() else { return };
+        let rest: Vec<&SinkHandle> = live.collect();
+        // The common case is a single live member; avoid cloning for it.
+        if rest.is_empty() {
+            first.0.record(event);
+        } else {
+            for member in &rest {
+                member.0.record(event.clone());
+            }
+            first.0.record(event);
+        }
+    }
+}
+
+impl fmt::Debug for Fanout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Fanout")
+            .field("members", &self.members.len())
+            .finish()
+    }
+}
+
 /// A shared, cloneable handle to a sink.
 ///
 /// Wrapping the `Arc<dyn TelemetrySink>` in a newtype gives it `Debug`,
@@ -168,6 +216,12 @@ impl SinkHandle {
     pub fn recorder(capacity: usize) -> (Self, Arc<Recorder>) {
         let recorder = Recorder::new(capacity);
         (SinkHandle(recorder.clone()), recorder)
+    }
+
+    /// A handle that replicates every event to all of `members`.
+    #[must_use]
+    pub fn fanout(members: Vec<SinkHandle>) -> Self {
+        SinkHandle(Arc::new(Fanout::new(members)))
     }
 
     /// Whether emitting through this handle stores anything.
@@ -272,6 +326,28 @@ mod tests {
         assert_eq!(drained.len(), 2);
         assert!(recorder.is_empty());
         assert!(recorder.events().is_empty());
+    }
+
+    #[test]
+    fn fanout_replicates_to_every_live_member() {
+        let (a, rec_a) = SinkHandle::recorder(8);
+        let (b, rec_b) = SinkHandle::recorder(8);
+        let fan = SinkHandle::fanout(vec![a, SinkHandle::null(), b]);
+        assert!(fan.enabled());
+        fan.emit(1.0, depth(2.0));
+        fan.emit(2.0, depth(3.0));
+        assert_eq!(rec_a.len(), 2);
+        assert_eq!(rec_b.len(), 2);
+        assert_eq!(rec_a.events()[0].t_s, rec_b.events()[0].t_s);
+    }
+
+    #[test]
+    fn fanout_of_disabled_members_is_disabled() {
+        let fan = SinkHandle::fanout(vec![SinkHandle::null(), SinkHandle::null()]);
+        assert!(!fan.enabled());
+        fan.emit(0.0, depth(1.0));
+        let empty = SinkHandle::fanout(Vec::new());
+        assert!(!empty.enabled());
     }
 
     #[test]
