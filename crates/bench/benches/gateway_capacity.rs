@@ -1,0 +1,156 @@
+//! Criterion bench: closed-loop capacity through the `adaflow-gateway`
+//! routing tier over two live backends, against a direct single-backend
+//! baseline — the measured cost (and win) of the extra hop.
+//!
+//! Set `ADAFLOW_BENCH_SMOKE=1` for a fast configuration (tiny model,
+//! few requests, tight measurement window) — used as the CI smoke check.
+//! The default full mode serves CNV-W2A2 shapes and sweeps the offered
+//! concurrency, tracing the gateway's capacity curve.
+
+use adaflow_gateway::{Gateway, GatewayConfig, GatewayHandle, WarmupSpec};
+use adaflow_model::{topology, QuantSpec};
+use adaflow_net::{run_load, LiveConfig, LiveServer, LoadConfig, ServerHandle};
+use adaflow_telemetry::SinkHandle;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn smoke_mode() -> bool {
+    std::env::var("ADAFLOW_BENCH_SMOKE").is_ok_and(|v| v == "1")
+}
+
+/// Shuts the gateway and backends down even when a bench assertion
+/// panics — otherwise `thread::scope` would wait forever on server
+/// threads that nobody asked to stop.
+struct ShutdownGuard {
+    gateway: GatewayHandle,
+    backends: Vec<ServerHandle>,
+}
+
+impl Drop for ShutdownGuard {
+    fn drop(&mut self) {
+        self.gateway.shutdown();
+        for handle in &self.backends {
+            handle.shutdown();
+        }
+    }
+}
+
+fn bench_gateway(c: &mut Criterion) {
+    let smoke = smoke_mode();
+    let tag = if smoke { "smoke" } else { "paper" };
+    let graph = if smoke {
+        topology::tiny(QuantSpec::w2a2(), 10).expect("builds")
+    } else {
+        topology::cnv(QuantSpec::w2a2(), 10)
+            .build()
+            .expect("builds")
+    };
+    let requests: u64 = if smoke { 8 } else { 64 };
+    // Closed-loop concurrency sweep: each point drives K parallel
+    // connections through the gateway.
+    let sweep: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4, 8] };
+    let shape = graph.input_shape();
+
+    let backend_config = || LiveConfig {
+        model_id: "bench".to_string(),
+        ..LiveConfig::default()
+    };
+    let b0 = LiveServer::bind("127.0.0.1:0", &graph, backend_config(), SinkHandle::null())
+        .expect("binds");
+    let b1 = LiveServer::bind("127.0.0.1:0", &graph, backend_config(), SinkHandle::null())
+        .expect("binds");
+    let backends = [
+        b0.local_addr().expect("addr"),
+        b1.local_addr().expect("addr"),
+    ];
+    let (h0, h1) = (b0.handle(), b1.handle());
+
+    let gateway = Gateway::bind(
+        "127.0.0.1:0",
+        &backends,
+        GatewayConfig {
+            model_id: "bench".to_string(),
+            warmup: Some(WarmupSpec {
+                model: "bench".to_string(),
+                channels: shape.channels as u16,
+                height: shape.height as u16,
+                width: shape.width as u16,
+                iters: 2,
+            }),
+            ..GatewayConfig::default()
+        },
+        SinkHandle::null(),
+    )
+    .expect("binds");
+    let front = gateway.local_addr().expect("addr");
+    let gh = gateway.handle();
+
+    std::thread::scope(|scope| {
+        let bt0 = scope.spawn(move || b0.run());
+        let bt1 = scope.spawn(move || b1.run());
+        let gt = scope.spawn(move || gateway.run());
+        let guard = ShutdownGuard {
+            gateway: gh,
+            backends: vec![h0, h1],
+        };
+
+        // Baseline: the same closed loop straight at one backend.
+        c.bench_function(&format!("direct_1backend_{requests}req_{tag}"), |b| {
+            b.iter(|| {
+                let load = LoadConfig::closed(backends[0], "bench", shape, black_box(requests));
+                let summary = run_load(&load);
+                assert_eq!(summary.ok, requests, "every request served: {summary:?}");
+                summary.throughput_rps
+            });
+        });
+
+        for &conns in sweep {
+            // Closed-loop `requests` is per connection: K connections
+            // each drive their own request chain.
+            let expected = requests * conns as u64;
+            c.bench_function(
+                &format!("gateway_2backends_{conns}conn_{requests}req_{tag}"),
+                |b| {
+                    b.iter(|| {
+                        let mut load =
+                            LoadConfig::closed(front, "bench", shape, black_box(requests));
+                        load.connections = conns;
+                        let summary = run_load(&load);
+                        assert_eq!(summary.ok, expected, "every request served: {summary:?}");
+                        summary.throughput_rps
+                    });
+                },
+            );
+        }
+
+        // Ordering matters on the happy path: drain the gateway fully
+        // before the backends go away, or its workers would see the
+        // connection drop and record a spurious ejection.
+        guard.gateway.shutdown();
+        let report = gt.join().expect("gateway thread").expect("clean shutdown");
+        assert!(report.conservation_holds());
+        assert_eq!(report.protocol_errors, 0);
+        assert!(report.backends.iter().all(|b| b.healthy_at_exit));
+
+        drop(guard);
+        bt0.join().expect("backend thread").expect("clean shutdown");
+        bt1.join().expect("backend thread").expect("clean shutdown");
+    });
+}
+
+criterion_group! {
+    name = benches;
+    // Each iteration is a full closed-loop batch over real sockets; keep
+    // sampling CI-friendly, and tighter still in smoke mode.
+    config = {
+        let c = Criterion::default().sample_size(10);
+        if smoke_mode() {
+            c.measurement_time(Duration::from_millis(400))
+                .warm_up_time(Duration::from_millis(100))
+        } else {
+            c
+        }
+    };
+    targets = bench_gateway
+}
+criterion_main!(benches);

@@ -57,6 +57,8 @@ fn run(args: &[String]) -> Result<(), String> {
         "serve-live" => cmd_serve_live(&flags),
         "load" => cmd_load(&flags),
         "soak" => cmd_soak(&flags),
+        "gateway" => cmd_gateway(&flags),
+        "gateway-soak" => cmd_gateway_soak(&flags),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
@@ -103,6 +105,15 @@ fn usage() -> String {
      \x20 soak     [--model <name>] [--rate-fps F] [--duration-s N] [--connections N]\n\
      \x20          [--min-hit-pct P] [--seed N]     in-process server + load soak with\n\
      \x20          hard floors (zero protocol errors, hit-rate, clean shutdown) — CI gate\n\
+     \x20 gateway  --model <name> --backends h:p,h:p,.. [--addr host:port] [--router rr|jsq|p2c|deadline]\n\
+     \x20          [--retry-budget N] [--warmup-iters N] [--duration-s N] [--seed N]\n\
+     \x20          [--format text|json] [--out prefix]  live routing tier over running\n\
+     \x20          serve-live backends (verify-gated at startup)\n\
+     \x20 gateway-soak [--model <name>] [--backends N] [--router r] [--rate-fps F] [--duration-s N]\n\
+     \x20          [--connections N] [--min-hit-pct P] [--failover 1] [--hetero 1]\n\
+     \x20          [--load-deadline-ms N] [--seed N]\n\
+     \x20          in-process backends + gateway + open-loop load with hard floors; --failover 1\n\
+     \x20          kills backend 0 at t/3, restarts it at 2t/3, and requires ejection+readmission\n\
      models: cnv-w2a2, cnv-w1a2, lenet-w2a2, lenet-w1a2, tiny-w2a2; datasets: cifar10, gtsrb"
         .to_string()
 }
@@ -1529,6 +1540,412 @@ fn cmd_soak(flags: &HashMap<String, String>) -> Result<(), String> {
         Ok(())
     } else {
         Err(format!("soak FAILED: {}", failures.join("; ")))
+    }
+}
+
+fn parse_router_flag(flags: &HashMap<String, String>) -> Result<adaflow_fleet::RouterKind, String> {
+    let name = flags.get("router").map_or("deadline", String::as_str);
+    adaflow_fleet::RouterKind::parse(name)
+        .ok_or_else(|| format!("unknown --router `{name}` (rr | jsq | p2c | deadline)"))
+}
+
+fn gateway_warmup(
+    model: &str,
+    shape: adaflow_model::TensorShape,
+    iters: u32,
+) -> Option<adaflow_gateway::WarmupSpec> {
+    (iters > 0).then(|| adaflow_gateway::WarmupSpec {
+        model: model.to_string(),
+        channels: shape.channels as u16,
+        height: shape.height as u16,
+        width: shape.width as u16,
+        iters,
+    })
+}
+
+fn print_gateway_report(
+    report: &adaflow_gateway::GatewayReport,
+    format: &str,
+) -> Result<(), String> {
+    if format == "json" {
+        println!(
+            "{}",
+            serde_json::to_string(report).map_err(|e| e.to_string())?
+        );
+        return Ok(());
+    }
+    println!(
+        "gateway: {} received over {:.1} s — {} ok, {} rejected, {} retries ({} router)",
+        report.received,
+        report.duration_s,
+        report.answered_ok,
+        report.rejects.total(),
+        report.retries,
+        report.router
+    );
+    let r = &report.rejects;
+    println!(
+        "  rejects: queue-full {}, deadline-infeasible {}, shutting-down {} ({} with no backend), \
+         unknown-model {}, bad-request {}",
+        r.queue_full,
+        r.deadline_infeasible,
+        r.shutting_down,
+        report.no_backend,
+        r.unknown_model,
+        r.bad_request
+    );
+    println!(
+        "  wire: {} connection(s), {} protocol error(s), {} send error(s)",
+        report.connections, report.protocol_errors, report.send_errors
+    );
+    for (idx, b) in report.backends.iter().enumerate() {
+        println!(
+            "  backend[{idx}] {}: {} routed, {} ok, {} retryable, {} ejection(s), \
+             {} readmission(s), floor {:.2} ms, rtt p50 {:.1} ms / p95 {:.1} ms / p99 {:.1} ms{}",
+            b.addr,
+            b.routed,
+            b.ok,
+            b.retryable,
+            b.ejections,
+            b.readmissions,
+            b.floor_s * 1e3,
+            b.rtt_p50_s * 1e3,
+            b.rtt_p95_s * 1e3,
+            b.rtt_p99_s * 1e3,
+            if b.healthy_at_exit { "" } else { " [ejected]" }
+        );
+    }
+    Ok(())
+}
+
+/// Live routing tier over already-running `serve-live` backends.
+fn cmd_gateway(flags: &HashMap<String, String>) -> Result<(), String> {
+    use adaflow_gateway::{Gateway, GatewayConfig};
+    use adaflow_net::preflight;
+    use adaflow_verify::Severity;
+
+    let model_name = required(flags, "model")?.to_string();
+    let graph = build_model(&model_name, None)?;
+    let serve = parse_serve_knobs(flags)?;
+    let lint = parse_lint_flags(flags);
+    let nominal_fps: f64 = parse_num(flags, "nominal-fps", 100.0)?;
+    let duration_s: f64 = parse_num(flags, "duration-s", 0.0)?;
+    let retry_budget: u32 = parse_num(flags, "retry-budget", 1)?;
+    let warmup_iters: u32 = parse_num(flags, "warmup-iters", 3)?;
+    let seed: u64 = parse_num(flags, "seed", 7)?;
+    let addr = flags.get("addr").map_or("127.0.0.1:7979", String::as_str);
+    let format = flags.get("format").map_or("text", String::as_str);
+    if !matches!(format, "text" | "json") {
+        return Err(format!("unknown --format `{format}` (text | json)"));
+    }
+    let backends_flag = required(flags, "backends")?;
+    let backends: Vec<std::net::SocketAddr> = backends_flag
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            s.parse()
+                .map_err(|e| format!("bad backend address `{s}`: {e}"))
+        })
+        .collect::<Result<_, _>>()?;
+
+    // Same hard gate as serve-live: the routing tier refuses to front a
+    // model/serve configuration the verifier rejects.
+    let report = preflight(&graph, &serve, nominal_fps, 0.0, &lint).map_err(|e| e.to_string())?;
+    if format == "text" && report.count(Severity::Warn) > 0 {
+        print!("{report}");
+    }
+
+    let config = GatewayConfig {
+        model_id: model_name.clone(),
+        router: parse_router_flag(flags)?,
+        seed,
+        retry_budget,
+        warmup: gateway_warmup(&model_name, graph.input_shape(), warmup_iters),
+        ..GatewayConfig::default()
+    };
+    let (sink, recorder) = SinkHandle::recorder(1 << 18);
+    let gateway = Gateway::bind(addr, &backends, config, sink).map_err(|e| e.to_string())?;
+    let bound = gateway.local_addr().map_err(|e| e.to_string())?;
+    let handle = gateway.handle();
+
+    if format == "text" {
+        println!(
+            "gateway for {model_name} on {bound}: {} backend(s), retry budget {retry_budget}{}",
+            backends.len(),
+            if duration_s > 0.0 {
+                format!(", for {duration_s:.0} s")
+            } else {
+                String::new()
+            }
+        );
+    }
+    if duration_s > 0.0 {
+        let timer = handle.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_secs_f64(duration_s));
+            timer.shutdown();
+        });
+    }
+
+    let report = gateway.run().map_err(|e| e.to_string())?;
+    print_gateway_report(&report, format)?;
+
+    if let Some(prefix) = flags.get("out") {
+        let events = recorder.drain();
+        let trace_summary = TraceSummary::from_events(&events);
+        let write = |suffix: &str, contents: String| -> Result<(), String> {
+            let path = format!("{prefix}.{suffix}");
+            std::fs::write(&path, &contents).map_err(|e| format!("writing {path}: {e}"))?;
+            if format == "text" {
+                println!("  wrote {path} ({} bytes)", contents.len());
+            }
+            Ok(())
+        };
+        write("trace.json", chrome_trace_json(&events))?;
+        write("jsonl", events_to_jsonl(&events))?;
+        write("prom", to_prometheus(&trace_summary))?;
+        write(
+            "report.json",
+            serde_json::to_string(&report).map_err(|e| e.to_string())?,
+        )?;
+    }
+    Ok(())
+}
+
+/// In-process backends + gateway + seeded open-loop load with hard
+/// pass/fail floors — the CI gate for the routing tier. With
+/// `--failover 1`, backend 0 is killed a third of the way in and
+/// restarted at two thirds; the run then also requires at least one
+/// ejection and one readmission.
+fn cmd_gateway_soak(flags: &HashMap<String, String>) -> Result<(), String> {
+    use adaflow_gateway::{Gateway, GatewayConfig};
+    use adaflow_net::{preflight, run_load, LiveConfig, LiveServer, LoadConfig, LoadMode};
+    use std::time::Instant;
+
+    let model_name = flags
+        .get("model")
+        .map_or("tiny-w2a2", String::as_str)
+        .to_string();
+    let graph = build_model(&model_name, None)?;
+    let serve = parse_serve_knobs(flags)?;
+    let lint = parse_lint_flags(flags);
+    let rate_fps: f64 = parse_num(flags, "rate-fps", 300.0)?;
+    let duration_s: f64 = parse_num(flags, "duration-s", 3.0)?;
+    let connections: usize = parse_num(flags, "connections", 2)?;
+    let min_hit_pct: f64 = parse_num(flags, "min-hit-pct", 50.0)?;
+    let seed: u64 = parse_num(flags, "seed", 7)?;
+    let backends_n: usize = parse_num(flags, "backends", 2)?;
+    // Per-request wire deadline for the generated load (0 = none): with a
+    // budget set, the client's hit rate measures RTT against it, so the
+    // floor becomes a latency gate rather than an answered-ok gate.
+    let load_deadline_ms: f64 = parse_num(flags, "load-deadline-ms", 0.0)?;
+    let failover = flags.get("failover").map(String::as_str) == Some("1");
+    let hetero = flags.get("hetero").map(String::as_str) == Some("1");
+    let router = parse_router_flag(flags)?;
+    if backends_n == 0 {
+        return Err("--backends must be at least 1".to_string());
+    }
+    if failover && backends_n < 2 {
+        return Err("--failover 1 needs at least 2 backends".to_string());
+    }
+
+    preflight(&graph, &serve, rate_fps, 0.0, &lint).map_err(|e| e.to_string())?;
+
+    // With --hetero 1, backends past index 0 serve unbatched — a slower
+    // tier the router has to notice and route around.
+    let backend_cfg = |idx: usize| {
+        let mut cfg = LiveConfig {
+            serve: serve.clone(),
+            model_id: model_name.clone(),
+            ..LiveConfig::default()
+        };
+        if hetero && idx > 0 {
+            cfg.serve.max_batch = 1;
+        }
+        cfg
+    };
+    let mut servers = Vec::new();
+    let mut addrs = Vec::new();
+    let mut handles = Vec::new();
+    for idx in 0..backends_n {
+        let server = LiveServer::bind("127.0.0.1:0", &graph, backend_cfg(idx), SinkHandle::null())
+            .map_err(|e| e.to_string())?;
+        addrs.push(server.local_addr().map_err(|e| e.to_string())?);
+        handles.push(server.handle());
+        servers.push(server);
+    }
+
+    let config = GatewayConfig {
+        model_id: model_name.clone(),
+        router,
+        seed,
+        retry_budget: 1,
+        warmup: gateway_warmup(&model_name, graph.input_shape(), 3),
+        probe_interval: Duration::from_millis(50),
+        probe_timeout: Duration::from_millis(500),
+        ..GatewayConfig::default()
+    };
+    let (sink, recorder) = SinkHandle::recorder(1 << 18);
+    let gateway = Gateway::bind("127.0.0.1:0", &addrs, config, sink).map_err(|e| e.to_string())?;
+    let front = gateway.local_addr().map_err(|e| e.to_string())?;
+    let gh = gateway.handle();
+
+    println!(
+        "gateway-soak: {model_name} x {backends_n} backend(s) behind {front} ({} router), \
+         {rate_fps:.0} req/s x {duration_s:.0} s over {connections} connection(s), seed {seed}{}{}",
+        router.name(),
+        if failover { ", failover drill" } else { "" },
+        if hetero { ", heterogeneous" } else { "" },
+    );
+
+    let shape = graph.input_shape();
+    let (gateway_result, summary) = std::thread::scope(|scope| {
+        let mut backend_threads: Vec<Option<std::thread::ScopedJoinHandle<'_, _>>> = servers
+            .into_iter()
+            .map(|server| Some(scope.spawn(move || server.run())))
+            .collect();
+        let gateway_thread = scope.spawn(move || gateway.run());
+
+        // The failover drill runs on its own thread so the load below is
+        // uninterrupted: kill backend 0 at t/3, restart it at 2t/3.
+        let drill = failover.then(|| {
+            let bt0 = backend_threads[0].take().expect("backend 0 thread");
+            let h0 = handles[0].clone();
+            let addr0 = addrs[0];
+            let cfg0 = backend_cfg(0);
+            let graph = &graph;
+            scope.spawn(move || {
+                std::thread::sleep(Duration::from_secs_f64(duration_s / 3.0));
+                h0.shutdown();
+                bt0.join()
+                    .expect("backend 0 thread")
+                    .expect("backend 0 serves");
+                std::thread::sleep(Duration::from_secs_f64(duration_s / 3.0));
+                let server = LiveServer::bind(addr0, graph, cfg0, SinkHandle::null())
+                    .expect("rebinding backend 0's address");
+                let handle = server.handle();
+                let thread = scope.spawn(move || server.run());
+                (handle, thread)
+            })
+        });
+
+        let summary = run_load(&LoadConfig {
+            addr: front,
+            model: model_name.clone(),
+            shape,
+            connections,
+            mode: LoadMode::Open {
+                rate_fps,
+                duration_s,
+            },
+            deadline_us: (load_deadline_ms * 1e3).max(0.0) as u64,
+            seed,
+            recv_grace: Duration::from_secs(5),
+        });
+
+        // Under the drill, give the probes a chance to readmit the
+        // restarted backend before the books close.
+        if failover {
+            let deadline = Instant::now() + Duration::from_secs(10);
+            while Instant::now() < deadline && !gh.backend_healthy(0) {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+        gh.shutdown();
+        let gateway_result = gateway_thread.join().expect("gateway thread");
+
+        if let Some(drill) = drill {
+            let (handle, thread) = drill.join().expect("failover drill thread");
+            handle.shutdown();
+            thread
+                .join()
+                .expect("restarted backend thread")
+                .expect("restarted backend serves");
+        }
+        for (handle, thread) in handles.iter().zip(backend_threads) {
+            if let Some(thread) = thread {
+                handle.shutdown();
+                thread
+                    .join()
+                    .expect("backend thread")
+                    .expect("backend serves");
+            }
+        }
+        (gateway_result, summary)
+    });
+    let report = gateway_result.map_err(|e| format!("gateway failed: {e}"))?;
+    let events = recorder.drain();
+
+    print_load_summary(&summary, "text")?;
+    print_gateway_report(&report, "text")?;
+    println!("  {} event(s) recorded", events.len());
+
+    // The floors. Any violation is a red CI.
+    let mut failures: Vec<String> = Vec::new();
+    if summary.protocol_errors > 0 {
+        failures.push(format!(
+            "client decoded {} malformed frame(s)",
+            summary.protocol_errors
+        ));
+    }
+    if report.protocol_errors > 0 {
+        failures.push(format!(
+            "gateway dropped {} connection(s) on protocol errors",
+            report.protocol_errors
+        ));
+    }
+    if summary.io_errors > 0 {
+        failures.push(format!(
+            "{} socket error(s) on the client",
+            summary.io_errors
+        ));
+    }
+    if summary.missing > 0 {
+        failures.push(format!(
+            "{} request(s) never got a response",
+            summary.missing
+        ));
+    }
+    if !report.conservation_holds() {
+        failures.push(format!(
+            "request conservation violated: received {} != ok {} + rejected {}",
+            report.received,
+            report.answered_ok,
+            report.rejects.total()
+        ));
+    }
+    if summary.hit_pct() < min_hit_pct {
+        failures.push(format!(
+            "hit rate {:.2}% below the {min_hit_pct:.2}% floor",
+            summary.hit_pct()
+        ));
+    }
+    if failover {
+        if report.backends[0].ejections == 0 {
+            failures.push("killed backend was never ejected".to_string());
+        }
+        if report.backends[0].readmissions == 0 {
+            failures.push("restarted backend was never readmitted".to_string());
+        }
+        if !report.backends[0].healthy_at_exit {
+            failures.push("restarted backend not healthy at exit".to_string());
+        }
+    }
+    if failures.is_empty() {
+        println!(
+            "gateway-soak: PASS ({:.2}% hits >= {min_hit_pct:.2}% floor, zero protocol errors, \
+             conservation holds{})",
+            summary.hit_pct(),
+            if failover {
+                ", failover drill survived"
+            } else {
+                ""
+            }
+        );
+        Ok(())
+    } else {
+        Err(format!("gateway-soak FAILED: {}", failures.join("; ")))
     }
 }
 

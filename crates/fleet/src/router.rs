@@ -6,6 +6,13 @@
 //! are deterministic: power-of-two-choices draws from a seeded ChaCha8
 //! stream owned by the router, so a `(config, seed)` pair pins every
 //! routing decision bit-for-bit.
+//!
+//! These policies serve two callers: the fleet DES dispatches simulated
+//! arrivals through them, and `adaflow-gateway` drives the *same*
+//! `RoutePolicy` objects over live TCP backends (mapping each backend's
+//! in-flight count and measured service floor into a snapshot). Sharing
+//! the implementation is what makes the sim-vs-real hit-rate comparison
+//! in EXPERIMENTS.md an apples-to-apples check.
 
 use crate::config::RouterKind;
 use rand::{Rng, SeedableRng};
@@ -175,9 +182,11 @@ impl RoutePolicy for DeadlineAwareRouter {
 impl RouterKind {
     /// Builds the routing policy. `seed` feeds the power-of-two sampling
     /// stream; `prior_fps` is the throughput prior the deadline-aware
-    /// router uses for devices that have not served yet.
+    /// router uses for devices that have not served yet. The box is
+    /// `Send` so the live gateway can drive one policy from its
+    /// connection threads (behind a mutex); the DES uses it single-threaded.
     #[must_use]
-    pub fn build(self, seed: u64, prior_fps: f64) -> Box<dyn RoutePolicy> {
+    pub fn build(self, seed: u64, prior_fps: f64) -> Box<dyn RoutePolicy + Send> {
         match self {
             RouterKind::RoundRobin => Box::new(RoundRobinRouter::default()),
             RouterKind::LeastLoaded => Box::new(LeastLoadedRouter),

@@ -5,16 +5,17 @@
 //! a simulated run can be driven by statistically matched load. Every
 //! response is classified by its machine-readable [`Status`], so the
 //! summary separates queue-full, deadline-infeasible and shutting-down
-//! rejects instead of lumping everything into "failed".
+//! rejects instead of lumping everything into "failed". Socket handling
+//! lives in [`ProtoClient`] — the same pipelined, id-correlated transport
+//! the gateway uses for its backend connections.
 
 use adaflow_model::TensorShape;
-use adaflow_proto::{encode_frame, Frame, FrameReader, RequestFrame, Status};
+use adaflow_proto::{ClientError, ProtoClient, RequestFrame, Status};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use std::io::{ErrorKind, Read, Write};
-use std::net::{SocketAddr, TcpStream};
+use std::net::SocketAddr;
 use std::time::{Duration, Instant};
 
 /// ±20% uniform jitter on open-loop inter-arrival gaps — the same
@@ -131,11 +132,36 @@ impl LoadSummary {
     /// Total rejects across every reason code.
     #[must_use]
     pub fn rejected(&self) -> u64 {
-        self.rejected_queue_full
-            + self.rejected_deadline_infeasible
-            + self.rejected_shutting_down
-            + self.rejected_unknown_model
-            + self.rejected_bad_request
+        Status::ALL
+            .into_iter()
+            .filter(|s| !s.is_ok())
+            .map(|s| self.count_for(s))
+            .sum()
+    }
+
+    /// Rejects a client (or a gateway in front of us) could have safely
+    /// retried elsewhere — the [`Status::is_retryable`] subset. When the
+    /// load runs *through* the gateway this should be ~0: the gateway
+    /// absorbs retryable statuses into its own retry budget.
+    #[must_use]
+    pub fn rejected_retryable(&self) -> u64 {
+        Status::ALL
+            .into_iter()
+            .filter(|s| s.is_retryable())
+            .map(|s| self.count_for(s))
+            .sum()
+    }
+
+    /// The counter a given status lands in.
+    fn count_for(&self, status: Status) -> u64 {
+        match status {
+            Status::Ok => self.ok,
+            Status::QueueFull => self.rejected_queue_full,
+            Status::DeadlineInfeasible => self.rejected_deadline_infeasible,
+            Status::ShuttingDown => self.rejected_shutting_down,
+            Status::UnknownModel => self.rejected_unknown_model,
+            Status::BadRequest => self.rejected_bad_request,
+        }
     }
 
     fn classify(&mut self, status: Status) {
@@ -207,12 +233,12 @@ pub fn run_load(config: &LoadConfig) -> LoadSummary {
     merged
 }
 
-fn build_request(config: &LoadConfig, id: u64, rng: &mut ChaCha8Rng) -> Vec<u8> {
+fn build_request(config: &LoadConfig, id: u64, rng: &mut ChaCha8Rng) -> RequestFrame {
     let elements = config.shape.elements();
     let data: Vec<u8> = (0..elements)
         .map(|_| rng.gen_range(0..=255u16) as u8)
         .collect();
-    encode_frame(&Frame::Request(RequestFrame {
+    RequestFrame {
         id,
         deadline_us: config.deadline_us,
         model: config.model.clone(),
@@ -220,7 +246,7 @@ fn build_request(config: &LoadConfig, id: u64, rng: &mut ChaCha8Rng) -> Vec<u8> 
         height: config.shape.height as u16,
         width: config.shape.width as u16,
         data,
-    }))
+    }
 }
 
 /// Derives connection `conn`'s RNG from the run seed — the same
@@ -231,19 +257,18 @@ fn conn_rng(seed: u64, conn: u64) -> ChaCha8Rng {
 
 fn run_connection(config: &LoadConfig, conn_idx: u64) -> ConnOutcome {
     let mut outcome = ConnOutcome::default();
-    let Ok(stream) = TcpStream::connect(config.addr) else {
+    let Ok(client) = ProtoClient::connect(config.addr) else {
         outcome.summary.io_errors += 1;
         return outcome;
     };
-    stream.set_nodelay(true).ok();
     match config.mode {
         LoadMode::Closed { requests } => {
-            closed_loop(config, conn_idx, stream, requests, &mut outcome);
+            closed_loop(config, conn_idx, client, requests, &mut outcome);
         }
         LoadMode::Open {
             rate_fps,
             duration_s,
-        } => open_loop(config, conn_idx, stream, rate_fps, duration_s, &mut outcome),
+        } => open_loop(config, conn_idx, client, rate_fps, duration_s, &mut outcome),
     }
     outcome
 }
@@ -251,78 +276,63 @@ fn run_connection(config: &LoadConfig, conn_idx: u64) -> ConnOutcome {
 fn closed_loop(
     config: &LoadConfig,
     conn_idx: u64,
-    mut stream: TcpStream,
+    mut client: ProtoClient,
     requests: u64,
     outcome: &mut ConnOutcome,
 ) {
     let mut rng = conn_rng(config.seed, conn_idx);
-    stream
+    client
         .set_read_timeout(Some(config.recv_grace.max(Duration::from_millis(1))))
         .ok();
-    let mut frames = FrameReader::new();
-    let mut buf = [0u8; 16 * 1024];
     for seq in 0..requests {
         let id = conn_idx << 32 | seq;
-        let bytes = build_request(config, id, &mut rng);
+        let request = build_request(config, id, &mut rng);
         let sent_at = Instant::now();
-        if stream.write_all(&bytes).is_err() {
+        if client.send(&request).is_err() {
             outcome.summary.io_errors += 1;
             return;
         }
         outcome.summary.sent += 1;
-        // Block until this request's response arrives.
-        let response = loop {
-            match frames.next_frame() {
-                Ok(Some(Frame::Response(r))) => break Some(r),
-                Ok(Some(Frame::Request(_))) | Err(_) => {
-                    outcome.summary.protocol_errors += 1;
-                    outcome.summary.missing += 1;
-                    return;
-                }
-                Ok(None) => match stream.read(&mut buf) {
-                    Ok(0) => {
-                        outcome.summary.missing += 1;
-                        return;
-                    }
-                    Ok(n) => frames.feed(&buf[..n]),
-                    Err(e)
-                        if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut =>
-                    {
-                        break None;
-                    }
-                    Err(_) => {
-                        outcome.summary.io_errors += 1;
-                        outcome.summary.missing += 1;
-                        return;
-                    }
-                },
+        // Block until this request's response arrives or the grace window
+        // expires; a timeout is a missing response, not an error.
+        match client.recv_id(id, config.recv_grace) {
+            Ok(Some(response)) => {
+                settle(config, outcome, &response, sent_at.elapsed().as_secs_f64());
             }
-        };
-        let Some(response) = response else {
-            outcome.summary.missing += 1;
-            continue;
-        };
-        settle(config, outcome, &response, sent_at.elapsed().as_secs_f64());
+            Ok(None) => outcome.summary.missing += 1,
+            Err(ClientError::Closed) => {
+                outcome.summary.missing += 1;
+                return;
+            }
+            Err(e) if e.is_protocol() => {
+                outcome.summary.protocol_errors += 1;
+                outcome.summary.missing += 1;
+                return;
+            }
+            Err(_) => {
+                outcome.summary.io_errors += 1;
+                outcome.summary.missing += 1;
+                return;
+            }
+        }
     }
 }
 
 fn open_loop(
     config: &LoadConfig,
     conn_idx: u64,
-    mut stream: TcpStream,
+    mut client: ProtoClient,
     rate_fps: f64,
     duration_s: f64,
     outcome: &mut ConnOutcome,
 ) {
     let mut rng = conn_rng(config.seed, conn_idx);
-    stream.set_read_timeout(Some(Duration::from_millis(2))).ok();
+    client.set_read_timeout(Some(Duration::from_millis(2))).ok();
     let per_conn_fps = (rate_fps / config.connections.max(1) as f64).max(1e-3);
     let gap_s = 1.0 / per_conn_fps;
     let started = Instant::now();
     let mut next_send_s = 0.0f64;
     let mut in_flight: HashMap<u64, Instant> = HashMap::new();
-    let mut frames = FrameReader::new();
-    let mut buf = [0u8; 16 * 1024];
     let mut seq = 0u64;
     let mut dead = false;
 
@@ -335,9 +345,9 @@ fn open_loop(
         if sending && now_s >= next_send_s {
             let id = conn_idx << 32 | seq;
             seq += 1;
-            let bytes = build_request(config, id, &mut rng);
+            let request = build_request(config, id, &mut rng);
             let sent_at = Instant::now();
-            if stream.write_all(&bytes).is_err() {
+            if client.send(&request).is_err() {
                 outcome.summary.io_errors += 1;
                 dead = true;
             } else {
@@ -352,31 +362,21 @@ fn open_loop(
         {
             break;
         }
-        match stream.read(&mut buf) {
-            Ok(0) => break,
-            Ok(n) => {
-                frames.feed(&buf[..n]);
-                loop {
-                    match frames.next_frame() {
-                        Ok(Some(Frame::Response(r))) => {
-                            let rtt = in_flight
-                                .remove(&r.id)
-                                .map_or(0.0, |t| t.elapsed().as_secs_f64());
-                            settle(config, outcome, &r, rtt);
-                        }
-                        Ok(Some(Frame::Request(_))) | Err(_) => {
-                            outcome.summary.protocol_errors += 1;
-                            dead = true;
-                            break;
-                        }
-                        Ok(None) => break,
-                    }
-                }
-                if dead && !sending {
-                    break;
-                }
+        match client.try_recv() {
+            Ok(Some(response)) => {
+                let rtt = in_flight
+                    .remove(&response.id)
+                    .map_or(0.0, |t| t.elapsed().as_secs_f64());
+                settle(config, outcome, &response, rtt);
             }
-            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+            Ok(None) => {}
+            Err(ClientError::Closed) => break,
+            Err(e) if e.is_protocol() => {
+                // The stream is unsynchronized; nothing further can be
+                // correlated, so drop the connection.
+                outcome.summary.protocol_errors += 1;
+                break;
+            }
             Err(_) => {
                 outcome.summary.io_errors += 1;
                 break;
@@ -413,6 +413,20 @@ mod tests {
         }
         assert_eq!(s.ok, 1);
         assert_eq!(s.rejected(), 5);
+    }
+
+    #[test]
+    fn retryable_accounting_matches_status_contract() {
+        let s = LoadSummary {
+            rejected_queue_full: 3,
+            rejected_shutting_down: 2,
+            rejected_deadline_infeasible: 7,
+            rejected_bad_request: 1,
+            ..LoadSummary::default()
+        };
+        // Exactly the `Status::is_retryable` subset counts.
+        assert_eq!(s.rejected_retryable(), 5);
+        assert_eq!(s.rejected(), 13);
     }
 
     #[test]

@@ -277,6 +277,55 @@ fn reject_reasons_are_machine_readable() {
 }
 
 #[test]
+fn pipelined_connection_gets_id_matched_responses() {
+    let shape = tiny_graph().input_shape();
+    let config = LiveConfig {
+        serve: ServeConfig {
+            max_batch: 4,
+            max_wait_s: 0.001,
+            queue_capacity: 16,
+            ..ServeConfig::default()
+        },
+        ..LiveConfig::default()
+    };
+    let (report, responses) = with_server(config, SinkHandle::null(), |addr| {
+        let mut client = adaflow_proto::ProtoClient::connect(addr).expect("connects");
+        client
+            .set_read_timeout(Some(Duration::from_millis(50)))
+            .expect("timeout");
+        // Three outstanding requests on ONE connection, no reads between
+        // the sends — the protocol's ids must carry the correlation.
+        let ids = [901u64, 902, 903];
+        for &id in &ids {
+            let Frame::Request(rf) = decode_frame(&request(id, shape, 0)).expect("own frame").0
+            else {
+                unreachable!()
+            };
+            client.send(&rf).expect("sends");
+        }
+        // Claim out of send order to prove correlation is by id, not
+        // arrival position.
+        let mut got = Vec::new();
+        for &id in &[903u64, 901, 902] {
+            let r = client
+                .recv_id(id, Duration::from_secs(10))
+                .expect("no error")
+                .expect("response arrives");
+            assert_eq!(r.id, id);
+            got.push(r);
+        }
+        assert_eq!(client.sent(), 3);
+        assert_eq!(client.received(), 3);
+        assert_eq!(client.stashed(), 0, "exactly 3 responses, none extra");
+        got
+    });
+    assert_eq!(responses.len(), 3);
+    assert!(responses.iter().all(|r| r.status == Status::Ok));
+    assert_eq!(report.summary.completed, 3.0);
+    assert!(report.summary.conservation_holds());
+}
+
+#[test]
 fn protocol_garbage_drops_the_connection() {
     let (report, eof) = with_server(LiveConfig::default(), SinkHandle::null(), |addr| {
         let mut stream = TcpStream::connect(addr).expect("connects");

@@ -104,6 +104,20 @@ impl Status {
     pub fn is_ok(self) -> bool {
         self == Status::Ok
     }
+
+    /// Whether a client (or an L7 gateway) may safely resend the request
+    /// elsewhere after seeing this status.
+    ///
+    /// `QueueFull` and `ShuttingDown` describe transient *server* state: the
+    /// request itself was well-formed and was never executed, so another
+    /// attempt — on the same server later, or on a different backend now —
+    /// can succeed. Every other status is terminal: `Ok` already has an
+    /// answer, and `DeadlineInfeasible` / `UnknownModel` / `BadRequest`
+    /// describe the *request*, which a retry would not change.
+    #[must_use]
+    pub fn is_retryable(self) -> bool {
+        matches!(self, Status::QueueFull | Status::ShuttingDown)
+    }
 }
 
 /// One inference request as it travels the wire.
@@ -452,6 +466,24 @@ mod tests {
         assert_eq!(Status::QueueFull.label(), "queue-full");
         assert_eq!(Status::DeadlineInfeasible.label(), "deadline-infeasible");
         assert_eq!(Status::ShuttingDown.label(), "shutting-down");
+    }
+
+    /// Exhaustive match: adding a `Status` variant must force a decision
+    /// about its retryability here, not silently default.
+    #[test]
+    fn retryability_is_decided_for_every_status() {
+        for status in Status::ALL {
+            let expected = match status {
+                Status::QueueFull | Status::ShuttingDown => true,
+                Status::Ok
+                | Status::DeadlineInfeasible
+                | Status::UnknownModel
+                | Status::BadRequest => false,
+            };
+            assert_eq!(status.is_retryable(), expected, "{status:?}");
+            // A retryable status is never a success.
+            assert!(!(status.is_retryable() && status.is_ok()));
+        }
     }
 
     #[test]

@@ -2,11 +2,13 @@
 //!
 //! A transport-agnostic, length-prefixed binary protocol carrying inference
 //! requests and responses between clients and the live serving front-end
-//! (`adaflow-net`). The crate is deliberately socket-free: everything is
+//! (`adaflow-net`). The codec is deliberately socket-free: everything is
 //! pure `encode`/`decode` over byte slices plus an incremental
 //! [`FrameReader`], so the whole protocol is testable without opening a
 //! connection — mirroring the protocol-core / transport-crate split the
-//! ROADMAP calls for.
+//! ROADMAP calls for. The one exception is [`ProtoClient`], the shared
+//! client-side transport (pipelined send, id-correlated receive) used by
+//! the load generator and the gateway's backend connections.
 //!
 //! ## Wire format
 //!
@@ -42,10 +44,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod client;
 pub mod error;
 pub mod frame;
 pub mod reader;
 
+pub use client::{ClientError, ProtoClient};
 pub use error::ProtoError;
 pub use frame::{
     decode_frame, encode_frame, Frame, RequestFrame, ResponseFrame, Status, HEADER_LEN, MAGIC,

@@ -206,6 +206,72 @@ proptest! {
         prop_assert!(matches!(reader.next_frame(), Err(ProtoError::Oversized { .. })));
     }
 
+    /// Pipelining: K interleaved request/response exchanges on one stream
+    /// — requests and their (possibly reordered) responses woven together
+    /// — decode in wire order under arbitrary chunk splits, and every
+    /// response id correlates back to exactly one request id. This is the
+    /// invariant the gateway's multiplexed backend connections rely on.
+    #[test]
+    fn pipelined_exchanges_correlate_under_any_split(
+        k in 1usize..10,
+        reorder in 0usize..7,
+        cuts in proptest::collection::vec(0usize..97, 1..32),
+    ) {
+        // K requests with distinct ids, then their K responses in a
+        // rotated order (the server may finish out of order), interleaved
+        // so the stream alternates directions like a real pipelined
+        // connection: r0 r1 resp(a) r2 resp(b) ...
+        let ids: Vec<u64> = (0..k as u64).map(|i| 1000 + i).collect();
+        let requests: Vec<Frame> = ids
+            .iter()
+            .map(|&id| build_request(id, 100, id as usize, (1, 3, 3), id as u8))
+            .collect();
+        let responses: Vec<Frame> = (0..k)
+            .map(|i| {
+                let id = ids[(i + reorder) % k];
+                build_response(id, 0, (id % 10) as u16, (1, 2, 3))
+            })
+            .collect();
+        let mut wire: Vec<Frame> = Vec::with_capacity(2 * k);
+        let mut resp_iter = responses.iter();
+        for (i, req) in requests.iter().enumerate() {
+            wire.push(req.clone());
+            // After the second request, weave one response between each
+            // pair of requests; the rest flush at the end.
+            if i >= 1 {
+                if let Some(resp) = resp_iter.next() {
+                    wire.push(resp.clone());
+                }
+            }
+        }
+        wire.extend(resp_iter.cloned());
+
+        let stream: Vec<u8> = wire.iter().flat_map(encode_frame).collect();
+        let decoded = feed_in_chunks(&stream, &cuts);
+        prop_assert_eq!(&decoded, &wire);
+
+        // Correlation: the decoded responses' ids are exactly the decoded
+        // requests' ids as a set — every outstanding request is answered
+        // once, no response is orphaned.
+        let mut req_ids: Vec<u64> = decoded
+            .iter()
+            .filter_map(|f| match f {
+                Frame::Request(r) => Some(r.id),
+                Frame::Response(_) => None,
+            })
+            .collect();
+        let mut resp_ids: Vec<u64> = decoded
+            .iter()
+            .filter_map(|f| match f {
+                Frame::Response(r) => Some(r.id),
+                Frame::Request(_) => None,
+            })
+            .collect();
+        req_ids.sort_unstable();
+        resp_ids.sort_unstable();
+        prop_assert_eq!(req_ids, resp_ids);
+    }
+
     /// Corrupting any single byte of a valid frame either still decodes
     /// (the byte was free data like the id) or fails with a typed error —
     /// it never panics and never decodes to the original frame plus noise

@@ -173,6 +173,22 @@ pub enum EventKind {
         /// Cumulative error budget consumed at the alert, percent.
         budget_consumed_pct: f64,
     },
+    /// The gateway ejected a live backend from its healthy rotation
+    /// (gateway mode; pairs with `BackendReadmitted` on the same backend).
+    BackendEjected {
+        /// Index of the ejected backend.
+        backend: u32,
+        /// Why it was ejected (`"probe-timeout"`, `"connection-lost"`).
+        reason: String,
+    },
+    /// The gateway readmitted a previously ejected backend after
+    /// consecutive probe successes (gateway mode).
+    BackendReadmitted {
+        /// Index of the readmitted backend.
+        backend: u32,
+        /// How long the backend was out of rotation, seconds.
+        downtime_s: f64,
+    },
     /// Periodic fleet load-balance sample (fleet mode).
     FleetImbalanceSample {
         /// Coefficient of variation of per-device queue depths
@@ -211,6 +227,8 @@ impl EventKind {
             EventKind::DeviceReconfigEnd { .. } => "device_reconfig",
             EventKind::TraceSpan { .. } => "trace_span",
             EventKind::SloBurnAlert { .. } => "slo_burn_alert",
+            EventKind::BackendEjected { .. } => "backend_ejected",
+            EventKind::BackendReadmitted { .. } => "backend_readmitted",
             EventKind::FleetImbalanceSample { .. } => "fleet_imbalance",
         }
     }
@@ -357,6 +375,33 @@ mod tests {
         assert_eq!(events[1].kind.label(), "device_reconfig");
         assert_eq!(events[2].kind.label(), "device_reconfig");
         assert_eq!(events[3].kind.label(), "fleet_imbalance");
+    }
+
+    #[test]
+    fn gateway_health_events_round_trip_and_label() {
+        let events = vec![
+            Event::new(
+                2.0,
+                EventKind::BackendEjected {
+                    backend: 1,
+                    reason: "probe-timeout".into(),
+                },
+            ),
+            Event::new(
+                4.5,
+                EventKind::BackendReadmitted {
+                    backend: 1,
+                    downtime_s: 2.5,
+                },
+            ),
+        ];
+        for e in &events {
+            let text = serde_json::to_string(e).expect("serializes");
+            let back: Event = serde_json::from_str(&text).expect("parses");
+            assert_eq!(*e, back);
+        }
+        assert_eq!(events[0].kind.label(), "backend_ejected");
+        assert_eq!(events[1].kind.label(), "backend_readmitted");
     }
 
     #[test]

@@ -421,6 +421,37 @@ pub fn to_chrome_trace(events: &[Event]) -> Vec<ChromeTraceEvent> {
                     args,
                 });
             }
+            EventKind::BackendEjected { backend, reason } => {
+                let mut args = args1("backend", Value::U64(u64::from(*backend)));
+                args.insert("reason".into(), Value::Str(reason.clone()));
+                out.push(ChromeTraceEvent {
+                    name: "backend_ejected".into(),
+                    cat: "fleet".into(),
+                    ph: "i".into(),
+                    ts,
+                    pid: 1,
+                    id: None,
+                    tid: LANE_FLEET,
+                    args,
+                });
+            }
+            EventKind::BackendReadmitted {
+                backend,
+                downtime_s,
+            } => {
+                let mut args = args1("backend", Value::U64(u64::from(*backend)));
+                args.insert("downtime_s".into(), Value::F64(*downtime_s));
+                out.push(ChromeTraceEvent {
+                    name: "backend_readmitted".into(),
+                    cat: "fleet".into(),
+                    ph: "i".into(),
+                    ts,
+                    pid: 1,
+                    id: None,
+                    tid: LANE_FLEET,
+                    args,
+                });
+            }
             EventKind::FleetImbalanceSample {
                 cv,
                 max_queue,
@@ -485,6 +516,10 @@ pub struct TraceSummary {
     pub imbalance_samples: u64,
     /// Worst sampled fleet load-imbalance coefficient of variation.
     pub imbalance_cv_max: f64,
+    /// Gateway backend ejections from the healthy rotation.
+    pub backend_ejections: u64,
+    /// Gateway backend readmissions after recovery.
+    pub backend_readmissions: u64,
     /// Causal request spans emitted by the tracing layer.
     pub trace_spans: u64,
     /// SLO burn-rate alerts fired.
@@ -520,6 +555,8 @@ impl TraceSummary {
             device_reconfigs: 0,
             imbalance_samples: 0,
             imbalance_cv_max: 0.0,
+            backend_ejections: 0,
+            backend_readmissions: 0,
             trace_spans: 0,
             slo_alerts: 0,
             request_latency: LogHistogram::latency_s(),
@@ -569,6 +606,8 @@ impl TraceSummary {
                 EventKind::DeviceReconfigEnd { .. } => {}
                 EventKind::TraceSpan { .. } => s.trace_spans += 1,
                 EventKind::SloBurnAlert { .. } => s.slo_alerts += 1,
+                EventKind::BackendEjected { .. } => s.backend_ejections += 1,
+                EventKind::BackendReadmitted { .. } => s.backend_readmissions += 1,
                 EventKind::FleetImbalanceSample { cv, .. } => {
                     s.imbalance_samples += 1;
                     s.imbalance_cv_max = s.imbalance_cv_max.max(*cv);
@@ -700,6 +739,18 @@ pub fn to_prometheus(summary: &TraceSummary) -> String {
         "counter",
         "SLO burn-rate alerts fired.",
         format!("{}", summary.slo_alerts),
+    );
+    metric(
+        "adaflow_backend_ejections_total",
+        "counter",
+        "Gateway backends ejected from the healthy rotation.",
+        format!("{}", summary.backend_ejections),
+    );
+    metric(
+        "adaflow_backend_readmissions_total",
+        "counter",
+        "Gateway backends readmitted after recovery.",
+        format!("{}", summary.backend_readmissions),
     );
     if summary.imbalance_samples > 0 {
         metric(

@@ -201,6 +201,11 @@ impl MetricsRegistry {
                 self.record(&format!("stage_{stage}_s"), e.t_s - begin_s);
             }
             EventKind::SloBurnAlert { .. } => self.add("slo_burn_alerts", 1.0),
+            EventKind::BackendEjected { .. } => self.add("backend_ejections", 1.0),
+            EventKind::BackendReadmitted { downtime_s, .. } => {
+                self.add("backend_readmissions", 1.0);
+                self.record("backend_downtime_s", *downtime_s);
+            }
             EventKind::FleetImbalanceSample { cv, .. } => {
                 self.add("imbalance_samples", 1.0);
                 self.set_gauge("fleet_imbalance_cv_last", *cv);
