@@ -1595,8 +1595,8 @@ fn print_gateway_report(
         r.bad_request
     );
     println!(
-        "  wire: {} connection(s), {} protocol error(s), {} send error(s)",
-        report.connections, report.protocol_errors, report.send_errors
+        "  wire: {} connection(s), {} protocol error(s), {} send error(s), {} accept error(s)",
+        report.connections, report.protocol_errors, report.send_errors, report.accept_errors
     );
     for (idx, b) in report.backends.iter().enumerate() {
         println!(

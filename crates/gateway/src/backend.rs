@@ -205,7 +205,7 @@ impl Probes {
 pub(crate) fn worker(
     shared: &Shared,
     idx: usize,
-    rx: &Receiver<u64>,
+    rx: &Receiver<(u64, u32)>,
     initial: Option<ProtoClient>,
 ) {
     let state = &shared.backends[idx];
@@ -222,15 +222,27 @@ pub(crate) fn worker(
         }
         // Drain dispatches. `in_flight` is raised before the channel send,
         // so `in_flight == 0` under shutdown implies the channel is empty.
+        //
+        // A channel message is only a hint: the connection-loss sweep may
+        // have re-dispatched the gid to another backend (or a later retry
+        // re-dispatched it back here) while it was still queued. The
+        // pending entry's (backend, attempts) pair is the ownership
+        // record — a message that does not match it is stale and must be
+        // dropped, or this worker would settle (and double-decrement the
+        // in-flight of) a request now owned by someone else, or send a
+        // duplicate frame.
         loop {
             match rx.try_recv() {
-                Ok(gid) => {
-                    let frame = shared
-                        .pending
-                        .lock()
-                        .expect("pending lock")
-                        .get(&gid)
-                        .map(|e| e.frame.clone());
+                Ok((gid, attempt)) => {
+                    let frame = {
+                        let pending = shared.pending.lock().expect("pending lock");
+                        match pending.get(&gid) {
+                            Some(e) if e.backend == idx && e.attempts == attempt => {
+                                Some(e.frame.clone())
+                            }
+                            _ => None, // settled or re-owned: stale message
+                        }
+                    };
                     let Some(frame) = frame else { continue };
                     match conn.as_mut() {
                         Some(client) => {
@@ -241,7 +253,7 @@ pub(crate) fn worker(
                                 on_connection_lost(shared, idx, &mut probes, "send-failed");
                             }
                         }
-                        None => fail_one(shared, idx, gid),
+                        None => fail_one(shared, idx, gid, attempt),
                     }
                 }
                 Err(TryRecvError::Empty) => break,
@@ -329,9 +341,17 @@ fn handle_response(shared: &Shared, idx: usize, probes: &mut Probes, response: R
 }
 
 /// Fails one dispatched request over to the retry path (used when the
-/// backend has no live connection to even attempt the send on).
-fn fail_one(shared: &Shared, idx: usize, gid: u64) {
-    let entry = shared.pending.lock().expect("pending lock").remove(&gid);
+/// backend has no live connection to even attempt the send on). Removes
+/// the pending entry only when this worker still owns that exact attempt
+/// — the connection-loss sweep may have re-owned the gid meanwhile.
+fn fail_one(shared: &Shared, idx: usize, gid: u64, attempt: u32) {
+    let entry = {
+        let mut pending = shared.pending.lock().expect("pending lock");
+        match pending.get(&gid) {
+            Some(e) if e.backend == idx && e.attempts == attempt => pending.remove(&gid),
+            _ => None,
+        }
+    };
     let Some(entry) = entry else { return };
     shared.backends[idx]
         .in_flight

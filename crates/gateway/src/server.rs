@@ -103,7 +103,9 @@ pub(crate) struct InFlight {
 pub(crate) struct BackendState {
     pub(crate) addr: SocketAddr,
     /// Dispatch channel into the backend worker (senders are `!Sync`).
-    pub(crate) tx: Mutex<mpsc::Sender<u64>>,
+    /// Messages carry `(gid, attempts)` so the worker can recognize a
+    /// stale message whose request was re-dispatched while queued.
+    pub(crate) tx: Mutex<mpsc::Sender<(u64, u32)>>,
     /// Whether the backend is in the healthy rotation.
     pub(crate) healthy: AtomicBool,
     /// Requests dispatched and not yet answered — the load signal the
@@ -154,6 +156,7 @@ pub(crate) struct Shared {
     connections: AtomicU64,
     protocol_errors: AtomicU64,
     send_errors: AtomicU64,
+    accept_errors: AtomicU64,
 }
 
 fn to_us(d: Duration) -> u32 {
@@ -198,6 +201,16 @@ impl Shared {
     pub(crate) fn dispatch(&self, gid: u64, mut entry: InFlight, backend: usize) {
         entry.backend = backend;
         entry.sent_at = Instant::now();
+        // The backend's admission budgets from the frame's arrival time,
+        // so forward the *remaining* deadline, not the client's original
+        // budget — after gateway queueing or a retry the original would
+        // let the backend admit work that can no longer finish in time.
+        // Clamped to ≥ 1: on the wire `deadline_us == 0` means no
+        // deadline, and callers only dispatch while the deadline is live.
+        if let Some(d) = entry.deadline {
+            let left = d.saturating_duration_since(entry.sent_at);
+            entry.frame.deadline_us = u64::try_from(left.as_micros()).unwrap_or(u64::MAX).max(1);
+        }
         let b = &self.backends[backend];
         let depth = b.in_flight.fetch_add(1, Ordering::Relaxed) + 1;
         b.routed.fetch_add(1, Ordering::Relaxed);
@@ -209,11 +222,12 @@ impl Shared {
                 queue_depth: depth as u64,
             },
         );
+        let attempt = entry.attempts;
         self.pending
             .lock()
             .expect("pending lock")
             .insert(gid, entry);
-        let delivered = b.tx.lock().expect("tx lock").send(gid).is_ok();
+        let delivered = b.tx.lock().expect("tx lock").send((gid, attempt)).is_ok();
         if !delivered {
             // Worker already gone (shutdown race): the request cannot be
             // served here; answer rather than leak it.
@@ -421,6 +435,9 @@ pub struct GatewayReport {
     pub protocol_errors: u64,
     /// Response writes that failed (client hung up early).
     pub send_errors: u64,
+    /// Fatal accept errors on the front socket (each one initiates
+    /// shutdown, so this is 0 or 1; nonzero means the run ended early).
+    pub accept_errors: u64,
     /// Wall-clock duration of the run, seconds.
     pub duration_s: f64,
     /// Routing policy display name.
@@ -443,7 +460,7 @@ impl GatewayReport {
 pub struct Gateway {
     listener: TcpListener,
     shared: Arc<Shared>,
-    receivers: Vec<mpsc::Receiver<u64>>,
+    receivers: Vec<mpsc::Receiver<(u64, u32)>>,
 }
 
 impl Gateway {
@@ -504,6 +521,7 @@ impl Gateway {
             connections: AtomicU64::new(0),
             protocol_errors: AtomicU64::new(0),
             send_errors: AtomicU64::new(0),
+            accept_errors: AtomicU64::new(0),
         });
         Ok(Self {
             listener,
@@ -583,7 +601,16 @@ impl Gateway {
                     Err(e) if e.kind() == ErrorKind::WouldBlock => {
                         std::thread::sleep(shared.config.poll_interval);
                     }
-                    Err(_) => break,
+                    Err(_) => {
+                        // A dead front socket ends the run, but it must
+                        // end it *gracefully*: client readers and backend
+                        // workers exit on the shutdown flag, so without
+                        // setting it the scope would wedge until every
+                        // client voluntarily disconnected.
+                        shared.accept_errors.fetch_add(1, Ordering::Relaxed);
+                        shared.shutdown.store(true, Ordering::SeqCst);
+                        break;
+                    }
                 }
             }
             // Graceful drain: give in-flight requests the drain window,
@@ -628,6 +655,7 @@ impl Gateway {
             connections: shared.connections.load(Ordering::SeqCst),
             protocol_errors: shared.protocol_errors.load(Ordering::SeqCst),
             send_errors: shared.send_errors.load(Ordering::SeqCst),
+            accept_errors: shared.accept_errors.load(Ordering::SeqCst),
             duration_s,
             router: shared.config.router.name().to_string(),
             backends: shared

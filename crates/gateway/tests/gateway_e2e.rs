@@ -17,6 +17,7 @@ use adaflow_telemetry::{EventKind, SinkHandle};
 use std::io::{Read, Write};
 use std::net::TcpListener;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 fn tiny_graph() -> adaflow_model::CnnGraph {
@@ -266,7 +267,9 @@ fn killed_backend_is_ejected_then_readmitted_after_restart() {
 /// A fake backend that answers every request — probes included — with
 /// `QueueFull`. It stays "healthy" (probes get answers) while never
 /// serving, which is exactly the shape that exercises the retry path.
-fn always_queue_full(listener: &TcpListener, stop: &AtomicBool) {
+/// The `deadline_us` of every non-probe request frame it sees is pushed
+/// into `deadlines`, so tests can observe the budget the gateway forwards.
+fn always_queue_full(listener: &TcpListener, stop: &AtomicBool, deadlines: &Mutex<Vec<u64>>) {
     listener.set_nonblocking(true).expect("nonblocking");
     let mut conns: Vec<(std::net::TcpStream, FrameReader)> = Vec::new();
     while !stop.load(Ordering::SeqCst) {
@@ -287,6 +290,9 @@ fn always_queue_full(listener: &TcpListener, stop: &AtomicBool) {
                 Err(_) => return false,
             }
             while let Ok(Some(Frame::Request(r))) = frames.next_frame() {
+                if r.id & (1 << 63) == 0 {
+                    deadlines.lock().expect("deadline lock").push(r.deadline_us);
+                }
                 let response = ResponseFrame {
                     id: r.id,
                     status: Status::QueueFull,
@@ -339,8 +345,9 @@ fn retryable_reject_fails_over_to_another_backend() {
     let front = gateway.local_addr().expect("addr");
     let gh = gateway.handle();
 
+    let deadlines = Mutex::new(Vec::new());
     let (report, summary) = std::thread::scope(|scope| {
-        let ft = scope.spawn(|| always_queue_full(&fake_listener, &stop));
+        let ft = scope.spawn(|| always_queue_full(&fake_listener, &stop, &deadlines));
         let rt = scope.spawn(|| real.run());
         let gt = scope.spawn(|| gateway.run());
 
@@ -364,6 +371,70 @@ fn retryable_reject_fails_over_to_another_backend() {
     assert!(report.retries >= 8, "{report:?}");
     assert!(report.backends[0].retryable >= 8, "{report:?}");
     assert_eq!(report.backends[1].ok, 16);
+}
+
+/// A dispatched frame must carry the request's *remaining* deadline
+/// budget — after gateway queueing, and especially after a retry, the
+/// client's original `deadline_us` would let each backend restart the
+/// full budget from its own arrival time and admit work whose
+/// gateway-side deadline has effectively passed.
+#[test]
+fn retries_forward_the_remaining_deadline_budget() {
+    let shape = tiny_graph().input_shape();
+    // Two pathological backends: the request queue-fulls on the first,
+    // retries once onto the second, then exhausts its budget of 1.
+    let fake0 = TcpListener::bind("127.0.0.1:0").expect("binds");
+    let fake1 = TcpListener::bind("127.0.0.1:0").expect("binds");
+    let backends = [
+        fake0.local_addr().expect("addr"),
+        fake1.local_addr().expect("addr"),
+    ];
+    let stop = AtomicBool::new(false);
+    let (d0, d1) = (Mutex::new(Vec::new()), Mutex::new(Vec::new()));
+
+    let mut config = fast_gateway("rr");
+    config.retry_budget = 1;
+    let gateway =
+        Gateway::bind("127.0.0.1:0", &backends, config, SinkHandle::null()).expect("binds");
+    let front = gateway.local_addr().expect("addr");
+    let gh = gateway.handle();
+
+    std::thread::scope(|scope| {
+        scope.spawn(|| always_queue_full(&fake0, &stop, &d0));
+        scope.spawn(|| always_queue_full(&fake1, &stop, &d1));
+        let gt = scope.spawn(|| gateway.run());
+
+        let mut client = ProtoClient::connect(front).expect("connects");
+        client
+            .set_read_timeout(Some(Duration::from_millis(20)))
+            .expect("timeout");
+        let mut frame = request(1, shape);
+        frame.deadline_us = 500_000;
+        client.send(&frame).expect("sends");
+        let r = client
+            .recv_id(1, Duration::from_secs(5))
+            .expect("no error")
+            .expect("answered");
+        assert_eq!(r.status, Status::QueueFull, "budget exhausts after 1 retry");
+
+        gh.shutdown();
+        gt.join().expect("no panic").expect("gateway serves");
+        stop.store(true, Ordering::SeqCst);
+    });
+
+    let seen: Vec<u64> = {
+        let (d0, d1) = (d0.lock().expect("lock"), d1.lock().expect("lock"));
+        d0.iter().chain(d1.iter()).copied().collect()
+    };
+    assert_eq!(seen.len(), 2, "one dispatch + one retry: {seen:?}");
+    let first = *seen.iter().max().expect("nonempty");
+    let second = *seen.iter().min().expect("nonempty");
+    assert!(
+        first < 500_000,
+        "dispatch must forward the remaining budget, saw {first}"
+    );
+    assert!(second < first, "retry must shrink the budget: {seen:?}");
+    assert!(second > 0, "a live deadline never degrades to `none` (0)");
 }
 
 #[test]
